@@ -1,0 +1,175 @@
+// Command xvbench regenerates the tables and figures of the paper's
+// evaluation (Section 5):
+//
+//	xvbench -exp table1            Table 1: corpora and summary statistics
+//	xvbench -exp fig13a            Figure 13 (top): XMark pattern containment
+//	xvbench -exp fig13b            Figure 13 (bottom): synthetic containment
+//	xvbench -exp fig14             Figure 14: DBLP containment + optional ablation
+//	xvbench -exp fig15             Figure 15: XMark query rewriting
+//	xvbench -exp ablation          Enhanced vs plain summary rewriting
+//	xvbench -exp all               Everything (default)
+//
+// Flags -scale and -views trade runtime for fidelity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xmlviews/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, fig13a, fig13b, fig14, fig15, ablation, all")
+	scale := flag.Int("scale", 1, "document scale multiplier for table1")
+	views := flag.Int("views", 100, "random views for fig15 (paper: 100)")
+	perSize := flag.Int("persize", 12, "synthetic patterns per (n,r) point (paper: 40)")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("== %s ==\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error { return table1(*scale) })
+	run("fig13a", fig13a)
+	run("fig13b", func() error { return fig13b(*perSize) })
+	run("fig14", func() error { return fig14(*perSize) })
+	run("fig15", func() error { return fig15(*views) })
+	run("ablation", ablation)
+}
+
+func table1(scale int) error {
+	rows := experiments.Table1(scale)
+	fmt.Printf("%-12s %10s %10s %6s %8s %8s %12s\n", "Doc.", "nodes", "approx KB", "|S|", "nS", "n1", "build")
+	for _, r := range rows {
+		fmt.Printf("%-12s %10d %10d %6d %8d %8d %12s\n",
+			r.Name, r.Nodes, r.ApproxKB, r.S, r.Strong, r.OneToOne, r.BuildTime.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func fig13a() error {
+	s := experiments.XMarkSummary()
+	fmt.Printf("XMark summary: %d nodes\n", s.Size())
+	rows, err := experiments.Fig13XMarkQueries(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %12s %14s\n", "query", "|modS(p)|", "containment")
+	for _, r := range rows {
+		fmt.Printf("Q%-5d %12d %14s\n", r.Query, r.ModelSize, r.Time.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func fig13b(perSize int) error {
+	s := experiments.XMarkSummary()
+	cfg := experiments.DefaultSyntheticConfig("item", "name", "keyword")
+	cfg.PerSize = perSize
+	rows, err := experiments.Synthetic(s, cfg)
+	if err != nil {
+		return err
+	}
+	printSynthetic(rows)
+	return nil
+}
+
+func fig14(perSize int) error {
+	s := experiments.DBLPSummary()
+	fmt.Printf("DBLP'05 summary: %d nodes\n", s.Size())
+	cfg := experiments.DefaultSyntheticConfig("article", "author", "title")
+	cfg.PerSize = perSize
+	rows, err := experiments.Synthetic(s, cfg)
+	if err != nil {
+		return err
+	}
+	printSynthetic(rows)
+
+	fmt.Println("\noptional-edge ablation (r=1):")
+	for _, opt := range []float64{0, 0.5} {
+		c := cfg
+		c.Optional = opt
+		c.Arities = []int{1}
+		orows, err := experiments.Synthetic(s, c)
+		if err != nil {
+			return err
+		}
+		var pos, neg time.Duration
+		var np, nn int
+		for _, r := range orows {
+			pos += r.Positive * time.Duration(boolInt(r.PosCount > 0))
+			neg += r.Negative * time.Duration(boolInt(r.NegCount > 0))
+			np += boolInt(r.PosCount > 0)
+			nn += boolInt(r.NegCount > 0)
+		}
+		if np > 0 {
+			pos /= time.Duration(np)
+		}
+		if nn > 0 {
+			neg /= time.Duration(nn)
+		}
+		fmt.Printf("  optional=%.0f%%  avg positive %v  avg negative %v\n", opt*100,
+			pos.Round(time.Microsecond), neg.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func printSynthetic(rows []experiments.SyntheticRow) {
+	fmt.Printf("%4s %3s %14s %6s %14s %6s\n", "n", "r", "positive", "#", "negative", "#")
+	for _, r := range rows {
+		fmt.Printf("%4d %3d %14s %6d %14s %6d\n",
+			r.N, r.R, r.Positive.Round(time.Microsecond), r.PosCount,
+			r.Negative.Round(time.Microsecond), r.NegCount)
+	}
+}
+
+func fig15(views int) error {
+	s := experiments.XMarkSummary()
+	rows, err := experiments.Fig15(s, views)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %12s %12s %12s %4s %10s %10s\n",
+		"query", "setup", "first", "total", "#rw", "kept", "explored")
+	keptSum, totalSum := 0, 0
+	for _, r := range rows {
+		fmt.Printf("Q%-5d %12s %12s %12s %4d %6d/%-4d %10d\n",
+			r.Query, r.Setup.Round(time.Microsecond), r.First.Round(time.Microsecond),
+			r.Total.Round(time.Microsecond), r.Rewritings, r.ViewsKept, r.ViewsTotal, r.PlansExplored)
+		keptSum += r.ViewsKept
+		totalSum += r.ViewsTotal
+	}
+	if totalSum > 0 {
+		fmt.Printf("view pruning kept %.0f%% on average (paper: ~57%%)\n",
+			100*float64(keptSum)/float64(totalSum))
+	}
+	return nil
+}
+
+func ablation() error {
+	row, err := experiments.AblationEnhancedSummary()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s:\n  enhanced summary: %d rewritings (%v)\n  plain summary:    %d rewritings (%v)\n",
+		row.Name, row.EnhancedRewritings, row.EnhancedTime.Round(time.Microsecond),
+		row.PlainRewritings, row.PlainTime.Round(time.Microsecond))
+	return nil
+}

@@ -1,0 +1,78 @@
+// Command xvcontain decides tree pattern containment under summary
+// constraints (Proposition 3.1 and its Section 4 extensions):
+//
+//	xvcontain -summary 'a(!b(c) d)' -p 'a(/b[id])' -q 'a(//b[id])'
+//
+// The summary may also be built from a document with -doc file.xml. On
+// failure a counterexample document is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xmlviews/internal/core"
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/summary"
+	"xmlviews/internal/xmltree"
+)
+
+func main() {
+	sumSrc := flag.String("summary", "", "summary in parenthesized notation, e.g. 'a(!b(c) d)'")
+	docFile := flag.String("doc", "", "build the summary from this XML document instead")
+	pSrc := flag.String("p", "", "contained pattern")
+	qSrc := flag.String("q", "", "container pattern")
+	flag.Parse()
+
+	if *pSrc == "" || *qSrc == "" || (*sumSrc == "" && *docFile == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var s *summary.Summary
+	if *docFile != "" {
+		f, err := os.Open(*docFile)
+		if err != nil {
+			fatal(err)
+		}
+		doc, err := xmltree.ParseXML(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		s = summary.Build(doc)
+	} else {
+		var err error
+		s, err = summary.Parse(*sumSrc)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	p, err := pattern.Parse(*pSrc)
+	if err != nil {
+		fatal(err)
+	}
+	q, err := pattern.Parse(*qSrc)
+	if err != nil {
+		fatal(err)
+	}
+	ok, witness, err := core.ContainedWith(p, []*pattern.Pattern{q}, s, core.DefaultContainOptions())
+	if err != nil {
+		fatal(err)
+	}
+	if ok {
+		fmt.Println("p ⊆S q: yes")
+		return
+	}
+	fmt.Println("p ⊆S q: no")
+	if witness != nil {
+		doc, _ := witness.Realize()
+		fmt.Println("counterexample document:", doc.Root)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xvcontain:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+// Command xvgen generates the synthetic corpora of the evaluation as XML:
+//
+//	xvgen -corpus xmark -scale 10 -seed 1 > auction.xml
+//
+// Corpora: xmark, dblp02, dblp05, shakespeare, nasa, swissprot.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"xmlviews/internal/datagen"
+	"xmlviews/internal/xmltree"
+)
+
+func main() {
+	corpus := flag.String("corpus", "xmark", "xmark, dblp02, dblp05, shakespeare, nasa, swissprot")
+	scale := flag.Int("scale", 5, "document scale")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var doc *xmltree.Document
+	switch *corpus {
+	case "xmark":
+		doc = datagen.XMark(*scale, *seed)
+	case "dblp02":
+		doc = datagen.DBLP(*scale, *seed, false)
+	case "dblp05":
+		doc = datagen.DBLP(*scale, *seed, true)
+	case "shakespeare":
+		doc = datagen.Shakespeare(*scale, *seed)
+	case "nasa":
+		doc = datagen.Nasa(*scale, *seed)
+	case "swissprot":
+		doc = datagen.SwissProt(*scale, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "xvgen: unknown corpus %q\n", *corpus)
+		os.Exit(2)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if err := doc.WriteXML(w); err != nil {
+		fmt.Fprintln(os.Stderr, "xvgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(w)
+}

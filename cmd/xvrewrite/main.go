@@ -1,0 +1,116 @@
+// Command xvrewrite rewrites a tree pattern query over materialized views
+// (Algorithm 1) and optionally executes the plans against a document:
+//
+//	xvrewrite -doc auction.xml \
+//	   -q 'site(//item[id](/name[v]))' \
+//	   -v 'V1=site(//item[id])' -v 'V2=site(//name[id,v])' \
+//	   -exec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"xmlviews/internal/algebra"
+	"xmlviews/internal/core"
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/summary"
+	"xmlviews/internal/view"
+	"xmlviews/internal/xmltree"
+)
+
+type viewFlags []string
+
+func (v *viewFlags) String() string     { return strings.Join(*v, "; ") }
+func (v *viewFlags) Set(s string) error { *v = append(*v, s); return nil }
+
+func main() {
+	docFile := flag.String("doc", "", "XML document (summary source and execution target)")
+	sumSrc := flag.String("summary", "", "summary notation (alternative to -doc for rewriting only)")
+	qSrc := flag.String("q", "", "query pattern")
+	exec := flag.Bool("exec", false, "execute the first rewriting against -doc")
+	first := flag.Bool("first", false, "stop at the first rewriting")
+	var vdefs viewFlags
+	flag.Var(&vdefs, "v", "view definition name=pattern (repeatable)")
+	flag.Parse()
+
+	if *qSrc == "" || len(vdefs) == 0 || (*docFile == "" && *sumSrc == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var doc *xmltree.Document
+	var s *summary.Summary
+	if *docFile != "" {
+		f, err := os.Open(*docFile)
+		if err != nil {
+			fatal(err)
+		}
+		var perr error
+		doc, perr = xmltree.ParseXML(f)
+		f.Close()
+		if perr != nil {
+			fatal(perr)
+		}
+		s = summary.Build(doc)
+	} else {
+		var err error
+		s, err = summary.Parse(*sumSrc)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	q, err := pattern.Parse(*qSrc)
+	if err != nil {
+		fatal(err)
+	}
+	var views []*core.View
+	for _, def := range vdefs {
+		name, src, ok := strings.Cut(def, "=")
+		if !ok {
+			fatal(fmt.Errorf("view definition %q is not name=pattern", def))
+		}
+		p, err := pattern.Parse(src)
+		if err != nil {
+			fatal(err)
+		}
+		views = append(views, &core.View{Name: name, Pattern: p, DerivableParentIDs: true})
+	}
+
+	opts := core.DefaultRewriteOptions()
+	opts.FirstOnly = *first
+	res, err := core.Rewrite(q, views, s, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("views kept after pruning: %d/%d; plans explored: %d; setup %v; total %v\n",
+		res.ViewsKept, res.ViewsTotal, res.PlansExplored,
+		res.Setup.Round(time.Microsecond), res.Total.Round(time.Microsecond))
+	if len(res.Rewritings) == 0 {
+		fmt.Println("no equivalent rewriting found")
+		os.Exit(1)
+	}
+	for i, p := range res.Rewritings {
+		fmt.Printf("rewriting %d: %s\n", i+1, p)
+	}
+	if *exec {
+		if doc == nil {
+			fatal(fmt.Errorf("-exec requires -doc"))
+		}
+		st := view.NewStore(doc, views)
+		out, err := algebra.Execute(res.Rewritings[0], st)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out.Rel.Sorted())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xvrewrite:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// Command xvsummary builds the enhanced path summary (Dataguide) of an XML
+// document and prints its statistics and structure.
+//
+//	xvsummary [-stats] [-tree] file.xml
+//
+// With no file, it reads from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"xmlviews/internal/summary"
+	"xmlviews/internal/xmltree"
+)
+
+func main() {
+	stats := flag.Bool("stats", true, "print summary statistics (Table 1 columns)")
+	tree := flag.Bool("tree", false, "print the summary tree (strong edges '!', one-to-one '=')")
+	paths := flag.Bool("paths", false, "print every rooted path with its node count")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+		name = flag.Arg(0)
+	}
+	doc, err := xmltree.ParseXML(in)
+	if err != nil {
+		fatal(err)
+	}
+	s := summary.Build(doc)
+	if *stats {
+		ns, n1 := s.Stats()
+		fmt.Printf("%s: %d nodes, |S| = %d, strong edges = %d, one-to-one = %d\n",
+			name, doc.Size(), s.Size(), ns, n1)
+	}
+	if *tree {
+		fmt.Println(s)
+	}
+	if *paths {
+		for _, id := range s.NodeIDs() {
+			fmt.Printf("%6d  %s\n", s.Node(id).Count, s.PathString(id))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xvsummary:", err)
+	os.Exit(1)
+}

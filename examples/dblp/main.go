@@ -1,0 +1,58 @@
+// DBLP: bibliography scenario on the DBLP-like corpus — containment with
+// value predicates (Section 4.2), union containment, and rewriting with a
+// union of views (Algorithm 1, lines 13-14).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xmlviews"
+	"xmlviews/internal/datagen"
+)
+
+func main() {
+	doc := datagen.DBLP(6, 42, true)
+	s := xmlviews.BuildSummary(doc)
+	fmt.Printf("DBLP document: %d nodes; summary %d nodes\n", doc.Size(), s.Size())
+
+	// Decorated containment: 1998 papers are covered by the union of
+	// pre-2000 and post-1995 views, but by neither alone.
+	q98 := xmlviews.MustParsePattern(`dblp(/article[id](/year{v=1998}))`)
+	old := xmlviews.MustParsePattern(`dblp(/article[id](/year{v<2000}))`)
+	recent := xmlviews.MustParsePattern(`dblp(/article[id](/year{v>2002}))`)
+	ok, err := xmlviews.ContainedInUnion(q98, []*xmlviews.Pattern{old, recent}, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alone, err := xmlviews.Contained(q98, recent, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n1998 articles ⊆ (pre-2000 ∪ post-2002): %v; ⊆ post-2002 alone: %v\n", ok, alone)
+
+	// Rewriting with a union: publications of any kind, covered by one
+	// view per kind.
+	q := xmlviews.MustParsePattern(`dblp(/*[id](/title[v]))`)
+	var views []*xmlviews.View
+	for _, kind := range []string{"article", "inproceedings", "proceedings", "book",
+		"incollection", "phdthesis", "mastersthesis", "www"} {
+		views = append(views, xmlviews.NewView("v_"+kind,
+			xmlviews.MustParsePattern(`dblp(/`+kind+`[id](/title[v]))`)))
+	}
+	res, err := xmlviews.Rewrite(q, views, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrewritings for the all-kinds query: %d\n", len(res.Rewritings))
+	if len(res.Rewritings) > 0 {
+		fmt.Println("plan:", res.Rewritings[0])
+		store := xmlviews.NewStore(doc, views)
+		out, err := xmlviews.Execute(res.Rewritings[0], store)
+		if err != nil {
+			log.Fatal(err)
+		}
+		direct := xmlviews.EvalPattern(q, doc)
+		fmt.Printf("plan rows: %d; direct evaluation rows: %d\n", out.Rel.Len(), direct.Len())
+	}
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/predicate"
+	"xmlviews/internal/summary"
+)
+
+// ContainOptions tunes containment decisions.
+type ContainOptions struct {
+	Model ModelOptions
+	// IgnoreAttrs skips condition 1 of Proposition 4.1 (per-slot attribute
+	// equality). The rewriting algorithm uses this, handling attributes
+	// separately through slot selection and projection.
+	IgnoreAttrs bool
+}
+
+// DefaultContainOptions uses the default canonical model settings.
+func DefaultContainOptions() ContainOptions {
+	return ContainOptions{Model: DefaultModelOptions()}
+}
+
+// Contained decides p ⊆S q under summary constraints: for every document t
+// with S |= t, p(t) ⊆ q(t) (Definition 3.1, extended to the full pattern
+// language in Section 4).
+func Contained(p, q *pattern.Pattern, s *summary.Summary) (bool, error) {
+	ok, _, err := ContainedWith(p, []*pattern.Pattern{q}, s, DefaultContainOptions())
+	return ok, err
+}
+
+// ContainedInUnion decides p ⊆S q1 ∪ ... ∪ qm (Proposition 3.2 and the
+// union criterion of Section 4.2).
+func ContainedInUnion(p *pattern.Pattern, qs []*pattern.Pattern, s *summary.Summary) (bool, error) {
+	ok, _, err := ContainedWith(p, qs, s, DefaultContainOptions())
+	return ok, err
+}
+
+// Equivalent decides p ≡S q (two-way containment).
+func Equivalent(p, q *pattern.Pattern, s *summary.Summary) (bool, error) {
+	ok, err := Contained(p, q, s)
+	if err != nil || !ok {
+		return false, err
+	}
+	return Contained(q, p, s)
+}
+
+// ContainedWith is the full containment decision procedure. It returns a
+// counterexample canonical tree when containment fails.
+//
+// The procedure follows Proposition 3.1 (condition 3) generalized to the
+// extended language: for every canonical tree te of p, the q-side must
+// produce te's return tuple on te itself. With value predicates this
+// becomes the box-cover condition of Section 4.2: φ_te must imply the
+// disjunction of the formulas of the matching q embeddings.
+func ContainedWith(p *pattern.Pattern, qs []*pattern.Pattern, s *summary.Summary, opts ContainOptions) (bool, *Tree, error) {
+	if len(qs) == 0 {
+		return false, nil, fmt.Errorf("core: empty container union")
+	}
+	for _, q := range qs {
+		if q.Arity() != p.Arity() {
+			return false, nil, fmt.Errorf("core: arity mismatch: %d vs %d", p.Arity(), q.Arity())
+		}
+		if !opts.IgnoreAttrs {
+			// Proposition 4.1, condition 1: per-slot attribute equality.
+			for k, rn := range p.Returns() {
+				if rn.Attrs != q.Returns()[k].Attrs {
+					return false, nil, nil
+				}
+			}
+		}
+	}
+	model, err := ModelWith(p, s, opts.Model)
+	if err != nil {
+		return false, nil, err
+	}
+	for _, te := range model {
+		covered, err := treeCovered(te, qs, opts)
+		if err != nil {
+			return false, nil, err
+		}
+		if !covered {
+			return false, te, nil
+		}
+	}
+	return true, nil, nil
+}
+
+// treeCovered checks whether the return tuple of te is guaranteed to be in
+// the union of the qs results on every document realizing te.
+func treeCovered(te *Tree, qs []*pattern.Pattern, opts ContainOptions) (bool, error) {
+	var cover []predicate.Box
+	for _, q := range qs {
+		for _, m := range matchPattern(q, te, bottomIfImpossible) {
+			if !slotsEqual(m.Slots, te.Slots) {
+				continue
+			}
+			if !matchNestOK(te, m) {
+				continue
+			}
+			if !erasedCompatible(te, m) {
+				continue
+			}
+			cover = append(cover, m.Box)
+		}
+	}
+	return te.Box().CoveredBy(cover), nil
+}
+
+// matchNestOK enforces Proposition 4.2: per slot, the nesting sequence of
+// the q embedding must equal the tree slot's, modulo one-to-one edges; ⊥
+// slots are exempt.
+func matchNestOK(te *Tree, m match) bool {
+	for k, sl := range te.Slots {
+		if sl.Node < 0 {
+			continue
+		}
+		if !nestEqual(te.Sum, sl.Nest, m.Nest[k], false) {
+			return false
+		}
+	}
+	return true
+}
+
+// Satisfiable reports whether p has a non-empty result on some document
+// conforming to S: mod_S(p) ≠ ∅ (Section 2.4).
+func Satisfiable(p *pattern.Pattern, s *summary.Summary) (bool, error) {
+	model, err := Model(p, s)
+	if err != nil {
+		return false, err
+	}
+	return len(model) > 0, nil
+}
+
+// erasedCompatible guards ⊥ claims by the container. te's return tuple has
+// ⊥ at the slots of te.Erased subtrees, which means on the witness
+// documents those subtrees have no match. The container match m also bound
+// some optional subtrees to ⊥; for the cover to be sound on *every*
+// document where p produces the tuple (not just the minimal witness), each
+// slot-bearing erased container subtree Tq must be at least as demanding as
+// some slot-bearing erased p subtree Tp under the same tree node: any
+// document match of Tq implies a match of Tp, witnessed by a homomorphism
+// Tp → Tq. Erased subtrees without return slots do not affect the tuple
+// and are exempt.
+func erasedCompatible(te *Tree, m match) bool {
+	for _, eq := range m.Erased {
+		if !eq.hasSlotIn() {
+			continue
+		}
+		ok := false
+		for _, ep := range te.Erased {
+			if !ep.hasSlotIn() || ep.Parent != eq.Parent {
+				continue
+			}
+			if homSubsumes(ep.Root, eq.Root) ||
+				summaryImplies(te.Sum, te.Nodes[ep.Parent].SID, eq.Root, ep.Root) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// homSubsumes reports whether every document match of subtree tq (under
+// some node x) yields a match of subtree tp (under the same x), witnessed
+// by a homomorphism h: tp → tq such that
+//
+//   - h maps tp's root to tq's root, with tp's child axis requiring tq's;
+//   - labels: tp's node is * or equals tq's node's concrete label;
+//   - formulas: tq's formula implies tp's;
+//   - a /-edge of tp maps onto a single /-edge of tq, a //-edge onto a
+//     downward tq path of length ≥ 1;
+//   - only tq's non-optional spine is used (its optional parts may be
+//     absent from a match);
+//   - tp's optional children may be skipped.
+//
+// This is the classical homomorphism containment test, sound and fast.
+func homSubsumes(tp, tq *pattern.Node) bool {
+	if tp.Axis == pattern.Child && tq.Axis != pattern.Child {
+		return false
+	}
+	return homNode(tp, tq)
+}
+
+func homNode(tp, tq *pattern.Node) bool {
+	if tq.Label == pattern.Wildcard && tp.Label != pattern.Wildcard {
+		return false
+	}
+	if tp.Label != pattern.Wildcard && tp.Label != tq.Label {
+		return false
+	}
+	if !tq.Pred.Implies(tp.Pred) {
+		return false
+	}
+	for _, pc := range tp.Children {
+		if pc.Optional {
+			continue
+		}
+		if !homChild(pc, tq) {
+			return false
+		}
+	}
+	return true
+}
+
+// homChild finds a target in tq's non-optional spine for tp child pc.
+func homChild(pc *pattern.Node, tq *pattern.Node) bool {
+	if pc.Axis == pattern.Child {
+		for _, qc := range tq.Children {
+			if qc.Optional || qc.Axis != pattern.Child {
+				continue
+			}
+			if homNode(pc, qc) {
+				return true
+			}
+		}
+		return false
+	}
+	// Descendant: any non-optional downward path.
+	var walk func(q *pattern.Node) bool
+	walk = func(q *pattern.Node) bool {
+		for _, qc := range q.Children {
+			if qc.Optional {
+				continue
+			}
+			if homNode(pc, qc) {
+				return true
+			}
+			if walk(qc) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(tq)
+}
+
+// subsumption under summary constraints: the syntactic homomorphism test
+// is complete only for patterns over the same vocabulary shape; under a
+// summary, "//increase under an open_auction" may imply "/bidder/increase"
+// because increase only occurs below bidder. summaryImplies decides the
+// exact condition — every document match of tp under a node on path anchor
+// yields a match of tq there — by a 0-ary containment test on anchored
+// patterns, memoized per summary.
+var subsumeCache = struct {
+	sync.Mutex
+	m map[*summary.Summary]map[string]bool
+}{m: map[*summary.Summary]map[string]bool{}}
+
+func summaryImplies(s *summary.Summary, anchor int, tp, tq *pattern.Node) bool {
+	key := strconv.Itoa(anchor) + "|" + subtreeSig(tp) + "|" + subtreeSig(tq)
+	subsumeCache.Lock()
+	byS := subsumeCache.m[s]
+	if byS == nil {
+		byS = map[string]bool{}
+		subsumeCache.m[s] = byS
+	}
+	if v, ok := byS[key]; ok {
+		subsumeCache.Unlock()
+		return v
+	}
+	subsumeCache.Unlock()
+
+	res := decideSummaryImplies(s, anchor, tp, tq)
+
+	subsumeCache.Lock()
+	byS[key] = res
+	subsumeCache.Unlock()
+	return res
+}
+
+func decideSummaryImplies(s *summary.Summary, anchor int, tp, tq *pattern.Node) bool {
+	a := anchoredPattern(s, anchor, tp)
+	b := anchoredPattern(s, anchor, tq)
+	if a == nil || b == nil {
+		return false
+	}
+	opts := DefaultModelOptions()
+	opts.MaxTrees = 5000
+	model, err := ModelWith(a, s, opts)
+	if err != nil {
+		return false
+	}
+	if len(model) == 0 {
+		return true // tp can never match under the anchor
+	}
+	for _, te := range model {
+		var cover []predicate.Box
+		for _, m := range matchPattern(b, te, bottomIfImpossible) {
+			cover = append(cover, m.Box)
+		}
+		if !te.Box().CoveredBy(cover) {
+			return false
+		}
+	}
+	return true
+}
+
+// anchoredPattern builds root→…→anchor (child chain) with the subtree's
+// non-optional spine attached, as a 0-ary boolean pattern.
+func anchoredPattern(s *summary.Summary, anchor int, sub *pattern.Node) *pattern.Pattern {
+	chain, ok := s.ChainBetween(summary.RootID, anchor)
+	if !ok {
+		return nil
+	}
+	p := pattern.NewPattern(s.Node(summary.RootID).Label)
+	cur := p.Root
+	for _, sid := range chain[1:] {
+		cur = p.AddChild(cur, s.Node(sid).Label, pattern.Child)
+	}
+	var attach func(parent *pattern.Node, n *pattern.Node)
+	attach = func(parent *pattern.Node, n *pattern.Node) {
+		c := p.AddChild(parent, n.Label, n.Axis)
+		c.Pred = n.Pred
+		for _, ch := range n.Children {
+			if ch.Optional {
+				continue
+			}
+			attach(c, ch)
+		}
+	}
+	attach(cur, sub)
+	return p.Finish()
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/predicate"
+)
+
+// bottomPolicy controls when an optional pattern edge may bind ⊥ while
+// matching into a canonical tree. The two sides of the containment test
+// need opposite conservative defaults (both are sound):
+//
+//   - bottomUnlessForced (canonical-model generation): ⊥ is allowed unless
+//     the tree forces a match — a structural embedding whose every node's
+//     tree formula implies the pattern formula. Used by the maximality
+//     filter, it keeps every possibly-realizable ⊥ tuple.
+//   - bottomIfImpossible (container matching): ⊥ is allowed only when no
+//     structural embedding with jointly satisfiable formulas exists, so a
+//     container pattern never claims a ⊥ it might not produce.
+type bottomPolicy int
+
+const (
+	bottomUnlessForced bottomPolicy = iota
+	bottomIfImpossible
+)
+
+// match is one decorated embedding of a pattern into a canonical tree.
+type match struct {
+	// Slots holds the tree node bound to each pattern return node, -1 = ⊥.
+	Slots []int
+	// Box is the conjunction of pattern formulas over tree node variables.
+	Box predicate.Box
+	// Nest holds, per return slot, the grouping summary ids (nil for ⊥).
+	Nest [][]int
+	// Erased lists the optional subtrees the embedding bound to ⊥ and the
+	// tree node their parent was bound to.
+	Erased []ErasedSub
+}
+
+// matchPattern enumerates the embeddings of p into canonical tree t under
+// the given ⊥ policy. Pattern edges follow tree parent-child edges for /
+// and tree ancestry for //.
+func matchPattern(p *pattern.Pattern, t *Tree, pol bottomPolicy) []match {
+	if !p.Root.MatchesLabel(t.Label(0)) {
+		return nil
+	}
+	if t.Nodes[0].Pred.And(p.Root.Pred).IsFalse() {
+		return nil
+	}
+	assigns := enumMatch(p.Root, 0, t, pol)
+	out := make([]match, 0, len(assigns))
+	for _, a := range assigns {
+		m := match{
+			Slots: make([]int, p.Arity()),
+			Box:   predicate.NewBox(),
+			Nest:  make([][]int, p.Arity()),
+		}
+		ok := true
+		for _, n := range p.Nodes() {
+			x, bound := a[n.Index]
+			if !bound || x < 0 {
+				continue
+			}
+			if !n.Pred.IsTrue() {
+				m.Box = m.Box.Constrain(x, n.Pred)
+				if m.Box.IsEmpty() {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		for k, rn := range p.Returns() {
+			x, bound := a[rn.Index]
+			if !bound || x < 0 {
+				m.Slots[k] = -1
+				continue
+			}
+			m.Slots[k] = x
+			m.Nest[k] = nestOf(rn, a, t)
+		}
+		// Record erased optional subtrees: optional nodes bound ⊥ whose
+		// parent is bound.
+		for _, n := range p.Nodes() {
+			if n.Parent == nil || !n.Optional {
+				continue
+			}
+			if x, bound := a[n.Index]; bound && x < 0 {
+				if px, pb := a[n.Parent.Index]; pb && px >= 0 {
+					m.Erased = append(m.Erased, ErasedSub{Parent: px, Root: n})
+				}
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// nestOf computes the nesting sequence of a bound return node under an
+// assignment: the summary ids of the images of its ancestors whose
+// downward edge is nested, root-first.
+func nestOf(rn *pattern.Node, a map[int]int, t *Tree) []int {
+	var rev []int
+	for cur := rn; cur.Parent != nil; cur = cur.Parent {
+		if cur.Nested {
+			px := a[cur.Parent.Index]
+			rev = append(rev, t.Nodes[px].SID)
+		}
+	}
+	out := make([]int, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+// enumMatch returns the assignments (pattern index → tree node, -1 = ⊥)
+// for the pattern subtree rooted at n with n bound to tree node x.
+func enumMatch(n *pattern.Node, x int, t *Tree, pol bottomPolicy) []map[int]int {
+	results := []map[int]int{{n.Index: x}}
+	for _, c := range n.Children {
+		var childAssigns []map[int]int
+		for _, cand := range matchCandidates(c, x, t) {
+			childAssigns = append(childAssigns, enumMatch(c, cand, t, pol)...)
+		}
+		allowBottom := false
+		if len(childAssigns) == 0 {
+			if !c.Optional {
+				return nil
+			}
+			allowBottom = true
+		} else if c.Optional && pol == bottomUnlessForced && !forcedMatchExists(c, x, t) {
+			allowBottom = true
+		}
+		if allowBottom {
+			erased := map[int]int{}
+			markErased(c, erased)
+			childAssigns = append(childAssigns, erased)
+		}
+		merged := make([]map[int]int, 0, len(results)*len(childAssigns))
+		for _, r := range results {
+			for _, ca := range childAssigns {
+				m := make(map[int]int, len(r)+len(ca))
+				for k, v := range r {
+					m[k] = v
+				}
+				for k, v := range ca {
+					m[k] = v
+				}
+				merged = append(merged, m)
+			}
+		}
+		results = merged
+	}
+	return results
+}
+
+func markErased(n *pattern.Node, a map[int]int) {
+	a[n.Index] = -1
+	for _, c := range n.Children {
+		markErased(c, a)
+	}
+}
+
+// matchCandidates returns the tree nodes that pattern node c can bind under
+// parent binding x: label match, axis compatibility, and a jointly
+// satisfiable formula.
+func matchCandidates(c *pattern.Node, x int, t *Tree) []int {
+	var out []int
+	consider := func(y int) {
+		if !c.MatchesLabel(t.Label(y)) {
+			return
+		}
+		if t.Nodes[y].Pred.And(c.Pred).IsFalse() {
+			return
+		}
+		out = append(out, y)
+	}
+	if c.Axis == pattern.Child {
+		for _, y := range t.Nodes[x].Children {
+			consider(y)
+		}
+		return out
+	}
+	for _, y := range t.Descendants(x) {
+		consider(y)
+	}
+	return out
+}
+
+// forcedMatchExists reports whether the tree forces a match for the
+// pattern subtree rooted at c under parent binding x: a structural
+// embedding where every tree node's formula implies the pattern node's
+// formula (so every conforming document realizing the tree matches it).
+// Optional descendants of c are ignored — they cannot block the match.
+func forcedMatchExists(c *pattern.Node, x int, t *Tree) bool {
+	var forced func(n *pattern.Node, px int) bool
+	forced = func(n *pattern.Node, px int) bool {
+		var cands []int
+		if n.Axis == pattern.Child {
+			cands = t.Nodes[px].Children
+		} else {
+			cands = t.Descendants(px)
+		}
+		for _, y := range cands {
+			if !n.MatchesLabel(t.Label(y)) {
+				continue
+			}
+			if !t.Nodes[y].Pred.Implies(n.Pred) {
+				continue
+			}
+			ok := true
+			for _, cc := range n.Children {
+				if cc.Optional {
+					continue
+				}
+				if !forced(cc, y) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+		return false
+	}
+	return forced(c, x)
+}

@@ -1,0 +1,483 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/summary"
+)
+
+// RewriteOptions tunes Algorithm 1.
+type RewriteOptions struct {
+	Model ModelOptions
+	// MaxScansPerPlan bounds the number of view scans per join plan. The
+	// theoretical bound is (|q|-1)·|S| (Proposition 3.6); the default of 4
+	// covers the practical cases while keeping search tractable.
+	MaxScansPerPlan int
+	// MaxPlans bounds the working set M.
+	MaxPlans int
+	// MaxUnion bounds the size of unions tried in the union phase
+	// (Algorithm 1, lines 13-14).
+	MaxUnion int
+	// FirstOnly stops after the first equivalent rewriting.
+	FirstOnly bool
+	// MaxNavDepth bounds content-navigation view generation.
+	MaxNavDepth int
+	// DisableVirtualIDs turns off the navfID preprocessing.
+	DisableVirtualIDs bool
+	// MaxResults bounds the number of rewritings reported.
+	MaxResults int
+	// MaxExplored bounds the number of join merges attempted; the search
+	// stops (reporting what it found) once exhausted.
+	MaxExplored int
+}
+
+// DefaultRewriteOptions returns the defaults described above.
+func DefaultRewriteOptions() RewriteOptions {
+	return RewriteOptions{
+		Model:           DefaultModelOptions(),
+		MaxScansPerPlan: 4,
+		MaxPlans:        4000,
+		MaxUnion:        3,
+		MaxNavDepth:     8,
+		MaxResults:      64,
+		MaxExplored:     200000,
+	}
+}
+
+// RewriteResult reports the rewritings found and the timing/pruning
+// statistics the paper's Figure 15 plots.
+type RewriteResult struct {
+	// Rewritings are the S-equivalent plans found, deduplicated up to
+	// algebraic equivalence (identical canonical models), in discovery
+	// order. Each plan's output schema matches the query's return nodes.
+	Rewritings []*Plan
+	// Setup is the preprocessing time: view preparation, pruning and the
+	// query's canonical model.
+	Setup time.Duration
+	// First is the time from start until the first rewriting (zero when
+	// none was found); Total is the overall time.
+	First, Total time.Duration
+	// ViewsTotal / ViewsKept count views before and after Proposition 3.4
+	// pruning (derived navigation views included).
+	ViewsTotal, ViewsKept int
+	// PlansExplored counts the plan-model pairs examined.
+	PlansExplored int
+}
+
+// entry is one plan–model pair of the working set.
+type entry struct {
+	plan  *Plan
+	model []*Tree
+	key   string
+	// slotP caches, per slot, the summary nodes the slot can bind: the
+	// cheap compatibility pre-check for join candidates.
+	slotP []map[int]bool
+	// reduced caches the Proposition 3.5 redundancy key.
+	reduced string
+}
+
+func newEntry(plan *Plan, model []*Tree) entry {
+	e := entry{plan: plan, model: model, key: modelKey(model)}
+	e.reduced = reducedKey(model)
+	n := len(plan.OutSlots())
+	e.slotP = make([]map[int]bool, n)
+	for j := 0; j < n; j++ {
+		e.slotP[j] = slotPaths(model, j)
+	}
+	return e
+}
+
+// Rewrite runs Algorithm 1: it finds the plans over the given views that
+// are S-equivalent to q, using ⋈=, ⋈≺, ⋈≺≺ (plain and nested), selections,
+// projections, unnest/group-by nesting adjustments, and unions.
+func Rewrite(q *pattern.Pattern, views []*View, s *summary.Summary, opts RewriteOptions) (*RewriteResult, error) {
+	if opts.MaxScansPerPlan <= 0 {
+		opts = DefaultRewriteOptions()
+	}
+	start := time.Now()
+	res := &RewriteResult{}
+
+	qModel, err := ModelWith(q, s, opts.Model)
+	if err != nil {
+		return nil, err
+	}
+	if len(qModel) == 0 {
+		return nil, fmt.Errorf("core: query is unsatisfiable under the summary")
+	}
+	qPaths := pattern.AssociatedPaths(q, s)
+
+	prepared := prepareViewSet(views, s, opts)
+	res.ViewsTotal = len(prepared)
+	kept := pruneViews(prepared, q, s)
+	res.ViewsKept = len(kept)
+
+	// Build the initial plan–model pairs (M0), most-relevant views first:
+	// the left-deep search then reaches promising combinations before the
+	// exploration budget runs out.
+	var m0 []entry
+	for _, v := range kept {
+		model, err := ModelWith(v.Pattern, s, opts.Model)
+		if err != nil {
+			return nil, err
+		}
+		if len(model) == 0 {
+			continue // S-unsatisfiable view
+		}
+		m0 = append(m0, newEntry(Scan(v), model))
+	}
+	sortByRelevance(m0, q, qPaths)
+	res.Setup = time.Since(start)
+
+	rw := &rewriter{
+		q: q, qModel: qModel, qPaths: qPaths, s: s, opts: opts,
+		seen: map[string]bool{}, adaptedSeen: map[string]bool{},
+		resultKeys: map[string]bool{}, matchCache: map[string]bool{},
+		res: res, start: start,
+	}
+
+	// Seed the working set and test the single-view plans.
+	work := append([]entry(nil), m0...)
+	for _, e := range m0 {
+		rw.seen[e.key] = true
+		rw.consider(e)
+		if rw.done() {
+			res.Total = time.Since(start)
+			return res, nil
+		}
+	}
+
+	// Left-deep join development (Algorithm 1, lines 2-11).
+	for i := 0; i < len(work); i++ {
+		li := work[i]
+		if li.plan.NumScans() >= opts.MaxScansPerPlan {
+			continue
+		}
+		for _, lj := range m0 {
+			for _, e := range rw.joinCandidates(li, lj) {
+				if rw.seen[e.key] {
+					continue
+				}
+				// Proposition 3.5: a join that adds nothing to either
+				// child opens no new rewriting possibilities.
+				if e.reduced == li.reduced || e.reduced == lj.reduced {
+					continue
+				}
+				rw.seen[e.key] = true
+				rw.consider(e)
+				if rw.done() {
+					res.Total = time.Since(start)
+					return res, nil
+				}
+				if len(work) < opts.MaxPlans {
+					work = append(work, e)
+				}
+			}
+		}
+	}
+
+	// Union phase (Algorithm 1, lines 13-14).
+	rw.unionPhase()
+	res.Total = time.Since(start)
+	return res, nil
+}
+
+func prepareViewSet(views []*View, s *summary.Summary, opts RewriteOptions) []*View {
+	if opts.DisableVirtualIDs {
+		stripped := make([]*View, len(views))
+		for i, v := range views {
+			nv := *v
+			nv.DerivableParentIDs = false
+			stripped[i] = &nv
+		}
+		views = stripped
+	}
+	return prepareViews(views, s, opts.MaxNavDepth)
+}
+
+// sortByRelevance orders entries by how many query return slots their
+// slots can serve (paths overlap and attributes suffice), ties broken by
+// smaller canonical models.
+func sortByRelevance(m0 []entry, q *pattern.Pattern, qPaths [][]int) {
+	score := func(e entry) int {
+		total := 0
+		for k, rn := range q.Returns() {
+			_ = k
+			qSet := map[int]bool{}
+			for _, sid := range qPaths[rn.Index] {
+				qSet[sid] = true
+			}
+			for j, ps := range e.plan.OutSlots() {
+				if rn.Attrs&^ps.Attrs != 0 {
+					continue
+				}
+				hit := false
+				for sid := range e.slotP[j] {
+					if qSet[sid] {
+						hit = true
+						break
+					}
+				}
+				if hit {
+					total++
+					break
+				}
+			}
+		}
+		return total
+	}
+	scores := make(map[*Plan]int, len(m0))
+	for _, e := range m0 {
+		scores[e.plan] = score(e)
+	}
+	sort.SliceStable(m0, func(i, j int) bool {
+		si, sj := scores[m0[i].plan], scores[m0[j].plan]
+		if si != sj {
+			return si > sj
+		}
+		return len(m0[i].model) < len(m0[j].model)
+	})
+}
+
+type rewriter struct {
+	q      *pattern.Pattern
+	qModel []*Tree
+	qPaths [][]int
+	s      *summary.Summary
+	opts   RewriteOptions
+
+	seen        map[string]bool
+	adaptedSeen map[string]bool
+	resultKeys  map[string]bool
+	matchCache  map[string]bool
+	res         *RewriteResult
+	start       time.Time
+
+	// partials are adapted plans contained in q but not equivalent,
+	// kept for the union phase.
+	partials []entry
+}
+
+func (rw *rewriter) done() bool {
+	if len(rw.res.Rewritings) == 0 {
+		return false
+	}
+	return rw.opts.FirstOnly || len(rw.res.Rewritings) >= rw.opts.MaxResults
+}
+
+// joinCandidates develops all joins of li (left) with lj (right), using
+// the cached slot path sets as a cheap compatibility pre-check.
+func (rw *rewriter) joinCandidates(li, lj entry) []entry {
+	var out []entry
+	ls, rs := li.plan.OutSlots(), lj.plan.OutSlots()
+	for lslot, lps := range ls {
+		if !lps.Attrs.Has(pattern.AttrID) {
+			continue
+		}
+		for rslot, rps := range rs {
+			if !rps.Attrs.Has(pattern.AttrID) {
+				continue
+			}
+			for _, kind := range []JoinKind{JoinID, JoinParent, JoinAncestor} {
+				if !rw.joinFeasible(li.slotP[lslot], lj.slotP[rslot], kind) {
+					continue
+				}
+				for _, variant := range joinVariants(kind, lj.plan) {
+					if rw.exhausted() {
+						return out
+					}
+					rw.res.PlansExplored++
+					plan := NewJoin(kind, variant.nested, li.plan, lslot, lj.plan, rslot)
+					plan.Outer = variant.outer
+					model, err := joinModels(li.model, lj.model, plan, rw.s, rw.opts.Model)
+					if err != nil || len(model) == 0 {
+						continue
+					}
+					out = append(out, newEntry(plan, model))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// joinFeasible checks whether any summary-node pair of the two slots can
+// satisfy the join predicate.
+func (rw *rewriter) joinFeasible(lp, rp map[int]bool, kind JoinKind) bool {
+	switch kind {
+	case JoinID:
+		for x := range lp {
+			if rp[x] {
+				return true
+			}
+		}
+	case JoinParent:
+		for y := range rp {
+			if lp[rw.s.Node(y).Parent] {
+				return true
+			}
+		}
+	case JoinAncestor:
+		for x := range lp {
+			for y := range rp {
+				if rw.s.IsAncestor(x, y) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// joinVariants lists the nested/outer combinations worth trying: nesting
+// never applies to same-node joins, and outer joins only help when the
+// right side is a scan (the only shape with an exact ⊥ probe).
+func joinVariants(kind JoinKind, right *Plan) []struct{ nested, outer bool } {
+	variants := []struct{ nested, outer bool }{{false, false}}
+	if kind != JoinID {
+		variants = append(variants, struct{ nested, outer bool }{true, false})
+		if right.Op == OpScan {
+			variants = append(variants,
+				struct{ nested, outer bool }{false, true},
+				struct{ nested, outer bool }{true, true})
+		}
+	}
+	return variants
+}
+
+func (rw *rewriter) exhausted() bool {
+	return rw.opts.MaxExplored > 0 && rw.res.PlansExplored >= rw.opts.MaxExplored
+}
+
+// consider tests one plan–model pair against the query, with the slot
+// selection of Proposition 3.7 and the Section 4.6 adaptations.
+func (rw *rewriter) consider(e entry) {
+	adapted := rw.adaptToQuery(e)
+	for _, a := range adapted {
+		if rw.adaptedSeen[a.key] {
+			continue
+		}
+		rw.adaptedSeen[a.key] = true
+		inQ := planContainedInQueryCached(a.model, rw.q, rw.matchCache)
+		if !inQ {
+			continue
+		}
+		if queryContainedInPlan(rw.qModel, a.model) {
+			rw.emit(a)
+			if rw.done() {
+				return
+			}
+		} else {
+			rw.partials = append(rw.partials, a)
+		}
+	}
+}
+
+func (rw *rewriter) emit(a entry) {
+	if rw.resultKeys[a.key] {
+		return
+	}
+	rw.resultKeys[a.key] = true
+	if len(rw.res.Rewritings) == 0 {
+		rw.res.First = time.Since(rw.start)
+	}
+	rw.res.Rewritings = append(rw.res.Rewritings, a.plan)
+}
+
+// unionPhase finds minimal unions of partial plans equivalent to q.
+func (rw *rewriter) unionPhase() {
+	if rw.done() || len(rw.partials) == 0 {
+		return
+	}
+	n := len(rw.partials)
+	if n > 24 {
+		n = 24 // keep the subset enumeration bounded
+	}
+	maxK := rw.opts.MaxUnion
+	var successful [][]int
+	var idx []int
+	var try func(startAt, k int)
+	try = func(startAt, k int) {
+		if rw.done() {
+			return
+		}
+		if len(idx) >= 2 {
+			if !rw.supersetOf(successful, idx) {
+				var parts []*Plan
+				var model []*Tree
+				byKey := map[string]*Tree{}
+				for _, i := range idx {
+					parts = append(parts, rw.partials[i].plan)
+					for _, t := range rw.partials[i].model {
+						byKey[t.Key()] = t
+					}
+				}
+				model = sortedTrees(byKey)
+				if queryContainedInPlan(rw.qModel, model) {
+					u := &Plan{Op: OpUnion, Parts: parts}
+					successful = append(successful, append([]int(nil), idx...))
+					rw.emit(entry{plan: u, model: model, key: modelKey(model)})
+				}
+			}
+		}
+		if len(idx) == k {
+			return
+		}
+		for i := startAt; i < n; i++ {
+			idx = append(idx, i)
+			try(i+1, k)
+			idx = idx[:len(idx)-1]
+		}
+	}
+	for k := 2; k <= maxK && !rw.done(); k++ {
+		idx = idx[:0]
+		try(0, k)
+	}
+}
+
+// supersetOf reports whether idx is a superset of an already successful
+// subset (those unions would be non-minimal).
+func (rw *rewriter) supersetOf(successful [][]int, idx []int) bool {
+	in := map[int]bool{}
+	for _, i := range idx {
+		in[i] = true
+	}
+	for _, s := range successful {
+		all := true
+		for _, i := range s {
+			if !in[i] {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// reducedKey is the Proposition 3.5 comparison key: the canonical model
+// with duplicate slots (same node, attrs, nesting) collapsed, so a join
+// that merely re-derives one child is recognized as redundant.
+func reducedKey(model []*Tree) string {
+	byKey := map[string]*Tree{}
+	for _, t := range model {
+		r := t.Clone()
+		seen := map[string]bool{}
+		var slots []Slot
+		for _, sl := range r.Slots {
+			k := fmt.Sprintf("%d/%v/%v", sl.Node, sl.Attrs, sl.Nest)
+			if !seen[k] {
+				seen[k] = true
+				slots = append(slots, sl)
+			}
+		}
+		r.Slots = slots
+		r.key = ""
+		byKey[r.Key()] = r
+	}
+	return modelKey(sortedTrees(byKey))
+}

@@ -1,0 +1,382 @@
+// Package core implements the paper's primary contribution: the canonical
+// model construction (Sections 2.4, 4.1–4.5), tree pattern containment
+// under Dataguide constraints (Propositions 3.1, 3.2, 4.1, 4.2), and
+// view-based rewriting (Algorithm 1 plus the Section 4.6 extensions).
+package core
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/predicate"
+	"xmlviews/internal/summary"
+)
+
+// Tree is a canonical tree: a labeled tree whose every node is tagged with
+// a summary node (its path) and decorated with a value formula. Tree edges
+// always connect a summary node to one of its summary children, so the path
+// from the root to any tree node spells that node's rooted path.
+//
+// Unlike the paper's initial definition (which presents canonical trees as
+// S-subtrees), a Tree may contain several sibling nodes tagged with the
+// same summary node: this is the general form required for decorated
+// patterns (Section 4.2) and for the join merges of the rewriting algorithm
+// (Figure 5), and it is what makes canonical trees exact witness documents.
+type Tree struct {
+	Sum   *summary.Summary
+	Nodes []TNode
+	Slots []Slot
+	// Erased records the optional pattern subtrees that were erased (bound
+	// to ⊥) when this tree was built, together with the tree node their
+	// parent was bound to. Containment needs them: a container pattern may
+	// only claim a ⊥ slot if its own erased subtree is at least as easy to
+	// match as the one recorded here (see erasedCompatible).
+	Erased []ErasedSub
+
+	key string // cached canonical form
+}
+
+// ErasedSub is one erased optional subtree.
+type ErasedSub struct {
+	Parent int           // tree node the subtree's parent pattern node was bound to
+	Root   *pattern.Node // the optional pattern child at the erased edge
+}
+
+// hasSlotIn reports whether the erased subtree contains a return node.
+func (e ErasedSub) hasSlotIn() bool {
+	found := false
+	var walk func(n *pattern.Node)
+	walk = func(n *pattern.Node) {
+		if n.IsReturn() {
+			found = true
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(e.Root)
+	return found
+}
+
+// TNode is one canonical tree node.
+type TNode struct {
+	SID      int // summary node tag
+	Parent   int // tree node index; -1 for the root
+	Children []int
+	Pred     predicate.Formula
+}
+
+// Slot is one return position of a canonical tree: the tree node bound to
+// the corresponding pattern return node (or ⊥), the attributes stored
+// there, and the nesting sequence (Section 4.5) as summary node ids.
+type Slot struct {
+	Node  int // tree node index, or -1 for ⊥
+	Attrs pattern.Attrs
+	Nest  []int // summary ids of the grouping ancestors; nil for ⊥ slots
+}
+
+// NewTree creates a canonical tree with a root tagged by the summary root.
+func NewTree(s *summary.Summary) *Tree {
+	t := &Tree{Sum: s}
+	t.Nodes = append(t.Nodes, TNode{SID: summary.RootID, Parent: -1, Pred: predicate.True()})
+	return t
+}
+
+// AddNode appends a child node under parent with the given summary tag and
+// formula, returning its index. The tag must be a summary child of the
+// parent's tag.
+func (t *Tree) AddNode(parent, sid int, pred predicate.Formula) int {
+	if t.Sum.Node(sid).Parent != t.Nodes[parent].SID {
+		panic("core: AddNode violates summary edge structure")
+	}
+	idx := len(t.Nodes)
+	t.Nodes = append(t.Nodes, TNode{SID: sid, Parent: parent, Pred: pred})
+	t.Nodes[parent].Children = append(t.Nodes[parent].Children, idx)
+	t.key = ""
+	return idx
+}
+
+// AddChain appends the chain of summary nodes leading from the parent tree
+// node's tag down to summary node sid (exclusive of the parent's tag),
+// returning the index of the final node, which is decorated with pred;
+// intermediate nodes get T.
+func (t *Tree) AddChain(parent, sid int, pred predicate.Formula) int {
+	chain, ok := t.Sum.ChainBetween(t.Nodes[parent].SID, sid)
+	if !ok {
+		panic("core: AddChain target not a descendant of parent tag")
+	}
+	cur := parent
+	for i, s := range chain[1:] {
+		f := predicate.True()
+		if i == len(chain)-2 {
+			f = pred
+		}
+		cur = t.AddNode(cur, s, f)
+	}
+	return cur
+}
+
+// Size returns the number of tree nodes.
+func (t *Tree) Size() int { return len(t.Nodes) }
+
+// Arity returns the number of return slots.
+func (t *Tree) Arity() int { return len(t.Slots) }
+
+// Depth returns the tree depth of node i (root = 1).
+func (t *Tree) Depth(i int) int {
+	d := 0
+	for ; i >= 0; i = t.Nodes[i].Parent {
+		d++
+	}
+	return d
+}
+
+// AncestorAtDepth returns the ancestor-or-self of node i at tree depth d
+// (root = 1), or -1.
+func (t *Tree) AncestorAtDepth(i, d int) int {
+	cur := i
+	for cd := t.Depth(i); cd > d; cd-- {
+		cur = t.Nodes[cur].Parent
+	}
+	if cur >= 0 && t.Depth(cur) == d {
+		return cur
+	}
+	return -1
+}
+
+// IsAncestor reports whether tree node a is a proper ancestor of b.
+func (t *Tree) IsAncestor(a, b int) bool {
+	for cur := t.Nodes[b].Parent; cur >= 0; cur = t.Nodes[cur].Parent {
+		if cur == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Label returns the label of tree node i (its summary tag's label).
+func (t *Tree) Label(i int) string { return t.Sum.Node(t.Nodes[i].SID).Label }
+
+// Box returns the tree's formula conjunction φ_te as a box over tree node
+// indexes; nodes with T are omitted.
+func (t *Tree) Box() predicate.Box {
+	b := predicate.NewBox()
+	for i, n := range t.Nodes {
+		if !n.Pred.IsTrue() {
+			b = b.Constrain(i, n.Pred)
+		}
+	}
+	return b
+}
+
+// Satisfiable reports whether no node formula is F.
+func (t *Tree) Satisfiable() bool {
+	for _, n := range t.Nodes {
+		if n.Pred.IsFalse() {
+			return false
+		}
+	}
+	return true
+}
+
+// Descendants returns the proper descendants of tree node i in preorder.
+func (t *Tree) Descendants(i int) []int {
+	var out []int
+	var walk func(int)
+	walk = func(cur int) {
+		for _, c := range t.Nodes[cur].Children {
+			out = append(out, c)
+			walk(c)
+		}
+	}
+	walk(i)
+	return out
+}
+
+// Key returns a canonical serialization of the tree: structure, tags,
+// formulas, slot positions, attributes and nesting sequences. Two trees
+// with equal keys are isomorphic with identical decorations, which is the
+// equality used for canonical-model dedup and for the redundant-join check
+// of Proposition 3.5.
+func (t *Tree) Key() string {
+	if t.key != "" {
+		return t.key
+	}
+	slotsAt := map[int][]int{}
+	for k, sl := range t.Slots {
+		if sl.Node >= 0 {
+			slotsAt[sl.Node] = append(slotsAt[sl.Node], k)
+		}
+	}
+	var render func(i int) string
+	render = func(i int) string {
+		n := t.Nodes[i]
+		var b strings.Builder
+		b.WriteString(strconv.Itoa(n.SID))
+		if !n.Pred.IsTrue() {
+			b.WriteByte('{')
+			b.WriteString(n.Pred.String())
+			b.WriteByte('}')
+		}
+		if ks := slotsAt[i]; len(ks) > 0 {
+			b.WriteByte('[')
+			for j, k := range ks {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.Itoa(k))
+			}
+			b.WriteByte(']')
+		}
+		if len(n.Children) > 0 {
+			parts := make([]string, 0, len(n.Children))
+			for _, c := range n.Children {
+				parts = append(parts, render(c))
+			}
+			sort.Strings(parts)
+			b.WriteByte('(')
+			b.WriteString(strings.Join(parts, " "))
+			b.WriteByte(')')
+		}
+		return b.String()
+	}
+	var b strings.Builder
+	b.WriteString(render(0))
+	for _, sl := range t.Slots {
+		b.WriteByte(';')
+		if sl.Node < 0 {
+			b.WriteByte('~')
+		}
+		b.WriteString(sl.Attrs.String())
+		b.WriteByte(':')
+		for _, s := range sl.Nest {
+			b.WriteString(strconv.Itoa(s))
+			b.WriteByte('.')
+		}
+	}
+	erased := make([]string, 0, len(t.Erased))
+	for _, e := range t.Erased {
+		erased = append(erased, strconv.Itoa(e.Parent)+"@"+subtreeSig(e.Root))
+	}
+	sort.Strings(erased)
+	for _, e := range erased {
+		b.WriteByte('!')
+		b.WriteString(e)
+	}
+	t.key = b.String()
+	return t.key
+}
+
+// subtreeSig serializes a pattern subtree (structure, labels, predicates,
+// axes) for dedup keys.
+func subtreeSig(n *pattern.Node) string {
+	var b strings.Builder
+	b.WriteString(n.Axis.String())
+	b.WriteString(n.Label)
+	if !n.Pred.IsTrue() {
+		b.WriteByte('{')
+		b.WriteString(n.Pred.String())
+		b.WriteByte('}')
+	}
+	if n.Optional {
+		b.WriteByte('?')
+	}
+	if len(n.Children) > 0 {
+		parts := make([]string, 0, len(n.Children))
+		for _, c := range n.Children {
+			parts = append(parts, subtreeSig(c))
+		}
+		sort.Strings(parts)
+		b.WriteByte('(')
+		b.WriteString(strings.Join(parts, " "))
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// String renders the tree with labels for debugging.
+func (t *Tree) String() string {
+	var render func(i int) string
+	render = func(i int) string {
+		n := t.Nodes[i]
+		s := t.Label(i)
+		for k, sl := range t.Slots {
+			if sl.Node == i {
+				s += "#" + strconv.Itoa(k)
+			}
+		}
+		if !n.Pred.IsTrue() {
+			s += "{" + n.Pred.String() + "}"
+		}
+		if len(n.Children) > 0 {
+			parts := make([]string, 0, len(n.Children))
+			for _, c := range n.Children {
+				parts = append(parts, render(c))
+			}
+			s += "(" + strings.Join(parts, " ") + ")"
+		}
+		return s
+	}
+	out := render(0)
+	for k, sl := range t.Slots {
+		if sl.Node < 0 {
+			out += " #" + strconv.Itoa(k) + "=⊥"
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	out := &Tree{Sum: t.Sum, key: t.key}
+	out.Nodes = make([]TNode, len(t.Nodes))
+	for i, n := range t.Nodes {
+		cn := n
+		cn.Children = append([]int(nil), n.Children...)
+		out.Nodes[i] = cn
+	}
+	out.Slots = make([]Slot, len(t.Slots))
+	for i, sl := range t.Slots {
+		cs := sl
+		cs.Nest = append([]int(nil), sl.Nest...)
+		out.Slots[i] = cs
+	}
+	out.Erased = append([]ErasedSub(nil), t.Erased...)
+	return out
+}
+
+// canonNest maps every element of a nesting sequence to the top of its
+// one-to-one chain: if the edge into a summary node is one-to-one, nesting
+// under it is equivalent to nesting under its parent (the relaxation of
+// Proposition 4.2, condition 2(b)).
+func canonNest(s *summary.Summary, nest []int) []int {
+	out := make([]int, len(nest))
+	for i, id := range nest {
+		cur := id
+		for cur != summary.RootID && s.Node(cur).OneToOne {
+			cur = s.Node(cur).Parent
+		}
+		out[i] = cur
+	}
+	return out
+}
+
+// nestEqual compares two nesting sequences modulo one-to-one edges. A nil
+// p-side sequence (⊥ slot) matches anything.
+func nestEqual(s *summary.Summary, a, b []int, aIsBottom bool) bool {
+	if aIsBottom {
+		return true
+	}
+	ca, cb := canonNest(s, a), canonNest(s, b)
+	if len(ca) != len(cb) {
+		return false
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}

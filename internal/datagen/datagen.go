@@ -1,0 +1,430 @@
+// Package datagen synthesizes the documents of the paper's evaluation
+// (Table 1): XMark auction documents at several scales, two DBLP snapshots,
+// and Shakespeare / Nasa / SwissProt analogs.
+//
+// The real files are not available offline, so each generator reproduces
+// the *path structure* that drives the algorithms: the summary shape and
+// size, XMark's recursive parlist/listitem nesting, the formatting tags
+// (bold, keyword, emph) that blow up pattern canonical models, and the
+// strong / one-to-one edges the rewriting exploits. Absolute byte counts
+// differ from the paper; summary statistics have the same shape.
+//
+// All generators are deterministic for a given seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xmlviews/internal/xmltree"
+)
+
+// ApproxBytes estimates the serialized size of a document without
+// serializing it: tags, brackets and values.
+func ApproxBytes(doc *xmltree.Document) int {
+	total := 0
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		total += 2*len(n.Label) + 5 + len(n.Value)
+		return true
+	})
+	return total
+}
+
+// XMark generates an XMark-like auction document. scale is roughly the
+// number of items per region; the paper's XMark11/111/233 documents map to
+// growing scales. Deeper parlist/listitem recursion unlocks at larger
+// scales, which is what makes the real XMark summary grow slightly (536 →
+// 548 nodes) as documents grow.
+func XMark(scale int, seed int64) *xmltree.Document {
+	r := rand.New(rand.NewSource(seed))
+	g := &xmarkGen{r: r, maxParlistDepth: 2}
+	if scale >= 20 {
+		g.maxParlistDepth = 3
+	}
+	doc := xmltree.NewDocument("site")
+
+	regions := doc.Root.AddChild("regions", "")
+	for _, region := range []string{"africa", "asia", "australia", "europe", "namerica", "samerica"} {
+		rn := regions.AddChild(region, "")
+		for i := 0; i < scale; i++ {
+			g.item(rn, i, i == 0)
+		}
+	}
+
+	categories := doc.Root.AddChild("categories", "")
+	for i := 0; i < 1+scale/4; i++ {
+		c := categories.AddChild("category", "")
+		c.AddChild("@id", fmt.Sprintf("category%d", i))
+		c.AddChild("name", g.word())
+		g.description(c, 2, i == 0)
+	}
+
+	catgraph := doc.Root.AddChild("catgraph", "")
+	for i := 0; i < scale/2+1; i++ {
+		e := catgraph.AddChild("edge", "")
+		e.AddChild("@from", fmt.Sprintf("category%d", g.r.Intn(scale/4+1)))
+		e.AddChild("@to", fmt.Sprintf("category%d", g.r.Intn(scale/4+1)))
+	}
+
+	people := doc.Root.AddChild("people", "")
+	for i := 0; i < scale*2; i++ {
+		g.person(people, i, i == 0)
+	}
+
+	open := doc.Root.AddChild("open_auctions", "")
+	for i := 0; i < scale*2; i++ {
+		g.openAuction(open, i, i == 0)
+	}
+
+	closed := doc.Root.AddChild("closed_auctions", "")
+	for i := 0; i < scale; i++ {
+		g.closedAuction(closed, i, i == 0)
+	}
+	return doc
+}
+
+type xmarkGen struct {
+	r               *rand.Rand
+	maxParlistDepth int
+}
+
+var words = []string{
+	"Columbus", "fountain", "pen", "Invincia", "Monteverdi", "stainless",
+	"steel", "gold", "plated", "italic", "nib", "vintage", "rare", "lot",
+	"mint", "boxed", "antique", "silver", "walnut", "ebony",
+}
+
+func (g *xmarkGen) word() string { return words[g.r.Intn(len(words))] }
+
+func (g *xmarkGen) text(parent *xmltree.Node) {
+	g.textSat(parent, false)
+}
+
+func (g *xmarkGen) textSat(parent *xmltree.Node, saturate bool) {
+	t := parent.AddChild("text", g.word()+" "+g.word())
+	// Formatting tags appear under text with some probability; they make
+	// the summary bushy the way the real XMark DTD does.
+	for _, tag := range []string{"bold", "keyword", "emph"} {
+		if saturate || g.r.Float64() < 0.5 {
+			t.AddChild(tag, g.word())
+		}
+	}
+}
+
+func (g *xmarkGen) parlist(parent *xmltree.Node, depth, maxDepth int) {
+	pl := parent.AddChild("parlist", "")
+	n := 1 + g.r.Intn(2)
+	for i := 0; i < n; i++ {
+		li := pl.AddChild("listitem", "")
+		if depth < maxDepth && g.r.Float64() < 0.4 {
+			g.parlist(li, depth+1, maxDepth) // the DTD's unbounded recursion, shallow in practice
+		} else {
+			g.text(li)
+		}
+	}
+}
+
+// saturatedParlist deterministically produces the full recursion chain down
+// to maxDepth with every formatting tag, so that summaries are stable: the
+// first item of each container exercises every path its scale allows.
+func (g *xmarkGen) saturatedParlist(parent *xmltree.Node, depth, maxDepth int) {
+	pl := parent.AddChild("parlist", "")
+	li := pl.AddChild("listitem", "")
+	t := li.AddChild("text", g.word())
+	t.AddChild("bold", g.word())
+	t.AddChild("keyword", g.word())
+	t.AddChild("emph", g.word())
+	if depth < maxDepth {
+		li2 := pl.AddChild("listitem", "")
+		g.saturatedParlist(li2, depth+1, maxDepth)
+	}
+}
+
+func (g *xmarkGen) description(parent *xmltree.Node, maxDepth int, saturate bool) {
+	d := parent.AddChild("description", "")
+	if saturate {
+		g.saturatedParlist(d, 1, maxDepth)
+		return
+	}
+	if g.r.Float64() < 0.5 {
+		g.parlist(d, 1, maxDepth)
+	} else {
+		g.text(d)
+	}
+}
+
+func (g *xmarkGen) item(region *xmltree.Node, i int, saturate bool) {
+	it := region.AddChild("item", "")
+	it.AddChild("@id", fmt.Sprintf("item%d", i))
+	it.AddChild("location", "United States")
+	it.AddChild("quantity", fmt.Sprintf("%d", 1+g.r.Intn(5)))
+	it.AddChild("name", g.word()+" "+g.word())
+	it.AddChild("payment", "Cash")
+	g.description(it, g.maxParlistDepth, saturate)
+	it.AddChild("shipping", "Will ship internationally")
+	mb := it.AddChild("mailbox", "")
+	mails := g.r.Intn(3)
+	if saturate {
+		mails = 1
+	}
+	for m := 0; m < mails; m++ {
+		mail := mb.AddChild("mail", "")
+		mail.AddChild("from", g.word()+"@example.com")
+		mail.AddChild("to", g.word()+"@example.org")
+		mail.AddChild("date", fmt.Sprintf("%02d/%02d/2006", 1+g.r.Intn(12), 1+g.r.Intn(28)))
+		g.textSat(mail, saturate)
+	}
+	if saturate || g.r.Float64() < 0.5 {
+		it.AddChild("incategory", fmt.Sprintf("category%d", g.r.Intn(4)))
+	}
+}
+
+func (g *xmarkGen) person(people *xmltree.Node, i int, saturate bool) {
+	p := people.AddChild("person", "")
+	p.AddChild("@id", fmt.Sprintf("person%d", i))
+	p.AddChild("name", g.word()+" "+g.word())
+	p.AddChild("emailaddress", fmt.Sprintf("mailto:p%d@example.com", i))
+	if saturate || g.r.Float64() < 0.6 {
+		p.AddChild("phone", fmt.Sprintf("+1 (%d) 555-01%02d", 100+g.r.Intn(900), g.r.Intn(100)))
+	}
+	if saturate || g.r.Float64() < 0.7 {
+		a := p.AddChild("address", "")
+		a.AddChild("street", fmt.Sprintf("%d %s St", 1+g.r.Intn(99), g.word()))
+		a.AddChild("city", g.word())
+		a.AddChild("country", "United States")
+		a.AddChild("zipcode", fmt.Sprintf("%05d", g.r.Intn(100000)))
+	}
+	if saturate || g.r.Float64() < 0.4 {
+		w := p.AddChild("watches", "")
+		for j := 0; j <= g.r.Intn(3); j++ {
+			w.AddChild("watch", fmt.Sprintf("open_auction%d", g.r.Intn(20)))
+		}
+	}
+	if saturate || g.r.Float64() < 0.3 {
+		pr := p.AddChild("profile", "")
+		pr.AddChild("interest", fmt.Sprintf("category%d", g.r.Intn(4)))
+		pr.AddChild("income", fmt.Sprintf("%d", 20000+g.r.Intn(80000)))
+	}
+}
+
+func (g *xmarkGen) openAuction(open *xmltree.Node, i int, saturate bool) {
+	oa := open.AddChild("open_auction", "")
+	oa.AddChild("@id", fmt.Sprintf("open_auction%d", i))
+	oa.AddChild("initial", fmt.Sprintf("%.2f", 1+g.r.Float64()*100))
+	bidders := g.r.Intn(3)
+	if saturate {
+		bidders = 1
+	}
+	for b := 0; b < bidders; b++ {
+		bd := oa.AddChild("bidder", "")
+		bd.AddChild("date", "04/06/2006")
+		bd.AddChild("time", "10:14:32")
+		bd.AddChild("increase", fmt.Sprintf("%.2f", 1+g.r.Float64()*10))
+		bd.AddChild("personref", fmt.Sprintf("person%d", g.r.Intn(40)))
+	}
+	oa.AddChild("current", fmt.Sprintf("%.2f", 1+g.r.Float64()*200))
+	oa.AddChild("itemref", fmt.Sprintf("item%d", g.r.Intn(20)))
+	oa.AddChild("seller", fmt.Sprintf("person%d", g.r.Intn(40)))
+	an := oa.AddChild("annotation", "")
+	an.AddChild("author", fmt.Sprintf("person%d", g.r.Intn(40)))
+	g.description(an, 2, saturate)
+	oa.AddChild("quantity", "1")
+	oa.AddChild("type", "Regular")
+	iv := oa.AddChild("interval", "")
+	iv.AddChild("start", "01/01/2006")
+	iv.AddChild("end", "12/31/2006")
+}
+
+func (g *xmarkGen) closedAuction(closed *xmltree.Node, i int, saturate bool) {
+	ca := closed.AddChild("closed_auction", "")
+	ca.AddChild("seller", fmt.Sprintf("person%d", g.r.Intn(40)))
+	ca.AddChild("buyer", fmt.Sprintf("person%d", g.r.Intn(40)))
+	ca.AddChild("itemref", fmt.Sprintf("item%d", g.r.Intn(20)))
+	ca.AddChild("price", fmt.Sprintf("%.2f", 1+g.r.Float64()*300))
+	ca.AddChild("date", "05/05/2006")
+	ca.AddChild("quantity", "1")
+	ca.AddChild("type", "Regular")
+	if saturate || g.r.Float64() < 0.6 {
+		an := ca.AddChild("annotation", "")
+		an.AddChild("author", fmt.Sprintf("person%d", g.r.Intn(40)))
+		g.description(an, 2, saturate)
+	}
+}
+
+// DBLP generates a DBLP-like bibliography. newer=true adds the element
+// kinds that appeared between the 2002 and 2005 snapshots, growing the
+// summary the way Table 1 shows (145 → 159 nodes).
+func DBLP(scale int, seed int64, newer bool) *xmltree.Document {
+	r := rand.New(rand.NewSource(seed))
+	doc := xmltree.NewDocument("dblp")
+	kinds := []string{"article", "inproceedings", "proceedings", "book", "incollection", "phdthesis", "mastersthesis", "www"}
+	for i := 0; i < scale*8; i++ {
+		kind := kinds[r.Intn(len(kinds))]
+		rec := doc.Root.AddChild(kind, "")
+		rec.AddChild("@key", fmt.Sprintf("%s/%d", kind, i))
+		for a := 0; a <= r.Intn(3); a++ {
+			rec.AddChild("author", words[r.Intn(len(words))])
+		}
+		rec.AddChild("title", words[r.Intn(len(words))]+" studies")
+		rec.AddChild("year", fmt.Sprintf("%d", 1990+r.Intn(15)))
+		switch kind {
+		case "article":
+			rec.AddChild("journal", "TODS")
+			rec.AddChild("volume", fmt.Sprintf("%d", 1+r.Intn(30)))
+			rec.AddChild("pages", "1-20")
+			if r.Float64() < 0.5 {
+				rec.AddChild("ee", "db/journals/tods")
+			}
+		case "inproceedings":
+			rec.AddChild("booktitle", "VLDB")
+			rec.AddChild("pages", "100-111")
+			if r.Float64() < 0.3 {
+				rec.AddChild("crossref", "conf/vldb/2005")
+			}
+		case "proceedings":
+			rec.AddChild("publisher", "ACM")
+			rec.AddChild("isbn", "1-23456-789-0")
+		case "book":
+			rec.AddChild("publisher", "Springer")
+			rec.AddChild("series", "LNCS")
+		case "www":
+			rec.AddChild("url", "http://example.org")
+		}
+		if r.Float64() < 0.2 {
+			rec.AddChild("cite", fmt.Sprintf("article/%d", r.Intn(100)))
+		}
+		if newer {
+			// Post-2002 additions.
+			switch kind {
+			case "article":
+				if r.Float64() < 0.4 {
+					rec.AddChild("number", fmt.Sprintf("%d", 1+r.Intn(12)))
+				}
+				if r.Float64() < 0.2 {
+					rec.AddChild("note", "to appear")
+				}
+			case "inproceedings":
+				if r.Float64() < 0.3 {
+					rec.AddChild("ee", "db/conf/vldb")
+				}
+			case "www":
+				rec.AddChild("editor", words[r.Intn(len(words))])
+			}
+		}
+	}
+	return doc
+}
+
+// Shakespeare generates a play-collection document in the structure of the
+// Bosak Shakespeare corpus.
+func Shakespeare(scale int, seed int64) *xmltree.Document {
+	r := rand.New(rand.NewSource(seed))
+	doc := xmltree.NewDocument("PLAYS")
+	for p := 0; p < 1+scale/4; p++ {
+		play := doc.Root.AddChild("PLAY", "")
+		play.AddChild("TITLE", "The Tragedy of "+words[r.Intn(len(words))])
+		fm := play.AddChild("FM", "")
+		fm.AddChild("P", "Text placed in the public domain")
+		personae := play.AddChild("PERSONAE", "")
+		personae.AddChild("TITLE", "Dramatis Personae")
+		for i := 0; i < 4; i++ {
+			personae.AddChild("PERSONA", words[r.Intn(len(words))])
+		}
+		pg := personae.AddChild("PGROUP", "")
+		pg.AddChild("PERSONA", words[r.Intn(len(words))])
+		pg.AddChild("GRPDESCR", "members of the court")
+		for a := 0; a < 2+scale/2; a++ {
+			act := play.AddChild("ACT", "")
+			act.AddChild("TITLE", fmt.Sprintf("ACT %d", a+1))
+			for sc := 0; sc < 2; sc++ {
+				scene := act.AddChild("SCENE", "")
+				scene.AddChild("TITLE", fmt.Sprintf("SCENE %d", sc+1))
+				if r.Float64() < 0.5 {
+					scene.AddChild("STAGEDIR", "Enter "+words[r.Intn(len(words))])
+				}
+				for sp := 0; sp < 3+r.Intn(4); sp++ {
+					speech := scene.AddChild("SPEECH", "")
+					speech.AddChild("SPEAKER", words[r.Intn(len(words))])
+					for l := 0; l <= r.Intn(4); l++ {
+						speech.AddChild("LINE", "so speaks the "+words[r.Intn(len(words))])
+					}
+				}
+			}
+		}
+	}
+	return doc
+}
+
+// Nasa generates a dataset-catalog document in the structure of the NASA
+// ADC XML corpus (a flat summary, as Table 1 reports).
+func Nasa(scale int, seed int64) *xmltree.Document {
+	r := rand.New(rand.NewSource(seed))
+	doc := xmltree.NewDocument("datasets")
+	for i := 0; i < scale*6; i++ {
+		ds := doc.Root.AddChild("dataset", "")
+		ds.AddChild("@subject", "astronomy")
+		ds.AddChild("title", "catalog "+words[r.Intn(len(words))])
+		ds.AddChild("altname", fmt.Sprintf("ADC %d", i))
+		ref := ds.AddChild("reference", "")
+		src := ref.AddChild("source", "")
+		other := src.AddChild("other", "")
+		other.AddChild("author", words[r.Intn(len(words))])
+		other.AddChild("year", fmt.Sprintf("%d", 1970+r.Intn(30)))
+		hist := ds.AddChild("history", "")
+		ing := hist.AddChild("ingest", "")
+		ing.AddChild("date", "1999-01-01")
+		ing.AddChild("creator", words[r.Intn(len(words))])
+		th := ds.AddChild("tableHead", "")
+		for f := 0; f <= r.Intn(4); f++ {
+			fld := th.AddChild("field", "")
+			fld.AddChild("name", fmt.Sprintf("col%d", f))
+			fld.AddChild("units", "mag")
+		}
+		if r.Float64() < 0.5 {
+			ds.AddChild("keywords", "stars photometry")
+		}
+	}
+	return doc
+}
+
+// SwissProt generates a protein-database document in the structure of the
+// SwissProt XML corpus.
+func SwissProt(scale int, seed int64) *xmltree.Document {
+	r := rand.New(rand.NewSource(seed))
+	doc := xmltree.NewDocument("root")
+	for i := 0; i < scale*8; i++ {
+		e := doc.Root.AddChild("Entry", "")
+		e.AddChild("@id", fmt.Sprintf("P%05d", i))
+		e.AddChild("AC", fmt.Sprintf("Q%05d", i))
+		e.AddChild("Mod", "01-JAN-1998")
+		e.AddChild("Descr", words[r.Intn(len(words))]+" protein")
+		for s := 0; s <= r.Intn(3); s++ {
+			sp := e.AddChild("Species", "Homo sapiens")
+			_ = sp
+		}
+		org := e.AddChild("Org", "Eukaryota")
+		_ = org
+		for rr := 0; rr <= r.Intn(3); rr++ {
+			refr := e.AddChild("Ref", "")
+			refr.AddChild("@num", fmt.Sprintf("%d", rr+1))
+			refr.AddChild("Comment", "sequence analysis")
+			cit := refr.AddChild("Cite", "")
+			cit.AddChild("@db", "MEDLINE")
+			au := refr.AddChild("Author", words[r.Intn(len(words))])
+			_ = au
+			refr.AddChild("MedlineID", fmt.Sprintf("%08d", r.Intn(99999999)))
+		}
+		for f := 0; f <= r.Intn(4); f++ {
+			feat := e.AddChild("Features", "")
+			dom := feat.AddChild("DOMAIN", "")
+			dom.AddChild("Descr", "transmembrane")
+			dom.AddChild("From", fmt.Sprintf("%d", r.Intn(100)))
+			dom.AddChild("To", fmt.Sprintf("%d", 100+r.Intn(100)))
+		}
+		kw := e.AddChild("Keywords", "")
+		for k := 0; k <= r.Intn(3); k++ {
+			kw.AddChild("Keyword", words[r.Intn(len(words))])
+		}
+	}
+	return doc
+}

@@ -1,0 +1,184 @@
+// Package nodeid implements Dewey-style structural node identifiers.
+//
+// A Dewey ID encodes the path of child ordinals from the document root to a
+// node: the root is [1], its first child [1 1], the third child of that
+// child [1 1 3], and so on. Dewey IDs have the two "structural ID"
+// properties the paper relies on (Section 1 and Section 4.6):
+//
+//   - the parent/ancestor relationship between two nodes is decidable by
+//     comparing their IDs alone (prefix test), enabling structural joins;
+//   - the ID of a node's parent is derivable from the node's own ID
+//     (truncation), enabling "virtual ID" attributes during rewriting.
+//
+// IDs also order nodes in document order (lexicographic comparison), which
+// the stack-based structural join in internal/algebra depends on.
+package nodeid
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ID is a Dewey structural identifier. The zero value (nil) is the "null"
+// ID, used for optional pattern nodes that did not bind.
+type ID []uint32
+
+// New returns a copy of the given components as an ID.
+func New(components ...uint32) ID {
+	id := make(ID, len(components))
+	copy(id, components)
+	return id
+}
+
+// Root is the ID of a document root.
+func Root() ID { return ID{1} }
+
+// IsNull reports whether the ID is the null identifier.
+func (id ID) IsNull() bool { return len(id) == 0 }
+
+// Depth returns the depth of the node; the root has depth 1.
+func (id ID) Depth() int { return len(id) }
+
+// Child returns the ID of the ord-th child (1-based) of the node.
+func (id ID) Child(ord uint32) ID {
+	c := make(ID, len(id)+1)
+	copy(c, id)
+	c[len(id)] = ord
+	return c
+}
+
+// Parent returns the ID of the node's parent, or the null ID for the root
+// (and for the null ID). This is the navfID primitive of Section 4.6.
+func (id ID) Parent() ID {
+	if len(id) <= 1 {
+		return nil
+	}
+	return id[:len(id)-1].Clone()
+}
+
+// AncestorAtDepth returns the prefix of the ID at the given depth, or the
+// null ID if depth is out of range. AncestorAtDepth(id.Depth()) is the ID
+// itself.
+func (id ID) AncestorAtDepth(depth int) ID {
+	if depth < 1 || depth > len(id) {
+		return nil
+	}
+	return id[:depth].Clone()
+}
+
+// Clone returns an independent copy of the ID.
+func (id ID) Clone() ID {
+	if id == nil {
+		return nil
+	}
+	c := make(ID, len(id))
+	copy(c, id)
+	return c
+}
+
+// Equal reports whether two IDs identify the same node.
+func (id ID) Equal(other ID) bool {
+	if len(id) != len(other) {
+		return false
+	}
+	for i := range id {
+		if id[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsAncestorOf reports whether id is a proper ancestor of other.
+func (id ID) IsAncestorOf(other ID) bool {
+	if len(id) == 0 || len(id) >= len(other) {
+		return false
+	}
+	for i := range id {
+		if id[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsParentOf reports whether id is the parent of other.
+func (id ID) IsParentOf(other ID) bool {
+	return len(other) == len(id)+1 && id.IsAncestorOf(other)
+}
+
+// Compare orders IDs in document order: -1 if id precedes other, 0 if they
+// are equal, +1 if id follows other. An ancestor precedes its descendants.
+func (id ID) Compare(other ID) int {
+	n := len(id)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case id[i] < other[i]:
+			return -1
+		case id[i] > other[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(id) < len(other):
+		return -1
+	case len(id) > len(other):
+		return 1
+	}
+	return 0
+}
+
+// String renders the ID in dotted form, e.g. "1.3.2". The null ID renders
+// as "⊥".
+func (id ID) String() string {
+	if id.IsNull() {
+		return "⊥"
+	}
+	var b strings.Builder
+	for i, c := range id {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.FormatUint(uint64(c), 10))
+	}
+	return b.String()
+}
+
+// Parse parses a dotted Dewey ID such as "1.3.2". It rejects empty input
+// and non-positive components.
+func Parse(s string) (ID, error) {
+	if s == "" || s == "⊥" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ".")
+	id := make(ID, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("nodeid: invalid component %q in %q: %v", p, s, err)
+		}
+		if v == 0 {
+			return nil, fmt.Errorf("nodeid: component must be positive in %q", s)
+		}
+		id = append(id, uint32(v))
+	}
+	return id, nil
+}
+
+// VerticalDistance returns the depth difference other.Depth()-id.Depth() if
+// id is an ancestor-or-self of other, and ok=false otherwise. Rewriting
+// uses it to detect the constant "vertical distance" condition that enables
+// virtual IDs (Section 4.6).
+func (id ID) VerticalDistance(other ID) (dist int, ok bool) {
+	if id.Equal(other) {
+		return 0, true
+	}
+	if id.IsAncestorOf(other) {
+		return len(other) - len(id), true
+	}
+	return 0, false
+}

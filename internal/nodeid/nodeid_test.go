@@ -1,0 +1,201 @@
+package nodeid
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRootAndChildren(t *testing.T) {
+	r := Root()
+	if got := r.String(); got != "1" {
+		t.Fatalf("Root() = %q, want %q", got, "1")
+	}
+	c := r.Child(3)
+	if got := c.String(); got != "1.3" {
+		t.Fatalf("Child(3) = %q, want %q", got, "1.3")
+	}
+	gc := c.Child(2)
+	if got := gc.String(); got != "1.3.2" {
+		t.Fatalf("grandchild = %q, want %q", got, "1.3.2")
+	}
+	if gc.Depth() != 3 {
+		t.Fatalf("Depth = %d, want 3", gc.Depth())
+	}
+}
+
+func TestParentDerivation(t *testing.T) {
+	id := New(1, 5, 3, 1)
+	p := id.Parent()
+	if got := p.String(); got != "1.5.3" {
+		t.Fatalf("Parent = %q, want 1.5.3", got)
+	}
+	if got := Root().Parent(); !got.IsNull() {
+		t.Fatalf("Parent of root = %v, want null", got)
+	}
+	if got := ID(nil).Parent(); !got.IsNull() {
+		t.Fatalf("Parent of null = %v, want null", got)
+	}
+}
+
+func TestAncestorAtDepth(t *testing.T) {
+	id := New(1, 5, 3, 1)
+	cases := []struct {
+		depth int
+		want  string
+	}{
+		{1, "1"}, {2, "1.5"}, {3, "1.5.3"}, {4, "1.5.3.1"},
+	}
+	for _, c := range cases {
+		if got := id.AncestorAtDepth(c.depth).String(); got != c.want {
+			t.Errorf("AncestorAtDepth(%d) = %q, want %q", c.depth, got, c.want)
+		}
+	}
+	if got := id.AncestorAtDepth(0); !got.IsNull() {
+		t.Errorf("AncestorAtDepth(0) = %v, want null", got)
+	}
+	if got := id.AncestorAtDepth(5); !got.IsNull() {
+		t.Errorf("AncestorAtDepth(5) = %v, want null", got)
+	}
+}
+
+func TestStructuralRelationships(t *testing.T) {
+	a := New(1, 3)
+	b := New(1, 3, 2)
+	c := New(1, 3, 2, 7)
+	d := New(1, 4)
+
+	if !a.IsParentOf(b) {
+		t.Error("1.3 should be parent of 1.3.2")
+	}
+	if a.IsParentOf(c) {
+		t.Error("1.3 should not be parent of 1.3.2.7")
+	}
+	if !a.IsAncestorOf(c) {
+		t.Error("1.3 should be ancestor of 1.3.2.7")
+	}
+	if a.IsAncestorOf(a) {
+		t.Error("ancestor must be proper")
+	}
+	if a.IsAncestorOf(d) || d.IsAncestorOf(a) {
+		t.Error("siblings are not ancestors")
+	}
+	if b.IsAncestorOf(a) {
+		t.Error("descendant is not ancestor")
+	}
+}
+
+func TestDocumentOrder(t *testing.T) {
+	ids := []ID{
+		New(1, 3, 2, 7),
+		New(1),
+		New(1, 4),
+		New(1, 3),
+		New(1, 3, 2),
+		New(1, 3, 10),
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Compare(ids[j]) < 0 })
+	want := []string{"1", "1.3", "1.3.2", "1.3.2.7", "1.3.10", "1.4"}
+	for i, w := range want {
+		if got := ids[i].String(); got != w {
+			t.Fatalf("sorted[%d] = %q, want %q (full %v)", i, got, w, ids)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range []string{"1", "1.2.3", "1.100.42"} {
+		id, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if id.String() != s {
+			t.Fatalf("round trip %q -> %q", s, id.String())
+		}
+	}
+	for _, s := range []string{"a", "1.0", "1..2", "1.-3"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+	if id, err := Parse(""); err != nil || !id.IsNull() {
+		t.Errorf("Parse(\"\") = %v, %v; want null, nil", id, err)
+	}
+}
+
+func TestVerticalDistance(t *testing.T) {
+	a := New(1, 2)
+	b := New(1, 2, 4, 9)
+	if d, ok := a.VerticalDistance(b); !ok || d != 2 {
+		t.Errorf("VerticalDistance = %d,%v; want 2,true", d, ok)
+	}
+	if d, ok := a.VerticalDistance(a); !ok || d != 0 {
+		t.Errorf("self distance = %d,%v; want 0,true", d, ok)
+	}
+	if _, ok := b.VerticalDistance(a); ok {
+		t.Error("descendant->ancestor distance should fail")
+	}
+	if _, ok := New(1, 3).VerticalDistance(b); ok {
+		t.Error("unrelated distance should fail")
+	}
+}
+
+func randomID(r *rand.Rand) ID {
+	depth := 1 + r.Intn(6)
+	id := make(ID, depth)
+	id[0] = 1
+	for i := 1; i < depth; i++ {
+		id[i] = uint32(1 + r.Intn(9))
+	}
+	return id
+}
+
+// Property: Compare is a total order consistent with Equal, and an ancestor
+// always precedes its descendants.
+func TestCompareProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		a, b := randomID(r), randomID(r)
+		ab, ba := a.Compare(b), b.Compare(a)
+		if ab != -ba {
+			t.Fatalf("Compare not antisymmetric: %v vs %v: %d %d", a, b, ab, ba)
+		}
+		if (ab == 0) != a.Equal(b) {
+			t.Fatalf("Compare==0 disagrees with Equal: %v vs %v", a, b)
+		}
+		if a.IsAncestorOf(b) && ab != -1 {
+			t.Fatalf("ancestor %v should precede descendant %v", a, b)
+		}
+	}
+}
+
+// Property: Parent is the unique ancestor at depth-1, and parse/print round-trips.
+func TestParentProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		id := ID{1}
+		for _, c := range raw {
+			id = append(id, uint32(c%9)+1)
+		}
+		if id.Depth() > 1 {
+			p := id.Parent()
+			if !p.IsParentOf(id) || !p.Equal(id.AncestorAtDepth(id.Depth()-1)) {
+				return false
+			}
+		}
+		back, err := Parse(id.String())
+		return err == nil && back.Equal(id)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(1, 2, 3)
+	b := a.Clone()
+	b[2] = 9
+	if a[2] != 3 {
+		t.Fatal("Clone shares storage with original")
+	}
+}

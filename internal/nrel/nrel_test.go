@@ -1,0 +1,110 @@
+package nrel
+
+import (
+	"testing"
+
+	"xmlviews/internal/nodeid"
+	"xmlviews/internal/xmltree"
+)
+
+func TestValueRenderAndEqual(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "⊥"},
+		{String("pen"), "pen"},
+		{ID(nodeid.New(1, 2, 3)), "1.2.3"},
+		{Content(xmltree.MustParseParen(`a(b "1")`)), `a(b "1")`},
+	}
+	for _, c := range cases {
+		if got := c.v.Render(); got != c.want {
+			t.Errorf("Render = %q, want %q", got, c.want)
+		}
+		if !c.v.Equal(c.v) {
+			t.Errorf("%v not equal to itself", c.v)
+		}
+	}
+	if String("a").Equal(Null()) || String("a").Equal(String("b")) {
+		t.Error("Equal too permissive")
+	}
+	if !ID(nodeid.New(1, 2)).Equal(ID(nodeid.New(1, 2))) {
+		t.Error("ID equality failed")
+	}
+}
+
+func TestTableValueEqualAsSet(t *testing.T) {
+	r1 := NewRelation("x")
+	r1.Append(Tuple{String("1")})
+	r1.Append(Tuple{String("2")})
+	r2 := NewRelation("x")
+	r2.Append(Tuple{String("2")})
+	r2.Append(Tuple{String("1")})
+	r2.Append(Tuple{String("1")}) // duplicate: set semantics
+	if !Table(r1).Equal(Table(r2)) {
+		t.Error("tables should compare as sets")
+	}
+	r3 := NewRelation("x")
+	r3.Append(Tuple{String("3")})
+	if Table(r1).Equal(Table(r3)) {
+		t.Error("different tables reported equal")
+	}
+	if !Table(nil).Equal(Table(NewRelation("x"))) {
+		t.Error("nil and empty tables should be equal")
+	}
+}
+
+func TestProjectDistinctSorted(t *testing.T) {
+	r := NewRelation("a", "b")
+	r.Append(Tuple{String("2"), String("x")})
+	r.Append(Tuple{String("1"), String("y")})
+	r.Append(Tuple{String("2"), String("z")})
+	p := r.Project("a")
+	if len(p.Cols) != 1 || p.Len() != 3 {
+		t.Fatalf("Project = %v", p)
+	}
+	d := p.Distinct()
+	if d.Len() != 2 {
+		t.Fatalf("Distinct = %d rows", d.Len())
+	}
+	sorted := d.Sorted()
+	if sorted.Rows[0][0].Str != "1" {
+		t.Fatalf("Sorted = %v", sorted)
+	}
+	// Projection of an unknown column panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("Project of unknown column should panic")
+		}
+	}()
+	r.Project("zz")
+}
+
+func TestAppendArityPanic(t *testing.T) {
+	r := NewRelation("a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch should panic")
+		}
+	}()
+	r.Append(Tuple{String("1")})
+}
+
+func TestColIndexAndLen(t *testing.T) {
+	r := NewRelation("a", "b")
+	if r.ColIndex("b") != 1 || r.ColIndex("zz") != -1 {
+		t.Error("ColIndex wrong")
+	}
+	var nilRel *Relation
+	if nilRel.Len() != 0 {
+		t.Error("nil relation Len should be 0")
+	}
+}
+
+func TestEqualAsSetSchemas(t *testing.T) {
+	a := NewRelation("x", "y")
+	b := NewRelation("x")
+	if a.EqualAsSet(b) {
+		t.Error("different widths reported equal")
+	}
+}

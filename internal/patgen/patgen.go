@@ -1,0 +1,175 @@
+// Package patgen generates the synthetic, satisfiable tree patterns of the
+// paper's evaluation (Section 5): patterns of n nodes over a given summary,
+// with node fanout up to 3, wildcard probability 0.1, value-predicate
+// probability 0.2 over 10 distinct constants, descendant-edge probability
+// 0.5, and optional-edge probability 0.5; return-node labels are fixed so
+// patterns do not return unrelated nodes.
+//
+// Satisfiability by construction: every pattern node is anchored to a
+// summary node, and edges follow summary ancestry, so an embedding into the
+// summary always exists.
+package patgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/predicate"
+	"xmlviews/internal/summary"
+)
+
+// Config mirrors the paper's generator parameters.
+type Config struct {
+	Size         int      // number of pattern nodes (incl. root)
+	ReturnLabels []string // one return node per label, attributes ID,V
+	Wildcard     float64  // P(label = *), default 0.1
+	Pred         float64  // P(v = c predicate), default 0.2
+	Desc         float64  // P(// edge), default 0.5
+	Optional     float64  // P(optional edge), default 0.5
+	Values       int      // distinct predicate constants, default 10
+	Fanout       int      // max children per node, default 3
+}
+
+// DefaultConfig returns the Section 5 parameters.
+func DefaultConfig(size int, returnLabels ...string) Config {
+	return Config{
+		Size: size, ReturnLabels: returnLabels,
+		Wildcard: 0.1, Pred: 0.2, Desc: 0.5, Optional: 0.5,
+		Values: 10, Fanout: 3,
+	}
+}
+
+// Generate produces one satisfiable pattern, or an error when a return
+// label does not occur in the summary.
+func Generate(s *summary.Summary, cfg Config, r *rand.Rand) (*pattern.Pattern, error) {
+	anchors := make([]int, 0, len(cfg.ReturnLabels))
+	for _, label := range cfg.ReturnLabels {
+		ids := s.NodesWithLabel(label)
+		if len(ids) == 0 {
+			return nil, fmt.Errorf("patgen: label %q not in summary", label)
+		}
+		anchors = append(anchors, ids[r.Intn(len(ids))])
+	}
+
+	p := pattern.NewPattern(s.Node(summary.RootID).Label)
+	// nodeAnchor maps each pattern node to its summary anchor.
+	nodeAnchor := map[*pattern.Node]int{p.Root: summary.RootID}
+	fanout := map[*pattern.Node]int{}
+
+	// Grow a chain from the closest existing pattern node down to each
+	// return anchor; edges contract into // with probability cfg.Desc.
+	for i, anchor := range anchors {
+		attach, attachAnchor := deepestAncestorNode(s, p, nodeAnchor, anchor)
+		chain, ok := s.ChainBetween(attachAnchor, anchor)
+		if !ok {
+			// anchor not below the attach point; hang it from the root.
+			attach = p.Root
+			chain, _ = s.ChainBetween(summary.RootID, anchor)
+		}
+		cur := attach
+		for j := 1; j < len(chain); j++ {
+			// Contract: skip intermediate steps with probability Desc.
+			if j < len(chain)-1 && r.Float64() < cfg.Desc {
+				continue
+			}
+			axis := pattern.Child
+			if nodeAnchor[cur] != s.Node(chain[j]).Parent {
+				axis = pattern.Descendant
+			}
+			n := p.AddChild(cur, s.Node(chain[j]).Label, axis)
+			nodeAnchor[n] = chain[j]
+			fanout[cur]++
+			cur = n
+		}
+		if nodeAnchor[cur] != anchor {
+			// Contraction consumed the final step; add it explicitly.
+			axis := pattern.Descendant
+			if nodeAnchor[cur] == s.Node(anchor).Parent {
+				axis = pattern.Child
+			}
+			n := p.AddChild(cur, s.Node(anchor).Label, axis)
+			nodeAnchor[n] = anchor
+			fanout[cur]++
+			cur = n
+		}
+		cur.Attrs = pattern.AttrID | pattern.AttrValue
+		_ = i
+	}
+	p.Finish()
+
+	// Pad with random nodes up to Size. The attempt budget guards against
+	// saturated patterns (every node at max fanout or anchored at a
+	// summary leaf), where the requested size is unreachable.
+	for attempts := 0; p.Size() < cfg.Size && attempts < 50*cfg.Size; attempts++ {
+		nodes := p.Nodes()
+		parent := nodes[r.Intn(len(nodes))]
+		if fanout[parent] >= cfg.Fanout {
+			continue
+		}
+		pAnchor := nodeAnchor[parent]
+		desc := s.Descendants(pAnchor)
+		if len(desc) == 0 {
+			continue
+		}
+		target := desc[r.Intn(len(desc))]
+		axis := pattern.Descendant
+		if s.Node(target).Parent == pAnchor || r.Float64() >= cfg.Desc {
+			if s.Node(target).Parent != pAnchor {
+				// keep // when the target is deeper
+			} else {
+				axis = pattern.Child
+			}
+		}
+		n := p.AddChild(parent, s.Node(target).Label, axis)
+		nodeAnchor[n] = target
+		fanout[parent]++
+		p.Finish()
+	}
+
+	// Decorations.
+	for _, n := range p.Nodes() {
+		if n.Parent == nil {
+			continue
+		}
+		if !n.IsReturn() && r.Float64() < cfg.Wildcard {
+			n.Label = pattern.Wildcard
+		}
+		if r.Float64() < cfg.Pred {
+			c := predicate.Num(float64(r.Intn(cfg.Values)))
+			n.Pred = predicate.Eq(c)
+		}
+		if cfg.Optional > 0 && !subtreeHasReturn(n) && r.Float64() < cfg.Optional {
+			n.Optional = true
+		}
+	}
+	return p.Finish(), nil
+}
+
+// deepestAncestorNode finds the pattern node whose anchor is the deepest
+// ancestor-or-self of the target summary node.
+func deepestAncestorNode(s *summary.Summary, p *pattern.Pattern, anchors map[*pattern.Node]int, target int) (*pattern.Node, int) {
+	best := p.Root
+	bestAnchor := summary.RootID
+	bestDepth := 1
+	for n, a := range anchors {
+		if a == target || s.IsAncestor(a, target) {
+			if d := s.Node(a).Depth; d > bestDepth {
+				best, bestAnchor, bestDepth = n, a, d
+			}
+		}
+	}
+	return best, bestAnchor
+}
+
+func subtreeHasReturn(n *pattern.Node) bool {
+	if n.IsReturn() {
+		return true
+	}
+	for _, c := range n.Children {
+		if subtreeHasReturn(c) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,91 @@
+package patgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmlviews/internal/core"
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/summary"
+)
+
+func testSummary() *summary.Summary {
+	return summary.MustParse("site(regions(item(name keyword description(parlist(listitem(text(bold keyword)))))) people(person(name)))")
+}
+
+func TestGenerateSatisfiable(t *testing.T) {
+	s := testSummary()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 25; i++ {
+		cfg := DefaultConfig(3+r.Intn(7), "item", "name")
+		p, err := Generate(s, cfg, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Size() < 3 {
+			t.Fatalf("size %d too small (requested %d): %s", p.Size(), cfg.Size, p)
+		}
+		if p.Arity() < 2 {
+			t.Fatalf("arity %d: %s", p.Arity(), p)
+		}
+		ok, err := core.Satisfiable(p, s)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if !ok {
+			t.Fatalf("generated pattern unsatisfiable: %s", p)
+		}
+	}
+}
+
+func TestGenerateReturnLabels(t *testing.T) {
+	s := testSummary()
+	r := rand.New(rand.NewSource(2))
+	cfg := DefaultConfig(6, "keyword")
+	p, err := Generate(s, cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, rn := range p.Returns() {
+		if rn.Label == "keyword" && rn.Attrs.Has(pattern.AttrID|pattern.AttrValue) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no keyword return node in %s", p)
+	}
+}
+
+func TestGenerateUnknownLabel(t *testing.T) {
+	s := testSummary()
+	r := rand.New(rand.NewSource(3))
+	if _, err := Generate(s, DefaultConfig(4, "nonexistent"), r); err == nil {
+		t.Fatal("unknown return label should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	s := testSummary()
+	p1, _ := Generate(s, DefaultConfig(8, "item"), rand.New(rand.NewSource(7)))
+	p2, _ := Generate(s, DefaultConfig(8, "item"), rand.New(rand.NewSource(7)))
+	if p1.String() != p2.String() {
+		t.Fatalf("not deterministic:\n%s\n%s", p1, p2)
+	}
+}
+
+func TestOptionalProbabilityZero(t *testing.T) {
+	s := testSummary()
+	r := rand.New(rand.NewSource(4))
+	cfg := DefaultConfig(10, "item")
+	cfg.Optional = 0
+	for i := 0; i < 10; i++ {
+		p, err := Generate(s, cfg, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.HasOptional() {
+			t.Fatalf("optional edge with probability 0: %s", p)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package pattern
+
+import (
+	"xmlviews/internal/nrel"
+	"xmlviews/internal/predicate"
+	"xmlviews/internal/xmltree"
+)
+
+// Column naming: for a return node with preorder index i, its attribute
+// columns are "I<i>", "L<i>", "V<i>", "C<i>"; a nested edge whose lower node
+// has index i produces a single table-valued column "A<i>" (the paper's
+// A attribute, Figures 1 and 12).
+
+// Columns returns the top-level column names of the relation the pattern
+// produces (nested tables count as one column).
+func (p *Pattern) Columns() []string { return colsOf(p.Root) }
+
+func colsOf(n *Node) []string {
+	cols := ownCols(n)
+	for _, c := range n.Children {
+		if c.Nested {
+			cols = append(cols, "A"+itoa(c.Index))
+		} else {
+			cols = append(cols, colsOf(c)...)
+		}
+	}
+	return cols
+}
+
+func ownCols(n *Node) []string {
+	var cols []string
+	if n.Attrs.Has(AttrID) {
+		cols = append(cols, "I"+itoa(n.Index))
+	}
+	if n.Attrs.Has(AttrLabel) {
+		cols = append(cols, "L"+itoa(n.Index))
+	}
+	if n.Attrs.Has(AttrValue) {
+		cols = append(cols, "V"+itoa(n.Index))
+	}
+	if n.Attrs.Has(AttrContent) {
+		cols = append(cols, "C"+itoa(n.Index))
+	}
+	return cols
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[p:])
+}
+
+// Eval evaluates the pattern on a document and returns its nested relation
+// under set semantics. This is the materialization semantics of Figures 1,
+// 11 and 12: optional edges produce ⊥ (or empty nested tables) when the
+// subtree cannot bind; nested edges group bindings into table values.
+func (p *Pattern) Eval(doc *xmltree.Document) *nrel.Relation {
+	cols := p.Columns()
+	out := nrel.NewRelation(cols...)
+	if !p.Root.MatchesLabel(doc.Root.Label) || !nodePredOK(p.Root, doc.Root) {
+		return out
+	}
+	rel := evalNode(p.Root, doc.Root)
+	if rel == nil {
+		return out
+	}
+	return rel.Distinct()
+}
+
+// nodePredOK evaluates the node's value predicate against a document node.
+func nodePredOK(n *Node, dn *xmltree.Node) bool {
+	if n.Pred.IsTrue() {
+		return true
+	}
+	return n.Pred.Eval(predicate.ParseAtom(dn.Value))
+}
+
+// evalNode returns the relation for the pattern subtree rooted at n, with n
+// bound to dn; nil means no embedding exists (dn fails).
+func evalNode(n *Node, dn *xmltree.Node) *nrel.Relation {
+	own := ownValues(n, dn)
+	rel := nrel.NewRelation(ownCols(n)...)
+	rel.Append(own)
+	for _, c := range n.Children {
+		childRel := evalChildEdge(c, dn)
+		if childRel == nil {
+			return nil
+		}
+		rel = crossProduct(rel, childRel)
+	}
+	return rel
+}
+
+// evalChildEdge returns the relation contributed by the edge to child c
+// under parent binding dn, or nil if the (non-optional) edge cannot bind.
+func evalChildEdge(c *Node, dn *xmltree.Node) *nrel.Relation {
+	var matched *nrel.Relation
+	collect := func(cand *xmltree.Node) {
+		if !c.MatchesLabel(cand.Label) || !nodePredOK(c, cand) {
+			return
+		}
+		r := evalNode(c, cand)
+		if r == nil {
+			return
+		}
+		if matched == nil {
+			matched = nrel.NewRelation(r.Cols...)
+		}
+		matched.Rows = append(matched.Rows, r.Rows...)
+	}
+	if c.Axis == Child {
+		for _, cand := range dn.Children {
+			collect(cand)
+		}
+	} else {
+		var walk func(*xmltree.Node)
+		walk = func(x *xmltree.Node) {
+			for _, cand := range x.Children {
+				collect(cand)
+				walk(cand)
+			}
+		}
+		walk(dn)
+	}
+
+	if c.Nested {
+		inner := matched
+		if inner == nil {
+			if !c.Optional {
+				return nil
+			}
+			inner = nrel.NewRelation(colsOf(c)...)
+		}
+		wrap := nrel.NewRelation("A" + itoa(c.Index))
+		wrap.Append(nrel.Tuple{nrel.Table(inner.Distinct())})
+		return wrap
+	}
+	if matched == nil {
+		if !c.Optional {
+			return nil
+		}
+		return nullRelation(c)
+	}
+	return matched
+}
+
+// nullRelation returns a single all-⊥ row for the subtree rooted at c;
+// nested columns inside get empty tables.
+func nullRelation(c *Node) *nrel.Relation {
+	cols := colsOf(c)
+	rel := nrel.NewRelation(cols...)
+	row := make(nrel.Tuple, len(cols))
+	for i, col := range cols {
+		if col[0] == 'A' {
+			idx := atoiSafe(col[1:])
+			inner := findByIndex(c, idx)
+			row[i] = nrel.Table(nrel.NewRelation(colsOf(inner)...))
+		} else {
+			row[i] = nrel.Null()
+		}
+	}
+	rel.Append(row)
+	return rel
+}
+
+func findByIndex(root *Node, idx int) *Node {
+	var found *Node
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if n.Index == idx {
+			found = n
+			return
+		}
+		for _, ch := range n.Children {
+			if found == nil {
+				walk(ch)
+			}
+		}
+	}
+	walk(root)
+	return found
+}
+
+func atoiSafe(s string) int {
+	v := 0
+	for i := 0; i < len(s); i++ {
+		v = v*10 + int(s[i]-'0')
+	}
+	return v
+}
+
+func ownValues(n *Node, dn *xmltree.Node) nrel.Tuple {
+	var row nrel.Tuple
+	if n.Attrs.Has(AttrID) {
+		row = append(row, nrel.ID(dn.ID))
+	}
+	if n.Attrs.Has(AttrLabel) {
+		row = append(row, nrel.String(dn.Label))
+	}
+	if n.Attrs.Has(AttrValue) {
+		if dn.Value == "" {
+			row = append(row, nrel.Null())
+		} else {
+			row = append(row, nrel.String(dn.Value))
+		}
+	}
+	if n.Attrs.Has(AttrContent) {
+		row = append(row, nrel.Content(dn.SubtreeKeepIDs()))
+	}
+	return row
+}
+
+func crossProduct(a, b *nrel.Relation) *nrel.Relation {
+	cols := append(append([]string{}, a.Cols...), b.Cols...)
+	out := nrel.NewRelation(cols...)
+	for _, ra := range a.Rows {
+		for _, rb := range b.Rows {
+			row := make(nrel.Tuple, 0, len(ra)+len(rb))
+			row = append(row, ra...)
+			row = append(row, rb...)
+			out.Append(row)
+		}
+	}
+	return out
+}
+
+// EvalNodeTuples evaluates the pattern treating nested edges as plain ones
+// and returns, for every embedding, the document nodes bound to the return
+// nodes (nil for optional non-bindings). It is the node-tuple semantics of
+// Section 2.2 / Proposition 2.1, used for cross-checking the canonical
+// model machinery and for tests.
+func (p *Pattern) EvalNodeTuples(doc *xmltree.Document) [][]*xmltree.Node {
+	if !p.Root.MatchesLabel(doc.Root.Label) || !nodePredOK(p.Root, doc.Root) {
+		return nil
+	}
+	bindings := enumBindings(p.Root, doc.Root)
+	var out [][]*xmltree.Node
+	seen := map[string]bool{}
+	for _, b := range bindings {
+		tuple := make([]*xmltree.Node, 0, p.Arity())
+		key := ""
+		for _, rn := range p.Returns() {
+			dn := b[rn.Index]
+			tuple = append(tuple, dn)
+			if dn == nil {
+				key += "⊥;"
+			} else {
+				key += dn.ID.String() + ";"
+			}
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, tuple)
+		}
+	}
+	return out
+}
+
+// enumBindings returns all optional embeddings of the subtree rooted at n
+// with n bound to dn, as maps from pattern node index to document node
+// (nil for ⊥).
+func enumBindings(n *Node, dn *xmltree.Node) []map[int]*xmltree.Node {
+	results := []map[int]*xmltree.Node{{n.Index: dn}}
+	for _, c := range n.Children {
+		var childBindings []map[int]*xmltree.Node
+		candidates := candidateNodes(c, dn)
+		for _, cand := range candidates {
+			childBindings = append(childBindings, enumBindings(c, cand)...)
+		}
+		if len(childBindings) == 0 {
+			if !c.Optional {
+				return nil
+			}
+			nulls := map[int]*xmltree.Node{}
+			subtreeIndexes(c, func(i int) { nulls[i] = nil })
+			childBindings = []map[int]*xmltree.Node{nulls}
+		}
+		var merged []map[int]*xmltree.Node
+		for _, r := range results {
+			for _, cb := range childBindings {
+				m := make(map[int]*xmltree.Node, len(r)+len(cb))
+				for k, v := range r {
+					m[k] = v
+				}
+				for k, v := range cb {
+					m[k] = v
+				}
+				merged = append(merged, m)
+			}
+		}
+		results = merged
+	}
+	return results
+}
+
+func candidateNodes(c *Node, dn *xmltree.Node) []*xmltree.Node {
+	var out []*xmltree.Node
+	consider := func(x *xmltree.Node) {
+		if c.MatchesLabel(x.Label) && nodePredOK(c, x) {
+			out = append(out, x)
+		}
+	}
+	if c.Axis == Child {
+		for _, x := range dn.Children {
+			consider(x)
+		}
+		return out
+	}
+	var walk func(*xmltree.Node)
+	walk = func(x *xmltree.Node) {
+		for _, ch := range x.Children {
+			consider(ch)
+			walk(ch)
+		}
+	}
+	walk(dn)
+	return out
+}
+
+func subtreeIndexes(n *Node, fn func(int)) {
+	fn(n.Index)
+	for _, c := range n.Children {
+		subtreeIndexes(c, fn)
+	}
+}

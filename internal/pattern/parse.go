@@ -1,0 +1,265 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlviews/internal/predicate"
+)
+
+// Parse parses the pattern surface syntax:
+//
+//	pattern  := node
+//	node     := label attrs? pred? children?
+//	attrs    := '[' name (',' name)* ']'          name ∈ {id,l,v,c}
+//	pred     := '{' formula '}'                   (see predicate.Parse)
+//	children := '(' edge (' ' edge)* ')'
+//	edge     := 'n'? '?'? axis node               (either marker order)
+//	axis     := '/' | '//'
+//
+// Example: `site(//item[id,v]{v>3}(/name[v] n?//listitem[c]))`.
+//
+// For convenience, Parse also accepts a leading XPath-like linear form:
+// `/a//b[v]` is sugar for `a(//b[v])`.
+func Parse(src string) (*Pattern, error) {
+	p := &patParser{src: src}
+	p.skipSpace()
+	var pat *Pattern
+	var err error
+	if strings.HasPrefix(p.src[p.pos:], "/") {
+		pat, err = p.parseLinear()
+	} else {
+		pat, err = p.parseTree()
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("pattern: trailing input at %d in %q", p.pos, p.src)
+	}
+	return pat.Finish(), nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *Pattern {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type patParser struct {
+	src string
+	pos int
+}
+
+func (p *patParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *patParser) label() (string, error) {
+	start := p.pos
+	if p.pos < len(p.src) && p.src[p.pos] == '*' {
+		p.pos++
+		return Wildcard, nil
+	}
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '@' || c == '_' || c == '-' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("pattern: expected label at %d in %q", p.pos, p.src)
+	}
+	return p.src[start:p.pos], nil
+}
+
+// parseTree parses the parenthesized form starting at a root label.
+func (p *patParser) parseTree() (*Pattern, error) {
+	label, err := p.label()
+	if err != nil {
+		return nil, err
+	}
+	pat := NewPattern(label)
+	if err := p.decorations(pat.Root); err != nil {
+		return nil, err
+	}
+	if err := p.children(pat, pat.Root); err != nil {
+		return nil, err
+	}
+	return pat, nil
+}
+
+// parseLinear parses `/a//b[v]{v>2}/c` into a single-branch pattern.
+func (p *patParser) parseLinear() (*Pattern, error) {
+	var pat *Pattern
+	var cur *Node
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != '/' {
+			break
+		}
+		axis := Child
+		p.pos++
+		if p.pos < len(p.src) && p.src[p.pos] == '/' {
+			axis = Descendant
+			p.pos++
+		}
+		label, err := p.label()
+		if err != nil {
+			return nil, err
+		}
+		if pat == nil {
+			if axis == Descendant {
+				return nil, fmt.Errorf("pattern: linear form must start with /root, got //")
+			}
+			pat = NewPattern(label)
+			cur = pat.Root
+		} else {
+			cur = pat.AddChild(cur, label, axis)
+		}
+		if err := p.decorations(cur); err != nil {
+			return nil, err
+		}
+		if err := p.children(pat, cur); err != nil {
+			return nil, err
+		}
+	}
+	if pat == nil {
+		return nil, fmt.Errorf("pattern: empty linear pattern")
+	}
+	return pat, nil
+}
+
+// decorations parses optional [attrs] and {pred} after a label.
+func (p *patParser) decorations(n *Node) error {
+	if p.pos < len(p.src) && p.src[p.pos] == '[' {
+		end := strings.IndexByte(p.src[p.pos:], ']')
+		if end < 0 {
+			return fmt.Errorf("pattern: missing ']' at %d in %q", p.pos, p.src)
+		}
+		list := p.src[p.pos+1 : p.pos+end]
+		p.pos += end + 1
+		for _, name := range strings.Split(list, ",") {
+			switch strings.ToLower(strings.TrimSpace(name)) {
+			case "id":
+				n.Attrs |= AttrID
+			case "l", "label":
+				n.Attrs |= AttrLabel
+			case "v", "val", "value":
+				n.Attrs |= AttrValue
+			case "c", "cont", "content":
+				n.Attrs |= AttrContent
+			case "":
+			default:
+				return fmt.Errorf("pattern: unknown attribute %q in %q", name, p.src)
+			}
+		}
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '{' {
+		end := strings.IndexByte(p.src[p.pos:], '}')
+		if end < 0 {
+			return fmt.Errorf("pattern: missing '}' at %d in %q", p.pos, p.src)
+		}
+		f, err := predicate.Parse(p.src[p.pos+1 : p.pos+end])
+		if err != nil {
+			return err
+		}
+		n.Pred = f
+		p.pos += end + 1
+	}
+	return nil
+}
+
+// children parses an optional parenthesized edge list. When no list
+// follows, the position is restored so chained-step detection can see
+// whether whitespace separated the next step.
+func (p *patParser) children(pat *Pattern, parent *Node) error {
+	save := p.pos
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+		p.pos = save
+		return nil
+	}
+	p.pos++
+	for {
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == ')' {
+			p.pos++
+			return nil
+		}
+		if p.pos >= len(p.src) {
+			return fmt.Errorf("pattern: missing ')' in %q", p.src)
+		}
+		if err := p.edge(pat, parent); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *patParser) edge(pat *Pattern, parent *Node) error {
+	nested, optional := false, false
+	for {
+		if p.pos < len(p.src) && p.src[p.pos] == 'n' && p.pos+1 < len(p.src) &&
+			(p.src[p.pos+1] == '/' || p.src[p.pos+1] == '?') {
+			nested = true
+			p.pos++
+			continue
+		}
+		if p.pos < len(p.src) && p.src[p.pos] == '?' {
+			optional = true
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos >= len(p.src) || p.src[p.pos] != '/' {
+		return fmt.Errorf("pattern: expected axis at %d in %q", p.pos, p.src)
+	}
+	axis := Child
+	p.pos++
+	if p.pos < len(p.src) && p.src[p.pos] == '/' {
+		axis = Descendant
+		p.pos++
+	}
+	label, err := p.label()
+	if err != nil {
+		return err
+	}
+	n := pat.AddChild(parent, label, axis)
+	n.Optional = optional
+	n.Nested = nested
+	if err := p.decorations(n); err != nil {
+		return err
+	}
+	if err := p.children(pat, n); err != nil {
+		return err
+	}
+	// A step that follows without intervening whitespace continues the
+	// chain: `a(/b/c)` is root→b→c, while `a(/b /c)` is two siblings.
+	if p.pos < len(p.src) && chainAhead(p.src[p.pos:]) {
+		return p.edge(pat, n)
+	}
+	return nil
+}
+
+func chainAhead(rest string) bool {
+	i := 0
+	for i < len(rest) && (rest[i] == 'n' || rest[i] == '?') {
+		i++
+	}
+	return i < len(rest) && rest[i] == '/'
+}

@@ -1,0 +1,286 @@
+// Package pattern implements the paper's extended tree pattern language:
+// conjunctive tree patterns (Section 2.2) enriched with value predicates
+// (Section 4.2), optional edges (Section 4.3), per-node attributes ID, L,
+// V, C (Section 4.4), and nested edges (Section 4.5).
+//
+// A pattern is a tree of nodes labeled from L ∪ {*}. Each non-root node is
+// connected to its parent by a /-edge (child) or //-edge (descendant) that
+// may independently be optional (dashed in the paper) and/or nested
+// (n-labeled). Nodes that store at least one attribute are the pattern's
+// return nodes.
+package pattern
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlviews/internal/predicate"
+)
+
+// Axis is the relationship of a node to its parent.
+type Axis int
+
+const (
+	// Child is the /-edge.
+	Child Axis = iota
+	// Descendant is the //-edge.
+	Descendant
+)
+
+func (a Axis) String() string {
+	if a == Child {
+		return "/"
+	}
+	return "//"
+}
+
+// Attrs is a bitmask of the attributes a node stores (Section 4.4).
+type Attrs uint8
+
+const (
+	// AttrID stores the node's structural identifier.
+	AttrID Attrs = 1 << iota
+	// AttrLabel stores the node's label (useful with * nodes).
+	AttrLabel
+	// AttrValue stores the node's atomic value.
+	AttrValue
+	// AttrContent stores the node's content (the subtree rooted there).
+	AttrContent
+)
+
+// Has reports whether all attributes in mask are present.
+func (a Attrs) Has(mask Attrs) bool { return a&mask == mask }
+
+// Count returns the number of attributes stored.
+func (a Attrs) Count() int {
+	n := 0
+	for _, m := range []Attrs{AttrID, AttrLabel, AttrValue, AttrContent} {
+		if a.Has(m) {
+			n++
+		}
+	}
+	return n
+}
+
+// Names returns the attribute names in canonical order (id, l, v, c).
+func (a Attrs) Names() []string {
+	var out []string
+	if a.Has(AttrID) {
+		out = append(out, "id")
+	}
+	if a.Has(AttrLabel) {
+		out = append(out, "l")
+	}
+	if a.Has(AttrValue) {
+		out = append(out, "v")
+	}
+	if a.Has(AttrContent) {
+		out = append(out, "c")
+	}
+	return out
+}
+
+func (a Attrs) String() string { return strings.Join(a.Names(), ",") }
+
+// Wildcard is the label matching any node label.
+const Wildcard = "*"
+
+// Node is one pattern node.
+type Node struct {
+	Label    string
+	Axis     Axis // edge from Parent; ignored on the root
+	Optional bool // dashed edge from Parent
+	Nested   bool // n-labeled edge from Parent
+	Pred     predicate.Formula
+	Attrs    Attrs
+	Parent   *Node
+	Children []*Node
+
+	// Index is the node's preorder position in its pattern, assigned by
+	// Pattern.Finish; -1 before that.
+	Index int
+}
+
+// IsReturn reports whether the node is a return node (stores attributes).
+func (n *Node) IsReturn() bool { return n.Attrs != 0 }
+
+// MatchesLabel reports whether the pattern node's label accepts the given
+// tree label.
+func (n *Node) MatchesLabel(label string) bool {
+	return n.Label == Wildcard || n.Label == label
+}
+
+// NestingDepth returns the number of nested edges on the path from the
+// pattern root down to (and including) the node's own incoming edge.
+func (n *Node) NestingDepth() int {
+	d := 0
+	for cur := n; cur.Parent != nil; cur = cur.Parent {
+		if cur.Nested {
+			d++
+		}
+	}
+	return d
+}
+
+// Pattern is a tree pattern. Construct with NewPattern/AddChild (or Parse)
+// and call Finish before use; Finish is idempotent and recomputes the node
+// index and return-node list.
+type Pattern struct {
+	Root *Node
+
+	nodes   []*Node // preorder
+	returns []*Node // return nodes, in preorder
+}
+
+// NewPattern creates a pattern whose root has the given label. The root
+// edge fields are unused.
+func NewPattern(rootLabel string) *Pattern {
+	p := &Pattern{Root: &Node{Label: rootLabel, Pred: predicate.True(), Index: -1}}
+	return p
+}
+
+// AddChild adds a child pattern node under parent and returns it.
+func (p *Pattern) AddChild(parent *Node, label string, axis Axis) *Node {
+	c := &Node{Label: label, Axis: axis, Pred: predicate.True(), Parent: parent, Index: -1}
+	parent.Children = append(parent.Children, c)
+	return c
+}
+
+// Finish assigns preorder indexes and collects return nodes. It must be
+// called after structural mutation and before Size/Nodes/Returns/At are
+// used. It returns the pattern for chaining.
+func (p *Pattern) Finish() *Pattern {
+	p.nodes = p.nodes[:0]
+	p.returns = p.returns[:0]
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		n.Index = len(p.nodes)
+		p.nodes = append(p.nodes, n)
+		if n.IsReturn() {
+			p.returns = append(p.returns, n)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(p.Root)
+	return p
+}
+
+// Size returns the number of pattern nodes.
+func (p *Pattern) Size() int { return len(p.nodes) }
+
+// Nodes returns the pattern nodes in preorder. The slice must not be
+// modified.
+func (p *Pattern) Nodes() []*Node { return p.nodes }
+
+// Returns returns the return nodes in preorder. The slice must not be
+// modified.
+func (p *Pattern) Returns() []*Node { return p.returns }
+
+// Arity returns the number of return nodes.
+func (p *Pattern) Arity() int { return len(p.returns) }
+
+// At returns the node with the given preorder index.
+func (p *Pattern) At(i int) *Node { return p.nodes[i] }
+
+// HasOptional reports whether any edge is optional.
+func (p *Pattern) HasOptional() bool {
+	for _, n := range p.nodes[1:] {
+		if n.Optional {
+			return true
+		}
+	}
+	return false
+}
+
+// HasNested reports whether any edge is nested.
+func (p *Pattern) HasNested() bool {
+	for _, n := range p.nodes[1:] {
+		if n.Nested {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the pattern, already finished.
+func (p *Pattern) Clone() *Pattern {
+	out := &Pattern{}
+	var copyNode func(n *Node, parent *Node) *Node
+	copyNode = func(n *Node, parent *Node) *Node {
+		c := &Node{
+			Label: n.Label, Axis: n.Axis, Optional: n.Optional, Nested: n.Nested,
+			Pred: n.Pred, Attrs: n.Attrs, Parent: parent, Index: -1,
+		}
+		for _, ch := range n.Children {
+			c.Children = append(c.Children, copyNode(ch, c))
+		}
+		return c
+	}
+	out.Root = copyNode(p.Root, nil)
+	return out.Finish()
+}
+
+// String renders the pattern in the surface syntax accepted by Parse:
+//
+//	site(//item[id,v]{v>3}(/name[v] n?//listitem[c]))
+//
+// Children are parenthesized and space-separated; each edge shows its
+// nested marker 'n', optional marker '?', and axis, in that order.
+func (p *Pattern) String() string {
+	var b strings.Builder
+	writePatternNode(&b, p.Root, true)
+	return b.String()
+}
+
+func writePatternNode(b *strings.Builder, n *Node, isRoot bool) {
+	if !isRoot {
+		if n.Nested {
+			b.WriteByte('n')
+		}
+		if n.Optional {
+			b.WriteByte('?')
+		}
+		b.WriteString(n.Axis.String())
+	}
+	b.WriteString(n.Label)
+	if n.Attrs != 0 {
+		b.WriteByte('[')
+		b.WriteString(n.Attrs.String())
+		b.WriteByte(']')
+	}
+	if !n.Pred.IsTrue() {
+		b.WriteByte('{')
+		b.WriteString(n.Pred.String())
+		b.WriteByte('}')
+	}
+	if len(n.Children) > 0 {
+		b.WriteByte('(')
+		for i, c := range n.Children {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			writePatternNode(b, c, false)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// Validate checks structural well-formedness: the root must not be
+// optional/nested, labels must be non-empty, and at least one return node
+// should exist for the pattern to be useful as a query or view.
+func (p *Pattern) Validate() error {
+	if p.Root == nil {
+		return fmt.Errorf("pattern: nil root")
+	}
+	for _, n := range p.nodes {
+		if n.Label == "" {
+			return fmt.Errorf("pattern: empty label")
+		}
+	}
+	if p.Arity() == 0 {
+		return fmt.Errorf("pattern: no return nodes")
+	}
+	return nil
+}

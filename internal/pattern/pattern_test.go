@@ -1,0 +1,364 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"xmlviews/internal/summary"
+	"xmlviews/internal/xmltree"
+)
+
+func TestParseTreeForm(t *testing.T) {
+	p := MustParse(`site(//item[id,v]{v>3}(/name[v] n?//listitem[c]))`)
+	if p.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", p.Size())
+	}
+	item := p.Root.Children[0]
+	if item.Label != "item" || item.Axis != Descendant {
+		t.Fatalf("item node wrong: %+v", item)
+	}
+	if !item.Attrs.Has(AttrID | AttrValue) {
+		t.Fatalf("item attrs = %v", item.Attrs)
+	}
+	if item.Pred.IsTrue() {
+		t.Fatal("item predicate lost")
+	}
+	name := item.Children[0]
+	if name.Axis != Child || !name.Attrs.Has(AttrValue) || name.Optional || name.Nested {
+		t.Fatalf("name node wrong: %+v", name)
+	}
+	li := item.Children[1]
+	if !li.Optional || !li.Nested || li.Axis != Descendant || !li.Attrs.Has(AttrContent) {
+		t.Fatalf("listitem node wrong: %+v", li)
+	}
+	if p.Arity() != 3 {
+		t.Fatalf("Arity = %d, want 3", p.Arity())
+	}
+}
+
+func TestParseLinearForm(t *testing.T) {
+	p := MustParse(`/a//b[v]{v>2}/c[id]`)
+	if p.Size() != 3 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	if p.Root.Label != "a" {
+		t.Fatalf("root = %s", p.Root.Label)
+	}
+	b := p.Root.Children[0]
+	if b.Axis != Descendant || b.Label != "b" {
+		t.Fatalf("b wrong: %+v", b)
+	}
+	if c := b.Children[0]; c.Axis != Child || !c.Attrs.Has(AttrID) {
+		t.Fatalf("c wrong: %+v", c)
+	}
+}
+
+func TestParseWildcardAndErrors(t *testing.T) {
+	p := MustParse(`a(//*[l](/b[v]))`)
+	if p.Root.Children[0].Label != Wildcard {
+		t.Fatal("wildcard lost")
+	}
+	for _, bad := range []string{
+		"", "(", "a(", "a(/b", "a(b)", "a(/b[z])", "a(/b{v>})", "//a", "a)b",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		`site(//item[id,v]{v>3}(/name[v] n?//listitem[c]))`,
+		`a(/b[id] //c(?/d[v]{v=1 | v=3}))`,
+		`a(//*[l,c])`,
+		`regions(//*[id](/description(/parlist(?/listitem[v](//bold[v])))))`,
+	}
+	for _, src := range srcs {
+		p := MustParse(src)
+		q := MustParse(p.String())
+		if p.String() != q.String() {
+			t.Errorf("round trip changed %q -> %q -> %q", src, p.String(), q.String())
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := MustParse(`a(//b[id](?/c[v]))`)
+	q := p.Clone()
+	q.Root.Children[0].Label = "zzz"
+	q.Root.Children[0].Attrs = 0
+	if p.Root.Children[0].Label != "b" || !p.Root.Children[0].Attrs.Has(AttrID) {
+		t.Fatal("Clone shares nodes")
+	}
+	if q.Finish().Arity() == p.Arity() {
+		t.Fatal("clone mutation should have changed arity")
+	}
+}
+
+func TestNestingDepth(t *testing.T) {
+	p := MustParse(`a(n//b[id](n/c(/d[v])))`)
+	d := p.Root.Children[0].Children[0].Children[0]
+	if got := d.NestingDepth(); got != 2 {
+		t.Fatalf("NestingDepth = %d, want 2", got)
+	}
+	if got := p.Root.NestingDepth(); got != 0 {
+		t.Fatalf("root NestingDepth = %d", got)
+	}
+}
+
+// Figure 2: pattern p = a(b*(...)) with boxed return nodes, document d.
+// p = a(/b //*(//b[return] /d(/e[return]))) — adapted: return nodes boxed
+// in the figure are the lower * and e.
+func fig2() (*xmltree.Document, *Pattern) {
+	doc := xmltree.MustParseParen(
+		`a(b "1" c(b "2" d(e "3")) d(c(b "5" d(b "4" b e "6"))) b(c(d(e "6"))))`)
+	p := MustParse(`a(/b //*(/b[id] /d(/e[v])))`)
+	return doc, p
+}
+
+func TestEvalNodeTuplesFigure2(t *testing.T) {
+	doc, p := fig2()
+	tuples := p.EvalNodeTuples(doc)
+	if len(tuples) == 0 {
+		t.Fatal("no embeddings found")
+	}
+	// Every returned b must have the parent * with a d child containing e,
+	// and the document must contain an a-rooted b child (it does).
+	for _, tup := range tuples {
+		if len(tup) != 2 {
+			t.Fatalf("arity = %d", len(tup))
+		}
+		b, e := tup[0], tup[1]
+		if b.Label != "b" || e.Label != "e" {
+			t.Fatalf("labels wrong: %s %s", b.Label, e.Label)
+		}
+		if b.Parent != e.Parent.Parent {
+			t.Fatalf("b and e not under same *: %s %s", b.ID, e.ID)
+		}
+	}
+}
+
+func TestEvalSimple(t *testing.T) {
+	doc := xmltree.MustParseParen(`site(item(name "pen" price "3") item(name "ink" price "7"))`)
+	p := MustParse(`site(/item(/name[v] /price[v]{v>5}))`)
+	rel := p.Eval(doc)
+	if rel.Len() != 1 {
+		t.Fatalf("rows = %d, want 1\n%s", rel.Len(), rel)
+	}
+	if rel.Rows[0][0].Str != "ink" || rel.Rows[0][1].Str != "7" {
+		t.Fatalf("row = %v", rel.Rows[0])
+	}
+}
+
+func TestEvalOptionalProducesNulls(t *testing.T) {
+	// Figure 10 shape: some c nodes lack the optional d subtree.
+	doc := xmltree.MustParseParen(`a(c(b b(e)) c(x))`)
+	p := MustParse(`a(//c[id](?/b[id]))`)
+	rel := p.Eval(doc)
+	if rel.Len() != 3 {
+		t.Fatalf("rows = %d, want 3\n%s", rel.Len(), rel.Sorted())
+	}
+	nulls := 0
+	for _, row := range rel.Rows {
+		if row[1].IsNull() {
+			nulls++
+			if row[0].IsNull() {
+				t.Fatal("parent must still bind")
+			}
+		}
+	}
+	if nulls != 1 {
+		t.Fatalf("null rows = %d, want 1\n%s", nulls, rel.Sorted())
+	}
+}
+
+func TestEvalOptionalMaximality(t *testing.T) {
+	// Optional edges bind when they can (Definition 4.1, condition 3b):
+	// no spurious ⊥ row for a c that has a b child.
+	doc := xmltree.MustParseParen(`a(c(b "1"))`)
+	p := MustParse(`a(/c[id](?/b[v]))`)
+	rel := p.Eval(doc)
+	if rel.Len() != 1 {
+		t.Fatalf("rows = %d, want 1\n%s", rel.Len(), rel)
+	}
+	if rel.Rows[0][1].IsNull() {
+		t.Fatal("optional edge must bind when a match exists")
+	}
+}
+
+func TestEvalNested(t *testing.T) {
+	// Figure 12 semantics: nested edge groups bindings into one table.
+	doc := xmltree.MustParseParen(`a(c(e "1" e "2") c(e "3") c(x))`)
+	p := MustParse(`a(/c[id](n?/e[v]))`)
+	rel := p.Eval(doc)
+	if rel.Len() != 3 {
+		t.Fatalf("rows = %d, want 3\n%s", rel.Len(), rel)
+	}
+	sizes := map[int]int{}
+	for _, row := range rel.Rows {
+		if row[1].Kind != 4 /* KindTable */ {
+			t.Fatalf("expected table value, got %v", row[1].Kind)
+		}
+		sizes[row[1].Table.Len()]++
+	}
+	if sizes[2] != 1 || sizes[1] != 1 || sizes[0] != 1 {
+		t.Fatalf("table sizes = %v, want one each of 0,1,2", sizes)
+	}
+}
+
+func TestEvalNestedNonOptionalRequiresMatch(t *testing.T) {
+	doc := xmltree.MustParseParen(`a(c(e "1") c(x))`)
+	p := MustParse(`a(/c[id](n/e[v]))`)
+	rel := p.Eval(doc)
+	if rel.Len() != 1 {
+		t.Fatalf("rows = %d, want 1 (c without e must be dropped)\n%s", rel.Len(), rel)
+	}
+}
+
+func TestEvalPredicateOnInternalNode(t *testing.T) {
+	doc := xmltree.MustParseParen(`a(b "3" (c "x") b "9" (c "y"))`)
+	p := MustParse(`a(/b{v<5}(/c[v]))`)
+	rel := p.Eval(doc)
+	if rel.Len() != 1 || rel.Rows[0][0].Str != "x" {
+		t.Fatalf("rel = %s", rel)
+	}
+}
+
+func TestEvalAttributesAndColumns(t *testing.T) {
+	doc := xmltree.MustParseParen(`a(b "7" (c))`)
+	p := MustParse(`a(/b[id,l,v,c])`)
+	rel := p.Eval(doc)
+	wantCols := []string{"I1", "L1", "V1", "C1"}
+	if strings.Join(rel.Cols, ",") != strings.Join(wantCols, ",") {
+		t.Fatalf("cols = %v", rel.Cols)
+	}
+	row := rel.Rows[0]
+	if row[0].ID.String() != "1.1" || row[1].Str != "b" || row[2].Str != "7" {
+		t.Fatalf("row = %v", row)
+	}
+	if row[3].Content.Root.Label != "b" || len(row[3].Content.Root.Children) != 1 {
+		t.Fatalf("content = %v", row[3].Render())
+	}
+}
+
+func TestEvalRootMismatch(t *testing.T) {
+	doc := xmltree.MustParseParen(`z(b)`)
+	p := MustParse(`a(/b[id])`)
+	if rel := p.Eval(doc); rel.Len() != 0 {
+		t.Fatalf("rows = %d, want 0", rel.Len())
+	}
+}
+
+// Figure 3 right: paths associated to p's nodes under summary S.
+func TestAssociatedPathsFigure3(t *testing.T) {
+	// Summary S from Figure 3, node numbering by preorder:
+	// 1:a 2:b(under a) 3:c(under a) 4:b(under c) 5:d(under c) 6:b(under d) 7:e(under d).
+	s := summary.MustParse(`a(b c(b d(b e)))`)
+	p := MustParse(`a(/b //*(/b[id] /d(/e[v])))`)
+	paths := AssociatedPaths(p, s)
+	get := func(i int) []int { return paths[i] }
+	// Node order (preorder): 0:a 1:b 2:* 3:b 4:d 5:e
+	if got := get(0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("a paths = %v", got)
+	}
+	// b (first child): paper says 1 (direct child of root) -> our id for /a/b.
+	ab := s.FindPath("/a/b")
+	if got := get(1); len(got) != 1 || got[0] != ab {
+		t.Fatalf("b paths = %v, want [%d]", got, ab)
+	}
+	// * node: it needs a b child and a d child that itself has an e child,
+	// which only /a/c satisfies (/a/c/d has no d child).
+	ac, acd := s.FindPath("/a/c"), s.FindPath("/a/c/d")
+	if got := get(2); len(got) != 1 || got[0] != ac {
+		t.Fatalf("* paths = %v, want [%d]", got, ac)
+	}
+	// lower b: only /a/c/b once * is pinned to /a/c.
+	acb := s.FindPath("/a/c/b")
+	if got := get(3); len(got) != 1 || got[0] != acb {
+		t.Fatalf("lower b paths = %v, want [%d]", got, acb)
+	}
+	acde := s.FindPath("/a/c/d/e")
+	if got := get(4); len(got) != 1 || got[0] != acd {
+		t.Fatalf("d paths = %v, want [%d]", got, acd)
+	}
+	if got := get(5); len(got) != 1 || got[0] != acde {
+		t.Fatalf("e paths = %v, want [%d]", got, acde)
+	}
+}
+
+func TestAssociatedPathsPrunesViaChildren(t *testing.T) {
+	s := summary.MustParse(`r(a(b) a2(c))`)
+	p := MustParse(`r(//*[id](/b[v]))`)
+	paths := AssociatedPaths(p, s)
+	star := paths[1]
+	if len(star) != 1 || s.PathString(star[0]) != "/r/a" {
+		t.Fatalf("* should prune to /r/a, got %v", star)
+	}
+}
+
+func TestAssociatedPathsOptionalDoesNotPrune(t *testing.T) {
+	s := summary.MustParse(`r(a a2(c))`)
+	p := MustParse(`r(//*[id](?/b[v]))`)
+	paths := AssociatedPaths(p, s)
+	if len(paths[1]) != 3 {
+		t.Fatalf("* candidates = %v, want all three of a,a2,c", paths[1])
+	}
+	if len(paths[2]) != 0 {
+		t.Fatalf("optional b has no candidate paths, got %v", paths[2])
+	}
+	if !SatisfiableUnder(p, s) {
+		t.Fatal("pattern with unmatchable optional subtree is still satisfiable")
+	}
+}
+
+func TestSatisfiableUnder(t *testing.T) {
+	s := summary.MustParse(`r(a(b))`)
+	if !SatisfiableUnder(MustParse(`r(//b[id])`), s) {
+		t.Fatal("r//b should be satisfiable")
+	}
+	if SatisfiableUnder(MustParse(`r(/b[id])`), s) {
+		t.Fatal("r/b should be unsatisfiable (b is below a)")
+	}
+	if SatisfiableUnder(MustParse(`r(//z[id])`), s) {
+		t.Fatal("r//z should be unsatisfiable")
+	}
+	if !SatisfiableUnder(MustParse(`r(//a[id](?/z))`), s) {
+		t.Fatal("optional missing child keeps satisfiability")
+	}
+	if SatisfiableUnder(MustParse(`x(//a[id])`), s) {
+		t.Fatal("wrong root should be unsatisfiable")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := MustParse(`a(/b[id])`).Validate(); err != nil {
+		t.Fatalf("valid pattern rejected: %v", err)
+	}
+	p := NewPattern("a").Finish()
+	if err := p.Validate(); err == nil {
+		t.Fatal("pattern without return nodes should be invalid")
+	}
+}
+
+func TestParseChainedSteps(t *testing.T) {
+	p := MustParse(`r(/a/b//c[id,v])`)
+	if p.Size() != 4 {
+		t.Fatalf("chain size = %d, want 4: %s", p.Size(), p)
+	}
+	c := p.Root.Children[0].Children[0].Children[0]
+	if c.Label != "c" || c.Axis != Descendant || !c.Attrs.Has(AttrID|AttrValue) {
+		t.Fatalf("chain leaf wrong: %s", p)
+	}
+	// Spaces still separate siblings.
+	q := MustParse(`r(/a /b)`)
+	if len(q.Root.Children) != 2 {
+		t.Fatalf("siblings parsed as chain: %s", q)
+	}
+	// Markers participate in chains.
+	m := MustParse(`r(/a?/b)`)
+	b := m.Root.Children[0].Children[0]
+	if !b.Optional || b.Label != "b" {
+		t.Fatalf("chained optional wrong: %s", m)
+	}
+}

@@ -1,0 +1,92 @@
+// Package predicate implements the value-predicate formulas φ(v) of
+// Section 4.2 of the paper: boolean combinations of atoms v θ c with
+// θ ∈ {=, <, >} (plus ≤, ≥, ≠ for convenience) over a totally ordered
+// domain of atomic values.
+//
+// Formulas are kept in a canonical form — a sorted union of disjoint
+// intervals — so that conjunction, disjunction, negation, implication, and
+// satisfiability are all cheap and deterministic. The package also provides
+// multi-variable Boxes (one formula per variable) and the box-cover test
+// that decides condition 2 of the union-containment criterion of
+// Section 4.2: φ_te ⇒ ∨_{t'e} φ_{t'e}.
+//
+// The atomic domain mixes numbers and strings; all numbers order before all
+// strings, numbers order numerically, strings lexicographically. The paper
+// assumes an enumerable total order; we use the dense order of the reals /
+// strings, which only makes the implication test more conservative on
+// integer data (e.g. 2<v ∧ v<3 is treated as satisfiable).
+package predicate
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Atom is an atomic value from the ordered domain A: either a number or a
+// string. The zero value is the number 0.
+type Atom struct {
+	str   string
+	num   float64
+	isStr bool
+}
+
+// Num returns the numeric atom with the given value.
+func Num(v float64) Atom { return Atom{num: v} }
+
+// Str returns the string atom with the given value.
+func Str(s string) Atom { return Atom{str: s, isStr: true} }
+
+// ParseAtom interprets a literal: if it parses as a number it is numeric,
+// otherwise it is a string. Quoted literals ("..." or '...') are always
+// strings.
+func ParseAtom(lit string) Atom {
+	if len(lit) >= 2 {
+		if (lit[0] == '"' && lit[len(lit)-1] == '"') || (lit[0] == '\'' && lit[len(lit)-1] == '\'') {
+			return Str(lit[1 : len(lit)-1])
+		}
+	}
+	if f, err := strconv.ParseFloat(lit, 64); err == nil {
+		return Num(f)
+	}
+	return Str(lit)
+}
+
+// IsString reports whether the atom is from the string part of the domain.
+func (a Atom) IsString() bool { return a.isStr }
+
+// Compare totally orders atoms: numbers before strings, numbers
+// numerically, strings lexicographically. It returns -1, 0, or +1.
+func (a Atom) Compare(b Atom) int {
+	if a.isStr != b.isStr {
+		if b.isStr {
+			return -1
+		}
+		return 1
+	}
+	if a.isStr {
+		return strings.Compare(a.str, b.str)
+	}
+	switch {
+	case a.num < b.num:
+		return -1
+	case a.num > b.num:
+		return 1
+	}
+	return 0
+}
+
+// String renders the atom; string atoms are quoted.
+func (a Atom) String() string {
+	if a.isStr {
+		return strconv.Quote(a.str)
+	}
+	return strconv.FormatFloat(a.num, 'g', -1, 64)
+}
+
+// Text returns the raw textual value of the atom (unquoted).
+func (a Atom) Text() string {
+	if a.isStr {
+		return a.str
+	}
+	return strconv.FormatFloat(a.num, 'g', -1, 64)
+}

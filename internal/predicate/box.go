@@ -1,0 +1,173 @@
+package predicate
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Box is a conjunction of per-variable formulas: the φ_te(v1,...,v|S|) of
+// Section 4.2. Variables are identified by integers (in the paper, summary
+// node ids; in this implementation, canonical-tree node ids). A variable
+// absent from the map is unconstrained (T). The zero value is the
+// all-true box.
+type Box map[int]Formula
+
+// NewBox returns an empty (all-true) box.
+func NewBox() Box { return Box{} }
+
+// Constrain returns a copy of the box with the variable additionally
+// constrained by f (conjunction with any existing constraint).
+func (b Box) Constrain(v int, f Formula) Box {
+	out := b.Clone()
+	if cur, ok := out[v]; ok {
+		out[v] = cur.And(f)
+	} else if !f.IsTrue() {
+		out[v] = f
+	}
+	return out
+}
+
+// Clone returns an independent copy of the box.
+func (b Box) Clone() Box {
+	out := make(Box, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// IsEmpty reports whether the box denotes no valuation (some variable's
+// formula is unsatisfiable).
+func (b Box) IsEmpty() bool {
+	for _, f := range b {
+		if f.IsFalse() {
+			return true
+		}
+	}
+	return false
+}
+
+// And returns the conjunction of two boxes.
+func (b Box) And(other Box) Box {
+	out := b.Clone()
+	for v, f := range other {
+		if cur, ok := out[v]; ok {
+			out[v] = cur.And(f)
+		} else {
+			out[v] = f
+		}
+	}
+	return out
+}
+
+// get returns the constraint on v, defaulting to True.
+func (b Box) get(v int) Formula {
+	if f, ok := b[v]; ok {
+		return f
+	}
+	return True()
+}
+
+// CoveredBy reports whether every valuation satisfying b satisfies at least
+// one of the boxes in cover: b ⇒ ∨ cover. This is the decision procedure
+// for condition 2 of the union-containment criterion (Section 4.2). It runs
+// by recursive box subtraction; the worst case is exponential in the number
+// of distinct constants (the paper's N^|S| bound), but boxes in practice
+// constrain very few variables.
+func (b Box) CoveredBy(cover []Box) bool {
+	if b.IsEmpty() {
+		return true
+	}
+	// Drop covering boxes that are themselves empty.
+	live := cover[:0:0]
+	for _, c := range cover {
+		if !c.IsEmpty() {
+			live = append(live, c)
+		}
+	}
+	return subtractCovered(b, live)
+}
+
+// subtractCovered reports whether box b is covered by the union of boxes cs.
+func subtractCovered(b Box, cs []Box) bool {
+	if b.IsEmpty() {
+		return true
+	}
+	if len(cs) == 0 {
+		return false
+	}
+	c := cs[0]
+	rest := cs[1:]
+	// Variables where c constrains b; process in sorted order for
+	// determinism.
+	vars := make([]int, 0, len(b)+len(c))
+	seen := map[int]bool{}
+	for v := range b {
+		if !seen[v] {
+			seen[v] = true
+			vars = append(vars, v)
+		}
+	}
+	for v := range c {
+		if !seen[v] {
+			seen[v] = true
+			vars = append(vars, v)
+		}
+	}
+	sort.Ints(vars)
+
+	// b \ c = union over i of pieces where vars[0..i-1] are inside c and
+	// vars[i] is outside c. Each piece must be covered by the remaining
+	// boxes.
+	inside := b // progressively restricted copy
+	for _, v := range vars {
+		cf := c.get(v)
+		if cf.IsTrue() {
+			continue
+		}
+		outPart := inside.get(v).And(cf.Not())
+		if !outPart.IsFalse() {
+			piece := inside.Clone()
+			piece[v] = outPart
+			if !subtractCovered(piece, rest) {
+				return false
+			}
+		}
+		inPart := inside.get(v).And(cf)
+		if inPart.IsFalse() {
+			// b ∩ c is empty from here on; all remaining mass was
+			// handled as "outside" pieces plus what stays in inside —
+			// but inside∧c = ∅ means the rest of b is entirely outside
+			// on this variable and was just checked.
+			return true
+		}
+		inside = inside.Clone()
+		inside[v] = inPart
+	}
+	// The fully-inside piece is covered by c itself.
+	return true
+}
+
+// String renders the box deterministically for debugging and dedup keys.
+func (b Box) String() string {
+	if len(b) == 0 {
+		return "true"
+	}
+	vars := make([]int, 0, len(b))
+	for v := range b {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	var parts []string
+	for _, v := range vars {
+		if b[v].IsTrue() {
+			continue
+		}
+		parts = append(parts, "v"+strconv.Itoa(v)+":("+strings.ReplaceAll(b[v].String(), " ", "")+")")
+	}
+	if len(parts) == 0 {
+		return "true"
+	}
+	return strings.Join(parts, " & ")
+}

@@ -1,0 +1,146 @@
+package predicate
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func box(pairs ...interface{}) Box {
+	b := NewBox()
+	for i := 0; i < len(pairs); i += 2 {
+		b = b.Constrain(pairs[i].(int), MustParse(pairs[i+1].(string)))
+	}
+	return b
+}
+
+func TestBoxBasics(t *testing.T) {
+	b := box(1, "v=3", 2, "v>0")
+	if b.IsEmpty() {
+		t.Fatal("satisfiable box reported empty")
+	}
+	if e := b.Constrain(1, MustParse("v=4")); !e.IsEmpty() {
+		t.Fatal("contradictory box not empty")
+	}
+	c := b.And(box(2, "v<5", 3, "v=1"))
+	if c.IsEmpty() {
+		t.Fatalf("And produced empty: %v", c)
+	}
+	if got := c.get(2); !got.Equal(MustParse("v>0 & v<5")) {
+		t.Fatalf("And constraint wrong: %v", got)
+	}
+}
+
+// The paper's worked example, Section 4.2: deciding
+// pφ2 ⊆S pφ1 ∪ pφ3 ∪ pφ4. Variables are summary node numbers (Fig 3).
+func TestBoxCoverPaperExample(t *testing.T) {
+	// φt'φ2 = (v3 = 3) ∧ (v4 > 0); covered by φtφ3 = (v3 > 1).
+	t1 := box(3, "v=3", 4, "v>0")
+	if !t1.CoveredBy([]Box{box(3, "v>1")}) {
+		t.Fatal("φt'φ2 should be covered by φtφ3")
+	}
+	// φt''φ2 = (v5 = 3) ∧ (v6 > 0); covered by
+	// φtφ1 = (v5 = 3) ∧ (v6 < 5) ∨ φtφ4 = (v5 < 5) ∧ (v6 > 2).
+	t2 := box(5, "v=3", 6, "v>0")
+	cover := []Box{box(5, "v=3", 6, "v<5"), box(5, "v<5", 6, "v>2")}
+	if !t2.CoveredBy(cover) {
+		t.Fatal("φt''φ2 should be covered by φtφ1 ∨ φtφ4")
+	}
+	// Neither alone suffices.
+	if t2.CoveredBy(cover[:1]) {
+		t.Fatal("φtφ1 alone should not cover")
+	}
+	if t2.CoveredBy(cover[1:]) {
+		t.Fatal("φtφ4 alone should not cover")
+	}
+}
+
+func TestBoxCoverEdgeCases(t *testing.T) {
+	if !NewBox().CoveredBy([]Box{NewBox()}) {
+		t.Fatal("true covered by true")
+	}
+	if NewBox().CoveredBy(nil) {
+		t.Fatal("true covered by nothing")
+	}
+	if NewBox().CoveredBy([]Box{box(1, "v=1")}) {
+		t.Fatal("true covered by a strict subset")
+	}
+	if !box(1, "v=1", 2, "v=2").And(box(1, "v=9")).CoveredBy(nil) {
+		t.Fatal("empty box covered by nothing should hold")
+	}
+	// Split cover: v1 in (−∞,5) ∪ [5,∞) covers everything.
+	b := box(1, "v>0")
+	if !b.CoveredBy([]Box{box(1, "v<5"), box(1, "v>=5")}) {
+		t.Fatal("split cover failed")
+	}
+	// Cover with a gap.
+	if b.CoveredBy([]Box{box(1, "v<5"), box(1, "v>5")}) {
+		t.Fatal("gap at 5 missed")
+	}
+}
+
+func TestBoxCoverMultiVariable(t *testing.T) {
+	// [0,10]x[0,10] is covered by left half + right half.
+	b := box(1, "v>=0 & v<=10", 2, "v>=0 & v<=10")
+	halves := []Box{
+		box(1, "v<=4"),
+		box(1, "v>4"),
+	}
+	if !b.CoveredBy(halves) {
+		t.Fatal("half cover failed")
+	}
+	// Quadrants covering only three corners leave a hole.
+	quads := []Box{
+		box(1, "v<=5", 2, "v<=5"),
+		box(1, "v>5", 2, "v<=5"),
+		box(1, "v<=5", 2, "v>5"),
+	}
+	if b.CoveredBy(quads) {
+		t.Fatal("missing quadrant not detected")
+	}
+	quads = append(quads, box(1, "v>5", 2, "v>5"))
+	if !b.CoveredBy(quads) {
+		t.Fatal("full quadrant cover failed")
+	}
+}
+
+// Property: CoveredBy agrees with pointwise sampling on random boxes.
+func TestBoxCoverSamplingProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	randBox := func() Box {
+		b := NewBox()
+		for v := 1; v <= 2; v++ {
+			if r.Intn(3) == 0 {
+				continue
+			}
+			b = b.Constrain(v, randFormula(r, 2))
+		}
+		return b
+	}
+	for trial := 0; trial < 300; trial++ {
+		b := randBox()
+		cover := []Box{randBox(), randBox()}
+		got := b.CoveredBy(cover)
+		// Sample a grid of points; if CoveredBy says yes, no witness point
+		// may be in b and outside all cover boxes.
+		if got {
+			for x := -1.0; x <= 10.5; x += 0.5 {
+				for y := -1.0; y <= 10.5; y += 0.5 {
+					inB := b.get(1).Eval(Num(x)) && b.get(2).Eval(Num(y))
+					if !inB {
+						continue
+					}
+					inCover := false
+					for _, c := range cover {
+						if c.get(1).Eval(Num(x)) && c.get(2).Eval(Num(y)) {
+							inCover = true
+							break
+						}
+					}
+					if !inCover {
+						t.Fatalf("CoveredBy=true but point (%v,%v) uncovered; b=%v cover=%v", x, y, b, cover)
+					}
+				}
+			}
+		}
+	}
+}

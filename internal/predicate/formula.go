@@ -1,0 +1,379 @@
+package predicate
+
+import "strings"
+
+// bound is one endpoint of an interval. inf means the endpoint is at
+// infinity (lo: -∞, hi: +∞); open means the endpoint value is excluded.
+type bound struct {
+	a    Atom
+	open bool
+	inf  bool
+}
+
+// interval is a non-empty range of the atom domain.
+type interval struct {
+	lo, hi bound
+}
+
+// empty reports whether the interval denotes no values.
+func (iv interval) empty() bool {
+	if iv.lo.inf || iv.hi.inf {
+		return false
+	}
+	c := iv.lo.a.Compare(iv.hi.a)
+	if c > 0 {
+		return true
+	}
+	if c == 0 {
+		return iv.lo.open || iv.hi.open
+	}
+	return false
+}
+
+func (iv interval) contains(v Atom) bool {
+	if !iv.lo.inf {
+		c := v.Compare(iv.lo.a)
+		if c < 0 || (c == 0 && iv.lo.open) {
+			return false
+		}
+	}
+	if !iv.hi.inf {
+		c := v.Compare(iv.hi.a)
+		if c > 0 || (c == 0 && iv.hi.open) {
+			return false
+		}
+	}
+	return true
+}
+
+// cmpLo orders lower bounds: -∞ first, then by value, closed before open.
+func cmpLo(a, b bound) int {
+	if a.inf || b.inf {
+		if a.inf && b.inf {
+			return 0
+		}
+		if a.inf {
+			return -1
+		}
+		return 1
+	}
+	if c := a.a.Compare(b.a); c != 0 {
+		return c
+	}
+	if a.open == b.open {
+		return 0
+	}
+	if !a.open {
+		return -1
+	}
+	return 1
+}
+
+// cmpHi orders upper bounds: open before closed at the same value, +∞ last.
+func cmpHi(a, b bound) int {
+	if a.inf || b.inf {
+		if a.inf && b.inf {
+			return 0
+		}
+		if a.inf {
+			return 1
+		}
+		return -1
+	}
+	if c := a.a.Compare(b.a); c != 0 {
+		return c
+	}
+	if a.open == b.open {
+		return 0
+	}
+	if a.open {
+		return -1
+	}
+	return 1
+}
+
+// maxLo / minHi pick the tighter bound for intersections.
+func maxLo(a, b bound) bound {
+	if cmpLo(a, b) >= 0 {
+		return a
+	}
+	return b
+}
+
+func minHi(a, b bound) bound {
+	if cmpHi(a, b) <= 0 {
+		return a
+	}
+	return b
+}
+
+// adjacentOrOverlap reports whether interval a (which sorts no later than b
+// by lower bound) touches or overlaps b, so that they merge into one
+// interval.
+func adjacentOrOverlap(a, b interval) bool {
+	if a.hi.inf || b.lo.inf {
+		return true
+	}
+	c := a.hi.a.Compare(b.lo.a)
+	if c > 0 {
+		return true
+	}
+	if c < 0 {
+		return false
+	}
+	// Touching at a point: merge unless both endpoints exclude it.
+	return !(a.hi.open && b.lo.open)
+}
+
+// Formula is a predicate φ(v) over one variable, held as a canonical sorted
+// union of disjoint intervals. The zero value is False. Formulas are
+// immutable; all operations return new values.
+type Formula struct {
+	ivs []interval
+}
+
+// False is the unsatisfiable formula.
+func False() Formula { return Formula{} }
+
+// True is the always-true formula T.
+func True() Formula {
+	return Formula{ivs: []interval{{lo: bound{inf: true}, hi: bound{inf: true}}}}
+}
+
+// Eq returns the formula v = c.
+func Eq(c Atom) Formula {
+	return Formula{ivs: []interval{{lo: bound{a: c}, hi: bound{a: c}}}}
+}
+
+// Lt returns v < c.
+func Lt(c Atom) Formula {
+	return Formula{ivs: []interval{{lo: bound{inf: true}, hi: bound{a: c, open: true}}}}
+}
+
+// Le returns v ≤ c.
+func Le(c Atom) Formula {
+	return Formula{ivs: []interval{{lo: bound{inf: true}, hi: bound{a: c}}}}
+}
+
+// Gt returns v > c.
+func Gt(c Atom) Formula {
+	return Formula{ivs: []interval{{lo: bound{a: c, open: true}, hi: bound{inf: true}}}}
+}
+
+// Ge returns v ≥ c.
+func Ge(c Atom) Formula {
+	return Formula{ivs: []interval{{lo: bound{a: c}, hi: bound{inf: true}}}}
+}
+
+// Ne returns v ≠ c.
+func Ne(c Atom) Formula { return Eq(c).Not() }
+
+// normalize sorts and merges a set of intervals into canonical form.
+func normalize(ivs []interval) Formula {
+	kept := ivs[:0]
+	for _, iv := range ivs {
+		if !iv.empty() {
+			kept = append(kept, iv)
+		}
+	}
+	if len(kept) == 0 {
+		return Formula{}
+	}
+	// Insertion sort by lower bound (interval counts are tiny in practice).
+	for i := 1; i < len(kept); i++ {
+		for j := i; j > 0 && cmpLo(kept[j].lo, kept[j-1].lo) < 0; j-- {
+			kept[j], kept[j-1] = kept[j-1], kept[j]
+		}
+	}
+	out := []interval{kept[0]}
+	for _, iv := range kept[1:] {
+		last := &out[len(out)-1]
+		if adjacentOrOverlap(*last, iv) {
+			last.hi = maxHi(last.hi, iv.hi)
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return Formula{ivs: out}
+}
+
+func maxHi(a, b bound) bound {
+	if cmpHi(a, b) >= 0 {
+		return a
+	}
+	return b
+}
+
+// IsFalse reports whether the formula is unsatisfiable.
+func (f Formula) IsFalse() bool { return len(f.ivs) == 0 }
+
+// IsTrue reports whether the formula accepts every value.
+func (f Formula) IsTrue() bool {
+	return len(f.ivs) == 1 && f.ivs[0].lo.inf && f.ivs[0].hi.inf
+}
+
+// Eval reports whether the formula holds for value v.
+func (f Formula) Eval(v Atom) bool {
+	for _, iv := range f.ivs {
+		if iv.contains(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Or returns the disjunction of the two formulas.
+func (f Formula) Or(g Formula) Formula {
+	ivs := make([]interval, 0, len(f.ivs)+len(g.ivs))
+	ivs = append(ivs, f.ivs...)
+	ivs = append(ivs, g.ivs...)
+	return normalize(ivs)
+}
+
+// And returns the conjunction of the two formulas.
+func (f Formula) And(g Formula) Formula {
+	var ivs []interval
+	for _, a := range f.ivs {
+		for _, b := range g.ivs {
+			iv := interval{lo: maxLo(a.lo, b.lo), hi: minHi(a.hi, b.hi)}
+			if !iv.empty() {
+				ivs = append(ivs, iv)
+			}
+		}
+	}
+	if ivs == nil {
+		return Formula{}
+	}
+	return normalize(ivs)
+}
+
+// Not returns the complement of the formula.
+func (f Formula) Not() Formula {
+	if f.IsFalse() {
+		return True()
+	}
+	var ivs []interval
+	lo := bound{inf: true}
+	for _, iv := range f.ivs {
+		if !iv.lo.inf {
+			ivs = append(ivs, interval{lo: lo, hi: bound{a: iv.lo.a, open: !iv.lo.open}})
+		}
+		if iv.hi.inf {
+			return normalize(ivs)
+		}
+		lo = bound{a: iv.hi.a, open: !iv.hi.open}
+	}
+	ivs = append(ivs, interval{lo: lo, hi: bound{inf: true}})
+	return normalize(ivs)
+}
+
+// Implies reports whether f ⇒ g, i.e. every value satisfying f satisfies g.
+func (f Formula) Implies(g Formula) bool { return f.And(g.Not()).IsFalse() }
+
+// Equal reports whether the two formulas denote the same set of values.
+func (f Formula) Equal(g Formula) bool { return f.Implies(g) && g.Implies(f) }
+
+// String renders the formula in the surface syntax accepted by Parse.
+func (f Formula) String() string {
+	if f.IsFalse() {
+		return "false"
+	}
+	if f.IsTrue() {
+		return "true"
+	}
+	parts := make([]string, 0, len(f.ivs))
+	for _, iv := range f.ivs {
+		parts = append(parts, ivString(iv))
+	}
+	return strings.Join(parts, " | ")
+}
+
+func ivString(iv interval) string {
+	if !iv.lo.inf && !iv.hi.inf && !iv.lo.open && !iv.hi.open && iv.lo.a.Compare(iv.hi.a) == 0 {
+		return "v=" + iv.lo.a.String()
+	}
+	var parts []string
+	if !iv.lo.inf {
+		op := "v>="
+		if iv.lo.open {
+			op = "v>"
+		}
+		parts = append(parts, op+iv.lo.a.String())
+	}
+	if !iv.hi.inf {
+		op := "v<="
+		if iv.hi.open {
+			op = "v<"
+		}
+		parts = append(parts, op+iv.hi.a.String())
+	}
+	return strings.Join(parts, " & ")
+}
+
+// Sample returns some atom satisfying the formula, with ok=false when the
+// formula is unsatisfiable. It is used to realize canonical trees as
+// concrete witness documents in tests and counterexample reporting.
+func (f Formula) Sample() (Atom, bool) {
+	if f.IsFalse() {
+		return Atom{}, false
+	}
+	iv := f.ivs[0]
+	switch {
+	case iv.lo.inf && iv.hi.inf:
+		return Num(0), true
+	case iv.lo.inf:
+		// (-∞, hi]: something strictly below hi works in all cases.
+		if iv.hi.a.IsString() {
+			if !iv.hi.open {
+				return iv.hi.a, true
+			}
+			if iv.hi.a.Text() == "" {
+				return Num(0), true // any number precedes any string
+			}
+			return Num(0), true
+		}
+		return Num(iv.hi.a.num - 1), true
+	case iv.hi.inf:
+		if !iv.lo.open {
+			return iv.lo.a, true
+		}
+		if iv.lo.a.IsString() {
+			return Str(iv.lo.a.Text() + "\x01"), true
+		}
+		return Num(iv.lo.a.num + 1), true
+	default:
+		if !iv.lo.open {
+			return iv.lo.a, true
+		}
+		if !iv.hi.open {
+			return iv.hi.a, true
+		}
+		// Open-open, non-empty: midpoint for numbers, successor string
+		// otherwise (lo+"\x01" is above lo; normalization guarantees the
+		// interval is non-empty, and for strings the successor is below
+		// any longer upper bound with this prefix; if not, fall back to
+		// the upper bound's prefix trick).
+		if !iv.lo.a.IsString() && !iv.hi.a.IsString() {
+			return Num((iv.lo.a.num + iv.hi.a.num) / 2), true
+		}
+		if iv.lo.a.IsString() {
+			cand := Str(iv.lo.a.Text() + "\x01")
+			if iv.contains(cand) {
+				return cand, true
+			}
+		}
+		// Mixed number/string open interval, e.g. (5, "a"): numbers just
+		// above the numeric bound work.
+		if !iv.lo.a.IsString() {
+			cand := Num(iv.lo.a.num + 1)
+			if iv.contains(cand) {
+				return cand, true
+			}
+			cand = Num(iv.lo.a.num + 0.5)
+			if iv.contains(cand) {
+				return cand, true
+			}
+		}
+		return Atom{}, false
+	}
+}

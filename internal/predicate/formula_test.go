@@ -1,0 +1,232 @@
+package predicate
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAtomOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Atom
+		want int
+	}{
+		{Num(1), Num(2), -1},
+		{Num(2), Num(2), 0},
+		{Num(3), Num(2), 1},
+		{Num(1e9), Str(""), -1}, // numbers before strings
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Str("b"), Num(5), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestParseAtom(t *testing.T) {
+	if a := ParseAtom("3.5"); a.IsString() || a.Compare(Num(3.5)) != 0 {
+		t.Errorf("ParseAtom(3.5) = %v", a)
+	}
+	if a := ParseAtom(`"3.5"`); !a.IsString() || a.Text() != "3.5" {
+		t.Errorf("ParseAtom(quoted) = %v", a)
+	}
+	if a := ParseAtom("gold"); !a.IsString() || a.Text() != "gold" {
+		t.Errorf("ParseAtom(gold) = %v", a)
+	}
+}
+
+func TestBasicConstructorsEval(t *testing.T) {
+	cases := []struct {
+		f    Formula
+		v    Atom
+		want bool
+	}{
+		{Eq(Num(3)), Num(3), true},
+		{Eq(Num(3)), Num(4), false},
+		{Lt(Num(3)), Num(2), true},
+		{Lt(Num(3)), Num(3), false},
+		{Le(Num(3)), Num(3), true},
+		{Gt(Num(3)), Num(3), false},
+		{Gt(Num(3)), Num(4), true},
+		{Ge(Num(3)), Num(3), true},
+		{Ne(Num(3)), Num(3), false},
+		{Ne(Num(3)), Num(5), true},
+		{True(), Str("x"), true},
+		{False(), Str("x"), false},
+		{Eq(Str("gold")), Str("gold"), true},
+		{Eq(Str("gold")), Str("silver"), false},
+	}
+	for i, c := range cases {
+		if got := c.f.Eval(c.v); got != c.want {
+			t.Errorf("case %d: %v.Eval(%v) = %v, want %v", i, c.f, c.v, got, c.want)
+		}
+	}
+}
+
+func TestAndOrNot(t *testing.T) {
+	f := Gt(Num(2)).And(Lt(Num(5))) // 2 < v < 5
+	if f.Eval(Num(2)) || !f.Eval(Num(3)) || f.Eval(Num(5)) {
+		t.Fatalf("interval conjunction wrong: %v", f)
+	}
+	g := f.Or(Eq(Num(7)))
+	if !g.Eval(Num(7)) || g.Eval(Num(6)) {
+		t.Fatalf("disjunction wrong: %v", g)
+	}
+	n := f.Not()
+	if n.Eval(Num(3)) || !n.Eval(Num(2)) || !n.Eval(Num(5)) || !n.Eval(Num(100)) {
+		t.Fatalf("negation wrong: %v", n)
+	}
+	if !f.And(f.Not()).IsFalse() {
+		t.Fatal("f ∧ ¬f should be false")
+	}
+	if !f.Or(f.Not()).IsTrue() {
+		t.Fatalf("f ∨ ¬f should be true, got %v", f.Or(f.Not()))
+	}
+}
+
+func TestUnsatisfiableConjunction(t *testing.T) {
+	f := Gt(Num(5)).And(Lt(Num(2)))
+	if !f.IsFalse() {
+		t.Fatalf("v>5 & v<2 should be false, got %v", f)
+	}
+	g := Eq(Num(3)).And(Eq(Num(4)))
+	if !g.IsFalse() {
+		t.Fatalf("v=3 & v=4 should be false, got %v", g)
+	}
+}
+
+func TestNormalizationMergesAdjacent(t *testing.T) {
+	// [1,2] ∪ (2,3] = [1,3]
+	f := Ge(Num(1)).And(Le(Num(2))).Or(Gt(Num(2)).And(Le(Num(3))))
+	want := Ge(Num(1)).And(Le(Num(3)))
+	if !f.Equal(want) {
+		t.Fatalf("merge failed: %v vs %v", f, want)
+	}
+	// (1,2) ∪ (2,3) keeps the hole at 2.
+	g := Gt(Num(1)).And(Lt(Num(2))).Or(Gt(Num(2)).And(Lt(Num(3))))
+	if g.Eval(Num(2)) {
+		t.Fatal("hole at 2 lost")
+	}
+	if len(g.ivs) != 2 {
+		t.Fatalf("expected 2 intervals, got %d (%v)", len(g.ivs), g)
+	}
+}
+
+func TestImplies(t *testing.T) {
+	cases := []struct {
+		f, g string
+		want bool
+	}{
+		{"v=3", "v>1", true},
+		{"v>1", "v=3", false},
+		{"v=3 & v<5", "v>2 | v<1", true},
+		{"v>2 & v<5", "v>2 & v<6", true},
+		{"v>2 & v<6", "v>2 & v<5", false},
+		{"v=3 | v=4", "v>=3 & v<=4", true},
+		{"false", "v=1", true},
+		{"v=1", "true", true},
+		{"true", "v=1", false},
+		// From the paper's worked example (Section 4.2): φt'φ2 ⇒ φtφ3.
+		{"v=3", "v>1", true},
+		// φt''φ2 = (v=3 ∧ w>0): single-variable slice checks.
+		{"v=3", "v<5", true},
+		{"v>0", "v>2 | v<5", true},
+		{"v=gold", `v="gold" | v="silver"`, true},
+		{"v=bronze", `v="gold" | v="silver"`, false},
+	}
+	for _, c := range cases {
+		f, g := MustParse(c.f), MustParse(c.g)
+		if got := f.Implies(g); got != c.want {
+			t.Errorf("(%s) ⇒ (%s) = %v, want %v", c.f, c.g, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "v", "v==3", "x=3", "v=3 &", "v=3 )", "(v=3", "v='abc"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	exprs := []string{
+		"v=3", "v>2 & v<5", "v<1 | v>9", "v=3 | v=5", "true", "false",
+		`v="gold"`, "v>=2 & v<=8", "v!=4",
+	}
+	for _, e := range exprs {
+		f := MustParse(e)
+		back, err := Parse(f.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", f.String(), e, err)
+		}
+		if !back.Equal(f) {
+			t.Errorf("round trip %q -> %q changed semantics", e, f.String())
+		}
+	}
+}
+
+func randFormula(r *rand.Rand, depth int) Formula {
+	if depth == 0 || r.Intn(3) == 0 {
+		c := Num(float64(r.Intn(10)))
+		switch r.Intn(5) {
+		case 0:
+			return Eq(c)
+		case 1:
+			return Lt(c)
+		case 2:
+			return Gt(c)
+		case 3:
+			return Le(c)
+		default:
+			return Ge(c)
+		}
+	}
+	a, b := randFormula(r, depth-1), randFormula(r, depth-1)
+	if r.Intn(2) == 0 {
+		return a.And(b)
+	}
+	return a.Or(b)
+}
+
+// Property test: the interval representation agrees with direct evaluation
+// of boolean combinations on sample points, and De Morgan laws hold.
+func TestFormulaAlgebraProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	points := make([]Atom, 0, 40)
+	for i := -2; i <= 11; i++ {
+		points = append(points, Num(float64(i)), Num(float64(i)+0.5))
+	}
+	for i := 0; i < 500; i++ {
+		f := randFormula(r, 3)
+		g := randFormula(r, 3)
+		and, or := f.And(g), f.Or(g)
+		notf := f.Not()
+		dm1 := f.And(g).Not()
+		dm2 := f.Not().Or(g.Not())
+		if !dm1.Equal(dm2) {
+			t.Fatalf("De Morgan failed for %v, %v", f, g)
+		}
+		for _, p := range points {
+			if and.Eval(p) != (f.Eval(p) && g.Eval(p)) {
+				t.Fatalf("And mismatch at %v: %v %v", p, f, g)
+			}
+			if or.Eval(p) != (f.Eval(p) || g.Eval(p)) {
+				t.Fatalf("Or mismatch at %v: %v %v", p, f, g)
+			}
+			if notf.Eval(p) == f.Eval(p) {
+				t.Fatalf("Not mismatch at %v: %v", p, f)
+			}
+		}
+		if f.Implies(g) {
+			for _, p := range points {
+				if f.Eval(p) && !g.Eval(p) {
+					t.Fatalf("Implies lied: %v => %v but %v", f, g, p)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package predicate
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a formula in the surface syntax used by the pattern
+// language:
+//
+//	formula := term ('|' term)*
+//	term    := factor ('&' factor)*
+//	factor  := 'v' op literal | '(' formula ')' | 'true' | 'false'
+//	op      := '=' | '!=' | '<' | '<=' | '>' | '>='
+//	literal := number | "string" | 'string' | bareword
+//
+// Examples: `v=3`, `v>2 & v<5`, `v="gold" | v="silver"`.
+func Parse(input string) (Formula, error) {
+	p := &formulaParser{src: input}
+	f, err := p.parseOr()
+	if err != nil {
+		return Formula{}, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return Formula{}, fmt.Errorf("predicate: trailing input at %d in %q", p.pos, input)
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and
+// programmatically constructed patterns.
+func MustParse(input string) Formula {
+	f, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type formulaParser struct {
+	src string
+	pos int
+}
+
+func (p *formulaParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *formulaParser) eat(s string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *formulaParser) parseOr() (Formula, error) {
+	f, err := p.parseAnd()
+	if err != nil {
+		return Formula{}, err
+	}
+	for p.eat("|") {
+		g, err := p.parseAnd()
+		if err != nil {
+			return Formula{}, err
+		}
+		f = f.Or(g)
+	}
+	return f, nil
+}
+
+func (p *formulaParser) parseAnd() (Formula, error) {
+	f, err := p.parseFactor()
+	if err != nil {
+		return Formula{}, err
+	}
+	for p.eat("&") {
+		g, err := p.parseFactor()
+		if err != nil {
+			return Formula{}, err
+		}
+		f = f.And(g)
+	}
+	return f, nil
+}
+
+func (p *formulaParser) parseFactor() (Formula, error) {
+	p.skipSpace()
+	if p.eat("(") {
+		f, err := p.parseOr()
+		if err != nil {
+			return Formula{}, err
+		}
+		if !p.eat(")") {
+			return Formula{}, fmt.Errorf("predicate: missing ')' at %d in %q", p.pos, p.src)
+		}
+		return f, nil
+	}
+	if p.eat("true") {
+		return True(), nil
+	}
+	if p.eat("false") {
+		return False(), nil
+	}
+	if !p.eat("v") {
+		return Formula{}, fmt.Errorf("predicate: expected 'v' at %d in %q", p.pos, p.src)
+	}
+	var op string
+	switch {
+	case p.eat("!="):
+		op = "!="
+	case p.eat("<="):
+		op = "<="
+	case p.eat(">="):
+		op = ">="
+	case p.eat("="):
+		op = "="
+	case p.eat("<"):
+		op = "<"
+	case p.eat(">"):
+		op = ">"
+	default:
+		return Formula{}, fmt.Errorf("predicate: expected comparison operator at %d in %q", p.pos, p.src)
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return Formula{}, err
+	}
+	c := ParseAtom(lit)
+	switch op {
+	case "=":
+		return Eq(c), nil
+	case "!=":
+		return Ne(c), nil
+	case "<":
+		return Lt(c), nil
+	case "<=":
+		return Le(c), nil
+	case ">":
+		return Gt(c), nil
+	default:
+		return Ge(c), nil
+	}
+}
+
+func (p *formulaParser) parseLiteral() (string, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return "", fmt.Errorf("predicate: expected literal at end of %q", p.src)
+	}
+	if q := p.src[p.pos]; q == '"' || q == '\'' {
+		end := strings.IndexByte(p.src[p.pos+1:], q)
+		if end < 0 {
+			return "", fmt.Errorf("predicate: unterminated string at %d in %q", p.pos, p.src)
+		}
+		lit := p.src[p.pos : p.pos+end+2]
+		p.pos += end + 2
+		return lit, nil
+	}
+	start := p.pos
+	for p.pos < len(p.src) {
+		r := rune(p.src[p.pos])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '.' || r == '-' || r == '+' || r == '_' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("predicate: expected literal at %d in %q", p.pos, p.src)
+	}
+	return p.src[start:p.pos], nil
+}

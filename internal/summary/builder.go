@@ -1,0 +1,144 @@
+package summary
+
+import "fmt"
+
+// Builder constructs summaries by hand, which tests and examples use to
+// mirror the paper's figures exactly.
+type Builder struct {
+	s *Summary
+}
+
+// NewBuilder starts a summary whose root carries the given label.
+func NewBuilder(rootLabel string) *Builder {
+	s := &Summary{byLabel: map[string][]int{}}
+	s.nodes = append(s.nodes, &Node{ID: 0, Label: rootLabel, Parent: -1, Depth: 1})
+	s.byLabel[rootLabel] = []int{0}
+	return &Builder{s: s}
+}
+
+// Child adds a child path under parent and returns its id. strong marks the
+// edge strong; oneToOne implies strong.
+func (b *Builder) Child(parent int, label string, strong, oneToOne bool) int {
+	if parent < 0 || parent >= len(b.s.nodes) {
+		panic(fmt.Sprintf("summary: invalid parent id %d", parent))
+	}
+	for _, c := range b.s.nodes[parent].Children {
+		if b.s.nodes[c].Label == label {
+			panic(fmt.Sprintf("summary: duplicate child %q under node %d", label, parent))
+		}
+	}
+	id := len(b.s.nodes)
+	n := &Node{
+		ID: id, Label: label, Parent: parent,
+		Depth:  b.s.nodes[parent].Depth + 1,
+		Strong: strong || oneToOne, OneToOne: oneToOne,
+	}
+	b.s.nodes = append(b.s.nodes, n)
+	b.s.nodes[parent].Children = append(b.s.nodes[parent].Children, id)
+	b.s.byLabel[label] = append(b.s.byLabel[label], id)
+	return id
+}
+
+// Summary returns the built summary. The builder must not be used after.
+func (b *Builder) Summary() *Summary { return b.s }
+
+// Parse parses the parenthesized summary notation produced by
+// Summary.String: labels with optional child lists; a '!' prefix marks the
+// incoming edge strong, '=' marks it one-to-one. Example: "a(!b(c d) =e)".
+func Parse(src string) (*Summary, error) {
+	p := &sumParser{src: src}
+	s, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *Summary {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type sumParser struct {
+	src string
+	pos int
+}
+
+func (p *sumParser) parse() (*Summary, error) {
+	p.skipSpace()
+	label, err := p.label()
+	if err != nil {
+		return nil, err
+	}
+	b := NewBuilder(label)
+	if err := p.children(b, RootID); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("summary: trailing input at %d in %q", p.pos, p.src)
+	}
+	return b.Summary(), nil
+}
+
+func (p *sumParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *sumParser) label() (string, error) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '@' || c == '_' || c == '-' || c == '*' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("summary: expected label at %d in %q", p.pos, p.src)
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *sumParser) children(b *Builder, parent int) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+		return nil
+	}
+	p.pos++
+	for {
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == ')' {
+			p.pos++
+			return nil
+		}
+		if p.pos >= len(p.src) {
+			return fmt.Errorf("summary: missing ')' in %q", p.src)
+		}
+		strong, oneToOne := false, false
+		switch p.src[p.pos] {
+		case '!':
+			strong = true
+			p.pos++
+		case '=':
+			oneToOne = true
+			p.pos++
+		}
+		label, err := p.label()
+		if err != nil {
+			return err
+		}
+		id := b.Child(parent, label, strong, oneToOne)
+		if err := p.children(b, id); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Package summary implements path summaries (strong Dataguides, Goldman &
+// Widom [15]) and the paper's enhanced summaries (Section 4.1).
+//
+// The summary S(d) of a document d is a tree with one node per distinct
+// rooted label path of d. An enhanced summary additionally distinguishes
+//
+//   - strong edges: every document node on the parent path has at least one
+//     child on the child path (a parent-child integrity constraint), and
+//   - one-to-one edges: every document node on the parent path has exactly
+//     one child on the child path (used to relax the nesting-sequence
+//     condition of Proposition 4.2).
+//
+// Summaries are built in a single pass over the document (linear time, as
+// in [15]) and annotate each document node with its summary node id.
+package summary
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlviews/internal/xmltree"
+)
+
+// RootID is the summary node id of the document root path.
+const RootID = 0
+
+// Node is one summary node, i.e. one rooted label path.
+type Node struct {
+	ID       int
+	Label    string
+	Parent   int // parent summary node id; -1 for the root
+	Children []int
+	Depth    int // root has depth 1
+	// Strong reports that the edge from Parent to this node is strong.
+	// OneToOne implies Strong. Both are false for the root.
+	Strong   bool
+	OneToOne bool
+	// Count is the number of document nodes on this path (0 for summaries
+	// built by hand).
+	Count int
+}
+
+// Summary is a path summary. Build one with Build or NewBuilder.
+type Summary struct {
+	nodes   []*Node
+	byLabel map[string][]int
+}
+
+// Size returns |S|, the number of summary nodes.
+func (s *Summary) Size() int { return len(s.nodes) }
+
+// Node returns the summary node with the given id.
+func (s *Summary) Node(id int) *Node { return s.nodes[id] }
+
+// NodeIDs returns all node ids in creation (pre-)order.
+func (s *Summary) NodeIDs() []int {
+	ids := make([]int, len(s.nodes))
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// NodesWithLabel returns the ids of summary nodes carrying the label.
+func (s *Summary) NodesWithLabel(label string) []int { return s.byLabel[label] }
+
+// Stats returns the number of strong (nS) and one-to-one (n1) edges, as
+// reported in Table 1 of the paper.
+func (s *Summary) Stats() (strong, oneToOne int) {
+	for _, n := range s.nodes[1:] {
+		if n.Strong {
+			strong++
+		}
+		if n.OneToOne {
+			oneToOne++
+		}
+	}
+	return
+}
+
+// IsAncestor reports whether summary node a is a proper ancestor of b.
+func (s *Summary) IsAncestor(a, b int) bool {
+	if a == b {
+		return false
+	}
+	for cur := s.nodes[b].Parent; cur >= 0; cur = s.nodes[cur].Parent {
+		if cur == a {
+			return true
+		}
+	}
+	return false
+}
+
+// ChainBetween returns the summary node ids from a to b inclusive, where a
+// must be b itself or an ancestor of b; ok is false otherwise.
+func (s *Summary) ChainBetween(a, b int) (chain []int, ok bool) {
+	for cur := b; cur >= 0; cur = s.nodes[cur].Parent {
+		chain = append(chain, cur)
+		if cur == a {
+			// Reverse into root-to-leaf order.
+			for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+				chain[i], chain[j] = chain[j], chain[i]
+			}
+			return chain, true
+		}
+	}
+	return nil, false
+}
+
+// PathString returns the rooted label path of the node, e.g. "/site/regions".
+func (s *Summary) PathString(id int) string {
+	chain, _ := s.ChainBetween(RootID, id)
+	var b strings.Builder
+	for _, c := range chain {
+		b.WriteByte('/')
+		b.WriteString(s.nodes[c].Label)
+	}
+	return b.String()
+}
+
+// FindPath resolves a rooted simple path like "/site/regions/item" to a
+// summary node id, or -1 if the path does not occur.
+func (s *Summary) FindPath(path string) int {
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	if len(parts) == 0 || parts[0] != s.nodes[RootID].Label {
+		return -1
+	}
+	cur := RootID
+	for _, label := range parts[1:] {
+		next := -1
+		for _, c := range s.nodes[cur].Children {
+			if s.nodes[c].Label == label {
+				next = c
+				break
+			}
+		}
+		if next < 0 {
+			return -1
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Descendants returns all proper descendants of the node, in preorder.
+func (s *Summary) Descendants(id int) []int {
+	var out []int
+	var walk func(int)
+	walk = func(cur int) {
+		for _, c := range s.nodes[cur].Children {
+			out = append(out, c)
+			walk(c)
+		}
+	}
+	walk(id)
+	return out
+}
+
+// StrongClosure returns the ids reachable from id by chains of strong edges
+// going down, excluding id itself. It implements the enhanced-summary
+// canonical model extension of Section 4.1.
+func (s *Summary) StrongClosure(id int) []int {
+	var out []int
+	var walk func(int)
+	walk = func(cur int) {
+		for _, c := range s.nodes[cur].Children {
+			if s.nodes[c].Strong {
+				out = append(out, c)
+				walk(c)
+			}
+		}
+	}
+	walk(id)
+	return out
+}
+
+// String renders the summary in parenthesized form; strong edges are
+// prefixed with '!', one-to-one edges with '='. Example: "a(!b(c) =d)".
+func (s *Summary) String() string {
+	var b strings.Builder
+	var write func(id int)
+	write = func(id int) {
+		n := s.nodes[id]
+		if id != RootID {
+			if n.OneToOne {
+				b.WriteByte('=')
+			} else if n.Strong {
+				b.WriteByte('!')
+			}
+		}
+		b.WriteString(n.Label)
+		if len(n.Children) > 0 {
+			b.WriteByte('(')
+			for i, c := range n.Children {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				write(c)
+			}
+			b.WriteByte(')')
+		}
+	}
+	write(RootID)
+	return b.String()
+}
+
+// Build constructs the enhanced summary of the document and annotates every
+// document node's PathID with its summary node id. Strong and one-to-one
+// edges are detected by counting child occurrences, the "counting nodes
+// when building the summary" option of Section 4.1.
+func Build(doc *xmltree.Document) *Summary {
+	s := &Summary{byLabel: map[string][]int{}}
+	root := &Node{ID: 0, Label: doc.Root.Label, Parent: -1, Depth: 1}
+	s.nodes = append(s.nodes, root)
+	s.byLabel[root.Label] = append(s.byLabel[root.Label], 0)
+
+	childIndex := []map[string]int{{}}
+
+	// For strong/one-to-one detection: for each edge (parent summary id,
+	// child summary id), track how many parents have >=1 child on it and
+	// how many have >1.
+	withChild := map[int]int{}
+	withMany := map[int]int{}
+
+	var visit func(n *xmltree.Node, sid int)
+	visit = func(n *xmltree.Node, sid int) {
+		n.PathID = sid
+		s.nodes[sid].Count++
+		perChild := map[int]int{}
+		for _, c := range n.Children {
+			cid, ok := childIndex[sid][c.Label]
+			if !ok {
+				cid = len(s.nodes)
+				cn := &Node{ID: cid, Label: c.Label, Parent: sid, Depth: s.nodes[sid].Depth + 1}
+				s.nodes = append(s.nodes, cn)
+				childIndex = append(childIndex, map[string]int{})
+				childIndex[sid][c.Label] = cid
+				s.nodes[sid].Children = append(s.nodes[sid].Children, cid)
+				s.byLabel[c.Label] = append(s.byLabel[c.Label], cid)
+			}
+			perChild[cid]++
+			visit(c, cid)
+		}
+		for cid, count := range perChild {
+			withChild[cid]++
+			if count > 1 {
+				withMany[cid]++
+			}
+		}
+	}
+	visit(doc.Root, 0)
+
+	for _, n := range s.nodes[1:] {
+		parentCount := s.nodes[n.Parent].Count
+		if withChild[n.ID] == parentCount {
+			n.Strong = true
+			if withMany[n.ID] == 0 {
+				n.OneToOne = true
+			}
+		}
+	}
+	return s
+}
+
+// Annotate maps this summary onto another document, setting every node's
+// PathID. It returns an error if the document contains a path absent from
+// the summary (the document does not conform).
+func (s *Summary) Annotate(doc *xmltree.Document) error {
+	if doc.Root.Label != s.nodes[RootID].Label {
+		return fmt.Errorf("summary: root label %q does not match summary root %q", doc.Root.Label, s.nodes[RootID].Label)
+	}
+	var visit func(n *xmltree.Node, sid int) error
+	visit = func(n *xmltree.Node, sid int) error {
+		n.PathID = sid
+		for _, c := range n.Children {
+			cid := -1
+			for _, sc := range s.nodes[sid].Children {
+				if s.nodes[sc].Label == c.Label {
+					cid = sc
+					break
+				}
+			}
+			if cid < 0 {
+				return fmt.Errorf("summary: path %s/%s not in summary", s.PathString(sid), c.Label)
+			}
+			if err := visit(c, cid); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return visit(doc.Root, RootID)
+}
+
+// Conforms reports whether S(doc) equals this summary exactly (the paper's
+// S |= d) and, for enhanced summaries, whether the document respects every
+// strong and one-to-one constraint.
+func (s *Summary) Conforms(doc *xmltree.Document) bool {
+	other := Build(doc)
+	if len(s.nodes) != len(other.nodes) {
+		return false
+	}
+	// Node ids may differ if sibling paths were first encountered in a
+	// different order, so compare by path string. The rebuilt summary
+	// carries the document's actual strong/one-to-one edges; every
+	// constraint declared here must hold there.
+	byPath := make(map[string]*Node, len(other.nodes))
+	for _, n := range other.nodes {
+		byPath[other.PathString(n.ID)] = n
+	}
+	for _, n := range s.nodes {
+		on, ok := byPath[s.PathString(n.ID)]
+		if !ok {
+			return false
+		}
+		if n.Strong && !on.Strong {
+			return false
+		}
+		if n.OneToOne && !on.OneToOne {
+			return false
+		}
+	}
+	return true
+}

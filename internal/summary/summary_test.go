@@ -1,0 +1,218 @@
+package summary
+
+import (
+	"testing"
+
+	"xmlviews/internal/xmltree"
+)
+
+// The document of Figure 2 and its summary of Figure 3 (left).
+const fig2Doc = `a(b "1" c(b "2" d(e "3")) d "4" (c(b "5" d "6" (b e "6"))) b(c(d "6")))`
+
+func fig3Summary(t *testing.T) (*xmltree.Document, *Summary) {
+	t.Helper()
+	doc, err := xmltree.ParseParen(fig2Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc, Build(doc)
+}
+
+func TestBuildFigure3(t *testing.T) {
+	doc, s := fig3Summary(t)
+	// Figure 3's summary: a(b(c(d)) c(b d(b e)) d(e... )) — 7 nodes in the
+	// paper numbered 1..7: a, b, c(under a), b(under c), d(under c), b(under d), e(under d).
+	// Our document also has /a/b/c/d and /a/d/c/... so sizes differ; check
+	// the invariant properties instead of exact shape.
+	for _, n := range doc.Nodes() {
+		if n.PathID < 0 {
+			t.Fatalf("node %s not annotated", n.Path())
+		}
+		if got := s.PathString(n.PathID); got != n.Path() {
+			t.Fatalf("PathID mismatch for %s: summary says %s", n.Path(), got)
+		}
+	}
+	// Distinct paths in the document == summary size.
+	paths := map[string]bool{}
+	for _, n := range doc.Nodes() {
+		paths[n.Path()] = true
+	}
+	if len(paths) != s.Size() {
+		t.Fatalf("summary size %d != distinct paths %d", s.Size(), len(paths))
+	}
+}
+
+func TestSamePathSameNode(t *testing.T) {
+	doc, s := fig3Summary(t)
+	byPath := map[string]int{}
+	for _, n := range doc.Nodes() {
+		if prev, ok := byPath[n.Path()]; ok && prev != n.PathID {
+			t.Fatalf("same path %s mapped to summary nodes %d and %d", n.Path(), prev, n.PathID)
+		}
+		byPath[n.Path()] = n.PathID
+	}
+	_ = s
+}
+
+func TestFindPathAndChain(t *testing.T) {
+	doc := xmltree.MustParseParen(`site(regions(item(name description(parlist))))`)
+	s := Build(doc)
+	id := s.FindPath("/site/regions/item/description")
+	if id < 0 {
+		t.Fatal("FindPath failed")
+	}
+	if got := s.PathString(id); got != "/site/regions/item/description" {
+		t.Fatalf("PathString = %s", got)
+	}
+	if s.FindPath("/site/nope") != -1 {
+		t.Fatal("missing path should be -1")
+	}
+	if s.FindPath("/wrong") != -1 {
+		t.Fatal("wrong root should be -1")
+	}
+	root := s.FindPath("/site")
+	chain, ok := s.ChainBetween(root, id)
+	if !ok || len(chain) != 4 {
+		t.Fatalf("ChainBetween = %v, %v", chain, ok)
+	}
+	if !s.IsAncestor(root, id) || s.IsAncestor(id, root) || s.IsAncestor(id, id) {
+		t.Fatal("IsAncestor wrong")
+	}
+	if _, ok := s.ChainBetween(id, root); ok {
+		t.Fatal("reversed chain should fail")
+	}
+}
+
+func TestStrongAndOneToOneDetection(t *testing.T) {
+	// Every item has exactly one name (one-to-one), every item has >=1
+	// bid but sometimes several (strong, not one-to-one), and only some
+	// items have a mail (neither).
+	doc := xmltree.MustParseParen(`site(
+		item(name "a" bid "1" bid "2" mail)
+		item(name "b" bid "3")
+		item(name "c" bid "4" bid "5"))`)
+	s := Build(doc)
+	name := s.Node(s.FindPath("/site/item/name"))
+	bid := s.Node(s.FindPath("/site/item/bid"))
+	mail := s.Node(s.FindPath("/site/item/mail"))
+	item := s.Node(s.FindPath("/site/item"))
+	if !name.OneToOne || !name.Strong {
+		t.Errorf("name should be one-to-one: %+v", name)
+	}
+	if !bid.Strong || bid.OneToOne {
+		t.Errorf("bid should be strong but not one-to-one: %+v", bid)
+	}
+	if mail.Strong || mail.OneToOne {
+		t.Errorf("mail should be neither: %+v", mail)
+	}
+	if !item.Strong {
+		t.Errorf("item occurs under every site: %+v", item)
+	}
+	ns, n1 := s.Stats()
+	if ns != 3 || n1 != 1 {
+		t.Errorf("Stats = %d,%d; want 3,1", ns, n1)
+	}
+	if item.Count != 3 || name.Count != 3 || bid.Count != 5 {
+		t.Errorf("counts wrong: item=%d name=%d bid=%d", item.Count, name.Count, bid.Count)
+	}
+}
+
+func TestStrongClosure(t *testing.T) {
+	// Figure 8's enhanced summary: a(b(!c(!b d) e) !f).
+	s := MustParse("a(b(!c(!b d) e) !f)")
+	c := s.FindPath("/a/b/c")
+	closure := s.StrongClosure(c)
+	if len(closure) != 1 || s.PathString(closure[0]) != "/a/b/c/b" {
+		t.Fatalf("StrongClosure(c) = %v", closure)
+	}
+	root := s.StrongClosure(RootID)
+	if len(root) != 1 || s.PathString(root[0]) != "/a/f" {
+		t.Fatalf("StrongClosure(root) = %v", root)
+	}
+	b := s.FindPath("/a/b")
+	bc := s.StrongClosure(b)
+	if len(bc) != 2 {
+		t.Fatalf("StrongClosure(b) = %v, want c and its strong b child", bc)
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	src := "a(b(!c(=b d) e) !f)"
+	s := MustParse(src)
+	if got := s.String(); got != "a(b(!c(=b d) e) !f)" {
+		t.Fatalf("String = %q", got)
+	}
+	s2 := MustParse(s.String())
+	if s2.String() != s.String() {
+		t.Fatal("round trip failed")
+	}
+	if _, err := Parse("a(b"); err == nil {
+		t.Error("unbalanced parse should fail")
+	}
+	if _, err := Parse(""); err == nil {
+		t.Error("empty parse should fail")
+	}
+	if _, err := Parse("a(b) c"); err == nil {
+		t.Error("trailing input should fail")
+	}
+}
+
+func TestAnnotateAndConforms(t *testing.T) {
+	train := xmltree.MustParseParen(`a(b(c) b(c d))`)
+	s := Build(train)
+	ok := xmltree.MustParseParen(`a(b(d c))`)
+	if err := s.Annotate(ok); err != nil {
+		t.Fatalf("Annotate: %v", err)
+	}
+	if ok.Root.Children[0].Children[1].PathID != s.FindPath("/a/b/c") {
+		t.Fatal("annotation ids wrong")
+	}
+	bad := xmltree.MustParseParen(`a(b(z))`)
+	if err := s.Annotate(bad); err == nil {
+		t.Fatal("Annotate should fail on unknown path")
+	}
+	if !s.Conforms(train) {
+		t.Fatal("document should conform to its own summary")
+	}
+	if s.Conforms(xmltree.MustParseParen(`a(b(c))`)) {
+		t.Fatal("smaller summary should not conform (missing path d)")
+	}
+	// A document violating a strong constraint: in train every b has a c.
+	if s.Conforms(xmltree.MustParseParen(`a(b(d) b(c d))`)) {
+		t.Fatal("strong-edge violation should fail Conforms")
+	}
+}
+
+func TestNodesWithLabelAndDescendants(t *testing.T) {
+	s := MustParse("a(b(c(b)) c)")
+	if got := len(s.NodesWithLabel("b")); got != 2 {
+		t.Fatalf("b occurs on %d paths, want 2", got)
+	}
+	if got := len(s.NodesWithLabel("c")); got != 2 {
+		t.Fatalf("c occurs on %d paths, want 2", got)
+	}
+	if got := len(s.Descendants(RootID)); got != s.Size()-1 {
+		t.Fatalf("Descendants(root) = %d, want %d", got, s.Size()-1)
+	}
+	b := s.FindPath("/a/b")
+	if got := len(s.Descendants(b)); got != 2 {
+		t.Fatalf("Descendants(b) = %d, want 2", got)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	b := NewBuilder("a")
+	b.Child(0, "x", false, false)
+	assertPanics(t, func() { b.Child(0, "x", false, false) }, "duplicate child")
+	assertPanics(t, func() { b.Child(42, "y", false, false) }, "invalid parent")
+}
+
+func assertPanics(t *testing.T, fn func(), what string) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,128 @@
+// Package view materializes tree pattern views over documents and manages
+// the resulting nested tables (Figure 1(c) of the paper).
+//
+// Two forms are produced. The nested form is the paper's view extent: one
+// table column per nested edge, ⊥ for optional non-bindings. The flat form
+// unnests every table and is the substrate the algebra executor operates
+// on; re-nesting happens at plan output according to the plan's nesting
+// sequences.
+package view
+
+import (
+	"fmt"
+
+	"xmlviews/internal/core"
+	"xmlviews/internal/nrel"
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/xmltree"
+)
+
+// Materialize evaluates the view definition over the document and returns
+// its nested extent.
+func Materialize(v *core.View, doc *xmltree.Document) *nrel.Relation {
+	return v.Pattern.Eval(doc)
+}
+
+// MaterializeFlat evaluates the view with nested edges flattened and
+// content stored with original identifiers. Columns are named s<k>.<attr>
+// for slot k (id, l, v, c). When the view carries reasoning-only virtual
+// attributes (Stored != nil), only the stored pattern is evaluated and its
+// columns are named after the prepared slot indexes; the executor derives
+// the virtual columns.
+func MaterializeFlat(v *core.View, doc *xmltree.Document) *nrel.Relation {
+	pat := v.Pattern
+	slotMap := func(k int) int { return k }
+	if v.Stored != nil {
+		pat = v.Stored
+		slotMap = func(k int) int { return v.StoredSlotMap[k] }
+	}
+	flat := flattened(pat)
+	raw := flat.Eval(doc)
+	return renameToSlots(flat, raw, slotMap)
+}
+
+// flattened strips nesting markers so that Eval yields flat rows.
+func flattened(p *pattern.Pattern) *pattern.Pattern {
+	c := p.Clone()
+	for _, n := range c.Nodes() {
+		n.Nested = false
+	}
+	return c.Finish()
+}
+
+// renameToSlots maps the evaluator's per-node column names (I3, V3, ...)
+// to per-slot names (s0.id, s0.v, ...).
+func renameToSlots(p *pattern.Pattern, rel *nrel.Relation, slotMap func(int) int) *nrel.Relation {
+	names := map[string]string{}
+	for k, rn := range p.Returns() {
+		idx := rn.Index
+		slot := slotMap(k)
+		names[fmt.Sprintf("I%d", idx)] = SlotCol(slot, "id")
+		names[fmt.Sprintf("L%d", idx)] = SlotCol(slot, "l")
+		names[fmt.Sprintf("V%d", idx)] = SlotCol(slot, "v")
+		names[fmt.Sprintf("C%d", idx)] = SlotCol(slot, "c")
+	}
+	out := nrel.NewRelation()
+	for _, c := range rel.Cols {
+		n, ok := names[c]
+		if !ok {
+			n = c
+		}
+		out.Cols = append(out.Cols, n)
+	}
+	out.Rows = rel.Rows
+	return out
+}
+
+// SlotCol names the column of slot k's attribute.
+func SlotCol(k int, attr string) string { return fmt.Sprintf("s%d.%s", k, attr) }
+
+// Store holds materialized (flat) view extents by name. Prepared views
+// (those carrying reasoning-only virtual attributes) are cached separately
+// because their column naming differs from the stored definition's.
+type Store struct {
+	doc      *xmltree.Document
+	rels     map[string]*nrel.Relation
+	prepared map[*core.View]*nrel.Relation
+}
+
+// NewStore materializes all base views over the document. Derived
+// navigation views are materialized lazily by the executor.
+func NewStore(doc *xmltree.Document, views []*core.View) *Store {
+	st := &Store{doc: doc, rels: map[string]*nrel.Relation{}, prepared: map[*core.View]*nrel.Relation{}}
+	for _, v := range views {
+		st.rels[v.Name] = MaterializeFlat(v, doc)
+	}
+	return st
+}
+
+// Document returns the store's backing document.
+func (st *Store) Document() *xmltree.Document { return st.doc }
+
+// Relation returns the flat extent of a view, materializing on demand.
+func (st *Store) Relation(v *core.View) *nrel.Relation {
+	if v.Stored != nil {
+		if r, ok := st.prepared[v]; ok {
+			return r
+		}
+		r := MaterializeFlat(v, st.doc)
+		st.prepared[v] = r
+		return r
+	}
+	if r, ok := st.rels[v.Name]; ok {
+		return r
+	}
+	r := MaterializeFlat(v, st.doc)
+	st.rels[v.Name] = r
+	return r
+}
+
+// Put registers a precomputed extent (used by tests and by the executor
+// for derived views).
+func (st *Store) Put(name string, r *nrel.Relation) { st.rels[name] = r }
+
+// Has reports whether the store already holds the named extent.
+func (st *Store) Has(name string) bool {
+	_, ok := st.rels[name]
+	return ok
+}

@@ -1,0 +1,82 @@
+// Package xmark provides the 20 XMark benchmark queries of the paper's
+// evaluation (Section 5), rendered in the extended tree pattern formalism,
+// together with helpers for the XMark-like documents of internal/datagen.
+//
+// The patterns are adaptations: XMark queries include constructs outside
+// the tree pattern language (aggregates, order), so — like the paper, which
+// "extracted the patterns of the 20 XMark queries" — each entry keeps the
+// query's navigational skeleton: which elements it touches, its value
+// predicates, and its optionality/nesting structure. Sixteen of the twenty
+// carry optional edges and Q7 has three structurally unrelated variables,
+// matching the properties the paper reports.
+package xmark
+
+import (
+	"xmlviews/internal/pattern"
+)
+
+// queries lists the 20 XMark query patterns in the surface syntax of
+// internal/pattern.
+var queries = []string{
+	// Q1: the name of the person with a given id.
+	`site(//people(/person[id](/name[v] ?/emailaddress[v])))`,
+	// Q2: the initial increases of all open auctions.
+	`site(//open_auction[id](?/bidder(/increase[v])))`,
+	// Q3: initial price and first bidder of auctions.
+	`site(//open_auction[id](/initial[v] ?/bidder[id]))`,
+	// Q4: bidder references in auction order.
+	`site(//open_auction[id](/bidder(/personref[v]) ?/current[v]))`,
+	// Q5: closed auctions above a price.
+	`site(//closed_auction[id](/price[v]{v>40}))`,
+	// Q6: items per region (wildcard region step).
+	`site(/regions(/*(//item[id](?/name[v]))))`,
+	// Q7: counts of description, mail and annotation pieces — three
+	// variables with no structural relationship (the paper's outlier with
+	// the 204-tree canonical model).
+	`site(//description[c] //mail[c] //annotation[c])`,
+	// Q8: people with their purchase data.
+	`site(//person[id](/name[v] ?/address(/city[v])))`,
+	// Q9: people and the European items they bought.
+	`site(//person[id](/name[v] ?/watches(/watch[v])))`,
+	// Q10: person profiles grouped by interest.
+	`site(//person[id](?/profile(/interest[v] ?/income[v])))`,
+	// Q11: people with income-dependent matches.
+	`site(//person[id](?/profile(/income[v]{v>45000})))`,
+	// Q12: as Q11, restricted further.
+	`site(//person[id](?/profile(/income[v]{v>50000} /interest[v])))`,
+	// Q13: names and descriptions of regional items.
+	`site(//regions(//item[id](/name[v] ?/description[c])))`,
+	// Q14: items whose description mentions a keyword.
+	`site(//item[id](/name[v] //keyword[v]))`,
+	// Q15/Q16: long path chains into listitem content.
+	`site(//item(/description(/parlist(/listitem[id](?/text(/keyword[v]))))))`,
+	`site(//item[id](/description(/parlist(/listitem(?/parlist[c])))))`,
+	// Q17: people without homepage-like data (optional probe).
+	`site(//person[id](/name[v] ?/phone[v]))`,
+	// Q18: converted auction amounts.
+	`site(//open_auction[id](/initial[v] ?/interval(/start[v])))`,
+	// Q19: books/items sorted by location — nested grouping of mails.
+	`site(//item[id](/location[v] n?/mailbox(/mail[id](/from[v]))))`,
+	// Q20: grouped customer incomes — nested bidders per auction.
+	`site(//open_auction[id](n?/bidder[id](/increase[v])))`,
+}
+
+// Count is the number of XMark queries.
+const Count = 20
+
+// Query returns the i-th XMark query pattern (1-based, as in the paper).
+func Query(i int) *pattern.Pattern {
+	return pattern.MustParse(queries[i-1])
+}
+
+// QuerySource returns the i-th query in surface syntax (1-based).
+func QuerySource(i int) string { return queries[i-1] }
+
+// All returns all 20 query patterns.
+func All() []*pattern.Pattern {
+	out := make([]*pattern.Pattern, Count)
+	for i := range out {
+		out[i] = pattern.MustParse(queries[i])
+	}
+	return out
+}

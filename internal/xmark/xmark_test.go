@@ -1,0 +1,79 @@
+package xmark
+
+import (
+	"testing"
+
+	"xmlviews/internal/core"
+	"xmlviews/internal/datagen"
+	"xmlviews/internal/summary"
+)
+
+func TestAllQueriesParseAndAreSatisfiable(t *testing.T) {
+	s := summary.Build(datagen.XMark(8, 1))
+	for i := 1; i <= Count; i++ {
+		q := Query(i)
+		if q.Arity() == 0 {
+			t.Errorf("Q%d has no return nodes", i)
+		}
+		ok, err := core.Satisfiable(q, s)
+		if err != nil {
+			t.Fatalf("Q%d: %v", i, err)
+		}
+		if !ok {
+			t.Errorf("Q%d unsatisfiable under the XMark summary: %s", i, QuerySource(i))
+		}
+	}
+}
+
+func TestQueryProperties(t *testing.T) {
+	optional, nested := 0, 0
+	for _, q := range All() {
+		if q.HasOptional() {
+			optional++
+		}
+		if q.HasNested() {
+			nested++
+		}
+	}
+	// The paper reports 16 of 20 XMark patterns carry optional edges.
+	if optional < 14 {
+		t.Errorf("only %d queries have optional edges, want >=14", optional)
+	}
+	if nested < 2 {
+		t.Errorf("only %d queries have nested edges, want >=2", nested)
+	}
+}
+
+func TestQ7HasLargeCanonicalModel(t *testing.T) {
+	s := summary.Build(datagen.XMark(8, 1))
+	model, err := core.Model(Query(7), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q7's unrelated variables multiply: the paper reports 204 trees on
+	// the real summary; ours must be the clear outlier (others are tiny).
+	if len(model) < 40 {
+		t.Fatalf("Q7 model has %d trees, expected the large outlier", len(model))
+	}
+	m1, err := core.Model(Query(1), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1) >= len(model)/4 {
+		t.Fatalf("Q1 model (%d) should be far smaller than Q7's (%d)", len(m1), len(model))
+	}
+}
+
+func TestSelfContainment(t *testing.T) {
+	s := summary.Build(datagen.XMark(6, 1))
+	for i := 1; i <= Count; i++ {
+		q1, q2 := Query(i), Query(i)
+		ok, err := core.Contained(q1, q2, s)
+		if err != nil {
+			t.Fatalf("Q%d: %v", i, err)
+		}
+		if !ok {
+			t.Errorf("Q%d not contained in itself", i)
+		}
+	}
+}

@@ -1,0 +1,458 @@
+// Package xquery translates a nested-FLWR XQuery subset into the extended
+// tree pattern language, following the Section 1 example of the paper:
+//
+//	for $x in doc("XMark.xml")//item[//mail] return
+//	  <res> {$x/name/text(),
+//	         for $y in $x//listitem return <key> {$y//keyword} </key>} </res>
+//
+// becomes a single pattern with optional and nested edges:
+//
+//	site(//item[id](//mail ?/name[v] n?//listitem[id](n?//keyword[c])))
+//
+// Supported subset:
+//
+//   - for $v in (doc("...")|$w) step+ [pred]* (where path cmp literal)?
+//     return returnExpr
+//   - steps: /name, //name, /*, //*
+//   - predicates: [relative-path] (existential) and
+//     [relative-path cmp literal] with cmp ∈ {=, !=, <, <=, >, >=}
+//   - returnExpr: <tag> { item ("," item)* } </tag> or a single item
+//   - item: relative path (stores C), relative path/text() (stores V), or
+//     a nested FLWR
+//
+// Each for-variable's binding node stores the structural ID, outer-for
+// bindings are required, and return-item paths become optional edges (an
+// XQuery return produces output even when a path is empty); nested FLWRs
+// become nested optional edges, which is exactly what lets one view serve
+// nested FLWR blocks (Section 1).
+package xquery
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/predicate"
+)
+
+// Translate parses the query and produces the equivalent tree pattern.
+// rootLabel is the document root element (patterns are rooted; XQuery's
+// doc() does not name the root when the first step is //).
+func Translate(query, rootLabel string) (*pattern.Pattern, error) {
+	p := &parser{toks: lex(query)}
+	pat := pattern.NewPattern(rootLabel)
+	if err := p.flwr(pat, pat.Root, false); err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("xquery: trailing input near %q", p.peek())
+	}
+	pat.Finish()
+	if pat.Arity() == 0 {
+		return nil, fmt.Errorf("xquery: query stores no data")
+	}
+	return pat, nil
+}
+
+// MustTranslate is Translate that panics on error.
+func MustTranslate(query, rootLabel string) *pattern.Pattern {
+	p, err := Translate(query, rootLabel)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// --- lexer ---
+
+type token struct {
+	kind string // ident, var, str, punct
+	text string
+}
+
+func lex(src string) []token {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '$':
+			j := i + 1
+			for j < len(src) && isIdent(src[j]) {
+				j++
+			}
+			toks = append(toks, token{"var", src[i+1 : j]})
+			i = j
+		case c == '"' || c == '\'':
+			j := strings.IndexByte(src[i+1:], c)
+			if j < 0 {
+				toks = append(toks, token{"str", src[i+1:]})
+				i = len(src)
+			} else {
+				toks = append(toks, token{"str", src[i+1 : i+1+j]})
+				i += j + 2
+			}
+		case isIdent(c):
+			j := i
+			for j < len(src) && isIdent(src[j]) {
+				j++
+			}
+			toks = append(toks, token{"ident", src[i:j]})
+			i = j
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			toks = append(toks, token{"punct", "//"})
+			i += 2
+		case c == '<' && i+1 < len(src) && src[i+1] == '/':
+			toks = append(toks, token{"punct", "</"})
+			i += 2
+		case (c == '<' || c == '>' || c == '!') && i+1 < len(src) && src[i+1] == '=':
+			toks = append(toks, token{"punct", src[i : i+2]})
+			i += 2
+		default:
+			toks = append(toks, token{"punct", string(c)})
+			i++
+		}
+	}
+	return toks
+}
+
+func isIdent(c byte) bool {
+	return c == '_' || c == '-' || c == '.' || c == '@' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+	vars map[string]*pattern.Node
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.eof() {
+		return "<eof>"
+	}
+	return p.toks[p.pos].text
+}
+
+func (p *parser) accept(kind, text string) bool {
+	if p.eof() || p.toks[p.pos].kind != kind || p.toks[p.pos].text != text {
+		return false
+	}
+	p.pos++
+	return true
+}
+
+func (p *parser) expect(kind, text string) error {
+	if !p.accept(kind, text) {
+		return fmt.Errorf("xquery: expected %q, found %q", text, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) next() (token, error) {
+	if p.eof() {
+		return token{}, fmt.Errorf("xquery: unexpected end of query")
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t, nil
+}
+
+// flwr parses one for-in-return block. The bound variable's node hangs
+// under ctx (or under the variable it navigates from); nested FLWRs make
+// the binding edge optional and nested.
+func (p *parser) flwr(pat *pattern.Pattern, root *pattern.Node, nested bool) error {
+	if err := p.expect("ident", "for"); err != nil {
+		return err
+	}
+	v, err := p.next()
+	if err != nil {
+		return err
+	}
+	if v.kind != "var" {
+		return fmt.Errorf("xquery: expected variable after 'for', found %q", v.text)
+	}
+	if err := p.expect("ident", "in"); err != nil {
+		return err
+	}
+	base, err := p.pathBase(pat, root)
+	if err != nil {
+		return err
+	}
+	bind, firstEdge, err := p.steps(pat, base)
+	if err != nil {
+		return err
+	}
+	if bind == base {
+		return fmt.Errorf("xquery: empty binding path for $%s", v.text)
+	}
+	if nested && firstEdge != nil {
+		firstEdge.Optional = true
+		firstEdge.Nested = true
+	}
+	bind.Attrs |= pattern.AttrID
+	if p.vars == nil {
+		p.vars = map[string]*pattern.Node{}
+	}
+	p.vars[v.text] = bind
+
+	if p.accept("ident", "where") {
+		if err := p.whereClause(pat); err != nil {
+			return err
+		}
+	}
+	if err := p.expect("ident", "return"); err != nil {
+		return err
+	}
+	return p.returnExpr(pat, bind)
+}
+
+// pathBase resolves the start of a path: doc("...") is the pattern root, a
+// variable is its bound node.
+func (p *parser) pathBase(pat *pattern.Pattern, root *pattern.Node) (*pattern.Node, error) {
+	if p.accept("ident", "doc") {
+		if err := p.expect("punct", "("); err != nil {
+			return nil, err
+		}
+		if t, err := p.next(); err != nil || t.kind != "str" {
+			return nil, fmt.Errorf("xquery: doc() expects a string")
+		}
+		if err := p.expect("punct", ")"); err != nil {
+			return nil, err
+		}
+		return root, nil
+	}
+	if !p.eof() && p.toks[p.pos].kind == "var" {
+		name := p.toks[p.pos].text
+		p.pos++
+		n, ok := p.vars[name]
+		if !ok {
+			return nil, fmt.Errorf("xquery: unbound variable $%s", name)
+		}
+		return n, nil
+	}
+	return root, nil
+}
+
+// steps parses /a//b[...] navigation under base, returning the final node
+// and the first edge created (for optional/nested marking).
+func (p *parser) steps(pat *pattern.Pattern, base *pattern.Node) (*pattern.Node, *pattern.Node, error) {
+	cur := base
+	var first *pattern.Node
+	for {
+		var axis pattern.Axis
+		if p.accept("punct", "//") {
+			axis = pattern.Descendant
+		} else if p.accept("punct", "/") {
+			axis = pattern.Child
+		} else {
+			break
+		}
+		// text() ends the path; handled by the caller via lookahead.
+		if !p.eof() && p.toks[p.pos].kind == "ident" && p.toks[p.pos].text == "text" {
+			p.pos-- // give the '/' back
+			break
+		}
+		label := pattern.Wildcard
+		if !p.accept("punct", "*") {
+			t, err := p.next()
+			if err != nil {
+				return nil, nil, err
+			}
+			if t.kind != "ident" {
+				return nil, nil, fmt.Errorf("xquery: expected step name, found %q", t.text)
+			}
+			label = t.text
+		}
+		n := pat.AddChild(cur, label, axis)
+		if first == nil {
+			first = n
+		}
+		cur = n
+		for p.accept("punct", "[") {
+			if err := p.predicate(pat, cur); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return cur, first, nil
+}
+
+// predicate parses [path] or [path cmp literal] as a required subtree.
+// Predicate paths are relative: a leading name is a child step.
+func (p *parser) predicate(pat *pattern.Pattern, ctx *pattern.Node) error {
+	cur := ctx
+	if !p.eof() && p.toks[p.pos].kind == "ident" {
+		t, _ := p.next()
+		cur = pat.AddChild(cur, t.text, pattern.Child)
+	}
+	end, _, err := p.steps(pat, cur)
+	if err != nil {
+		return err
+	}
+	if end == ctx {
+		return fmt.Errorf("xquery: empty predicate path")
+	}
+	for _, op := range []string{"=", "!=", "<=", ">=", "<", ">"} {
+		if p.accept("punct", op) {
+			lit, err := p.next()
+			if err != nil {
+				return err
+			}
+			if lit.kind != "str" && lit.kind != "ident" {
+				return fmt.Errorf("xquery: expected literal after %s", op)
+			}
+			end.Pred = cmpFormula(op, lit)
+			break
+		}
+	}
+	return p.expect("punct", "]")
+}
+
+func cmpFormula(op string, lit token) predicate.Formula {
+	a := predicate.ParseAtom(lit.text)
+	switch op {
+	case "=":
+		return predicate.Eq(a)
+	case "!=":
+		return predicate.Ne(a)
+	case "<":
+		return predicate.Lt(a)
+	case "<=":
+		return predicate.Le(a)
+	case ">":
+		return predicate.Gt(a)
+	default:
+		return predicate.Ge(a)
+	}
+}
+
+// whereClause parses `where $v/path cmp literal` (or a bare existential
+// path) as a required subtree of the variable's node.
+func (p *parser) whereClause(pat *pattern.Pattern) error {
+	base, err := p.pathBase(pat, nil)
+	if err != nil {
+		return err
+	}
+	if base == nil {
+		return fmt.Errorf("xquery: where clause must start from a variable")
+	}
+	end, _, err := p.steps(pat, base)
+	if err != nil {
+		return err
+	}
+	for _, op := range []string{"=", "!=", "<=", ">=", "<", ">"} {
+		if p.accept("punct", op) {
+			lit, err := p.next()
+			if err != nil {
+				return err
+			}
+			end.Pred = cmpFormula(op, lit)
+			return nil
+		}
+	}
+	return nil
+}
+
+// returnExpr parses an element constructor or a single item list.
+func (p *parser) returnExpr(pat *pattern.Pattern, ctx *pattern.Node) error {
+	if p.accept("punct", "<") {
+		tag, err := p.next()
+		if err != nil {
+			return err
+		}
+		if err := p.expect("punct", ">"); err != nil {
+			return err
+		}
+		if err := p.expect("punct", "{"); err != nil {
+			return err
+		}
+		if err := p.itemList(pat, ctx); err != nil {
+			return err
+		}
+		if err := p.expect("punct", "}"); err != nil {
+			return err
+		}
+		if err := p.expect("punct", "</"); err != nil {
+			return err
+		}
+		if err := p.expect("ident", tag.text); err != nil {
+			return err
+		}
+		return p.expect("punct", ">")
+	}
+	if p.accept("punct", "{") {
+		if err := p.itemList(pat, ctx); err != nil {
+			return err
+		}
+		return p.expect("punct", "}")
+	}
+	return p.item(pat, ctx)
+}
+
+func (p *parser) itemList(pat *pattern.Pattern, ctx *pattern.Node) error {
+	for {
+		if err := p.item(pat, ctx); err != nil {
+			return err
+		}
+		if !p.accept("punct", ",") {
+			return nil
+		}
+	}
+}
+
+// item parses one returned item: a nested FLWR or a path from a variable,
+// optionally ending in /text().
+func (p *parser) item(pat *pattern.Pattern, ctx *pattern.Node) error {
+	if !p.eof() && p.toks[p.pos].kind == "ident" && p.toks[p.pos].text == "for" {
+		return p.flwr(pat, ctx, true)
+	}
+	base, err := p.pathBase(pat, ctx)
+	if err != nil {
+		return err
+	}
+	end, first, err := p.steps(pat, base)
+	if err != nil {
+		return err
+	}
+	isText := false
+	if p.accept("punct", "/") {
+		if err := p.expect("ident", "text"); err != nil {
+			return err
+		}
+		if err := p.expect("punct", "("); err != nil {
+			return err
+		}
+		if err := p.expect("punct", ")"); err != nil {
+			return err
+		}
+		isText = true
+	}
+	if end == base {
+		// The variable itself is returned: store its content.
+		if isText {
+			end.Attrs |= pattern.AttrValue
+		} else {
+			end.Attrs |= pattern.AttrContent
+		}
+		return nil
+	}
+	if first != nil {
+		// A return produces output even for empty paths, and groups all
+		// matches into the constructed element: optional and nested.
+		first.Optional = true
+		first.Nested = true
+	}
+	if isText {
+		end.Attrs |= pattern.AttrValue
+	} else {
+		end.Attrs |= pattern.AttrContent
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+
+	"xmlviews/internal/pattern"
+)
+
+func TestPaperIntroQuery(t *testing.T) {
+	q := `for $x in doc("XMark.xml")//item[//mail] return
+	  <res> {$x/name/text(),
+	         for $y in $x//listitem return <key> {$y//keyword} </key>} </res>`
+	p, err := Translate(q, "site")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected shape: site(//item[id](//mail n?/name[v] n?//listitem[id](n?//keyword[c])))
+	if p.Root.Label != "site" {
+		t.Fatalf("root = %s", p.Root.Label)
+	}
+	item := p.Root.Children[0]
+	if item.Label != "item" || item.Axis != pattern.Descendant || !item.Attrs.Has(pattern.AttrID) {
+		t.Fatalf("item node wrong: %s", p)
+	}
+	var mail, name, listitem *pattern.Node
+	for _, c := range item.Children {
+		switch c.Label {
+		case "mail":
+			mail = c
+		case "name":
+			name = c
+		case "listitem":
+			listitem = c
+		}
+	}
+	if mail == nil || mail.Optional {
+		t.Fatalf("mail must be required: %s", p)
+	}
+	if name == nil || !name.Optional || !name.Nested || !name.Attrs.Has(pattern.AttrValue) {
+		t.Fatalf("name must be optional with V: %s", p)
+	}
+	if listitem == nil || !listitem.Optional || !listitem.Nested || !listitem.Attrs.Has(pattern.AttrID) {
+		t.Fatalf("listitem must be nested optional: %s", p)
+	}
+	kw := listitem.Children[0]
+	if kw.Label != "keyword" || !kw.Nested || !kw.Optional || !kw.Attrs.Has(pattern.AttrContent) {
+		t.Fatalf("keyword wrong: %s", p)
+	}
+}
+
+func TestWhereClause(t *testing.T) {
+	p, err := Translate(`for $x in doc("d")//open_auction where $x/initial > 40 return {$x/current/text()}`, "site")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oa := p.Root.Children[0]
+	var initial *pattern.Node
+	for _, c := range oa.Children {
+		if c.Label == "initial" {
+			initial = c
+		}
+	}
+	if initial == nil || initial.Pred.IsTrue() || initial.Optional {
+		t.Fatalf("where clause not translated: %s", p)
+	}
+}
+
+func TestValuePredicateInBrackets(t *testing.T) {
+	p, err := Translate(`for $x in doc("d")//item[price < 30] return {$x/name/text()}`, "site")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.String(), "price") || !strings.Contains(p.String(), "v<30") {
+		t.Fatalf("predicate lost: %s", p)
+	}
+}
+
+func TestVariableNavigation(t *testing.T) {
+	p, err := Translate(
+		`for $x in doc("d")//person for $y in $x/address return <r>{$y/city/text()}</r>`, "site")
+	if err == nil {
+		// A second top-level for over a bound variable is not in the
+		// subset; only nested FLWRs inside return are. Translation
+		// succeeding is fine as long as the shape is sane; but the current
+		// grammar treats this as trailing input.
+		_ = p
+		t.Skip("sequential for accepted by grammar")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`for`,
+		`for x in doc("d")//a return {$x}`,
+		`for $x in doc("d") return {$x/a}`,
+		`for $x in doc("d")//a return <r>{$y/b}</r>`,
+		`for $x in doc("d")//a return <r>{$x/b}</q>`,
+		`for $x in doc("d")//a[`,
+	}
+	for _, src := range cases {
+		if _, err := Translate(src, "site"); err == nil {
+			t.Errorf("Translate(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestWildcardStep(t *testing.T) {
+	p, err := Translate(`for $x in doc("d")/regions/*//item return {$x/name/text()}`, "site")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.String(), "*") {
+		t.Fatalf("wildcard lost: %s", p)
+	}
+}
+
+func TestReturnVariableContent(t *testing.T) {
+	p, err := Translate(`for $x in doc("d")//keyword return {$x}`, "site")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kw := p.Root.Children[0]
+	if !kw.Attrs.Has(pattern.AttrContent) || !kw.Attrs.Has(pattern.AttrID) {
+		t.Fatalf("returned variable should store ID and C: %s", p)
+	}
+}

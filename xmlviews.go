@@ -1,0 +1,150 @@
+// Package xmlviews is a Go implementation of "Structured Materialized
+// Views for XML Queries" (Manolescu, Benzaken, Arion, Papakonstantinou;
+// VLDB 2007 / INRIA report inria-00001233): containment and rewriting of
+// extended tree pattern queries under structural summary (Dataguide)
+// constraints, with materialized view storage and an algebraic executor.
+//
+// The package is a façade over the implementation packages:
+//
+//	internal/xmltree    XML data model (unranked labeled ordered trees)
+//	internal/nodeid     Dewey structural identifiers
+//	internal/summary    path summaries / enhanced Dataguides
+//	internal/pattern    the extended tree pattern language
+//	internal/predicate  value predicate formulas
+//	internal/core       canonical models, containment, rewriting
+//	internal/view       view materialization
+//	internal/algebra    plan execution
+//	internal/xquery     XQuery-subset front end
+//
+// # Quick start
+//
+//	doc, _ := xmlviews.ParseXML(file)
+//	s := xmlviews.BuildSummary(doc)
+//	v := xmlviews.NewView("v1", xmlviews.MustParsePattern(`site(//item[id](/name[v]))`))
+//	q := xmlviews.MustParsePattern(`site(//item[id](/name[v]))`)
+//	res, _ := xmlviews.Rewrite(q, []*xmlviews.View{v}, s)
+//	store := xmlviews.NewStore(doc, []*xmlviews.View{v})
+//	out, _ := xmlviews.Execute(res.Rewritings[0], store)
+package xmlviews
+
+import (
+	"io"
+
+	"xmlviews/internal/algebra"
+	"xmlviews/internal/core"
+	"xmlviews/internal/nrel"
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/summary"
+	"xmlviews/internal/view"
+	"xmlviews/internal/xmltree"
+	"xmlviews/internal/xquery"
+)
+
+// Document is an XML document in the tree data model.
+type Document = xmltree.Document
+
+// Summary is a path summary (enhanced Dataguide).
+type Summary = summary.Summary
+
+// Pattern is an extended tree pattern: the view/query language.
+type Pattern = pattern.Pattern
+
+// View is a materialized view definition.
+type View = core.View
+
+// Plan is a logical algebraic plan over views.
+type Plan = core.Plan
+
+// RewriteResult reports the rewritings found and timing statistics.
+type RewriteResult = core.RewriteResult
+
+// RewriteOptions tunes the rewriting search.
+type RewriteOptions = core.RewriteOptions
+
+// Store holds materialized view extents for a document.
+type Store = view.Store
+
+// Result is an executed plan's relation.
+type Result = algebra.Result
+
+// Relation is a (possibly nested) table of values.
+type Relation = nrel.Relation
+
+// Tree is a canonical tree: a containment witness.
+type Tree = core.Tree
+
+// ParseXML reads an XML document into the tree model.
+func ParseXML(r io.Reader) (*Document, error) { return xmltree.ParseXML(r) }
+
+// ParseXMLString parses an XML document from a string.
+func ParseXMLString(s string) (*Document, error) { return xmltree.ParseXMLString(s) }
+
+// BuildSummary constructs the enhanced path summary of a document and
+// annotates the document's nodes with their summary paths.
+func BuildSummary(doc *Document) *Summary { return summary.Build(doc) }
+
+// ParseSummary parses the parenthesized summary notation ("a(!b(c) =d)").
+func ParseSummary(src string) (*Summary, error) { return summary.Parse(src) }
+
+// ParsePattern parses the tree pattern surface syntax, e.g.
+// `site(//item[id,v]{v>3}(/name[v] n?//listitem[c]))`.
+func ParsePattern(src string) (*Pattern, error) { return pattern.Parse(src) }
+
+// MustParsePattern is ParsePattern that panics on error.
+func MustParsePattern(src string) *Pattern { return pattern.MustParse(src) }
+
+// TranslateXQuery translates a nested-FLWR XQuery into a tree pattern.
+func TranslateXQuery(query, rootLabel string) (*Pattern, error) {
+	return xquery.Translate(query, rootLabel)
+}
+
+// NewView creates a view over a pattern; IDs are Dewey, so parent IDs are
+// derivable (virtual IDs are available to the rewriter).
+func NewView(name string, p *Pattern) *View {
+	return &View{Name: name, Pattern: p, DerivableParentIDs: true}
+}
+
+// Contained decides p ⊆S q: on every document conforming to the summary,
+// p's result is a subset of q's.
+func Contained(p, q *Pattern, s *Summary) (bool, error) { return core.Contained(p, q, s) }
+
+// ContainedInUnion decides p ⊆S q1 ∪ ... ∪ qm.
+func ContainedInUnion(p *Pattern, qs []*Pattern, s *Summary) (bool, error) {
+	return core.ContainedInUnion(p, qs, s)
+}
+
+// Equivalent decides p ≡S q.
+func Equivalent(p, q *Pattern, s *Summary) (bool, error) { return core.Equivalent(p, q, s) }
+
+// Satisfiable reports whether the pattern can match any document
+// conforming to the summary.
+func Satisfiable(p *Pattern, s *Summary) (bool, error) { return core.Satisfiable(p, s) }
+
+// CanonicalModel computes mod_S(p), the canonical model of a pattern.
+func CanonicalModel(p *Pattern, s *Summary) ([]*Tree, error) { return core.Model(p, s) }
+
+// DefaultRewriteOptions returns the default rewriting configuration.
+func DefaultRewriteOptions() RewriteOptions { return core.DefaultRewriteOptions() }
+
+// Rewrite finds the view-based rewritings of q that are S-equivalent to it
+// (Algorithm 1 of the paper).
+func Rewrite(q *Pattern, views []*View, s *Summary) (*RewriteResult, error) {
+	return core.Rewrite(q, views, s, core.DefaultRewriteOptions())
+}
+
+// RewriteWith is Rewrite with explicit options.
+func RewriteWith(q *Pattern, views []*View, s *Summary, opts RewriteOptions) (*RewriteResult, error) {
+	return core.Rewrite(q, views, s, opts)
+}
+
+// NewStore materializes the views over a document.
+func NewStore(doc *Document, views []*View) *Store { return view.NewStore(doc, views) }
+
+// Materialize evaluates one view over a document (nested form, Figure 1(c)).
+func Materialize(v *View, doc *Document) *Relation { return view.Materialize(v, doc) }
+
+// Execute runs a rewriting plan against materialized views.
+func Execute(p *Plan, st *Store) (*Result, error) { return algebra.Execute(p, st) }
+
+// EvalPattern evaluates a pattern (e.g. a query) directly on a document.
+func EvalPattern(p *Pattern, doc *Document) *Relation { return p.Eval(doc) }

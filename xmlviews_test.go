@@ -1,0 +1,105 @@
+package xmlviews_test
+
+import (
+	"strings"
+	"testing"
+
+	"xmlviews"
+)
+
+// TestFacadePipeline exercises the public API end to end: parse, summarize,
+// translate an XQuery, rewrite, materialize and execute.
+func TestFacadePipeline(t *testing.T) {
+	doc, err := xmlviews.ParseXMLString(
+		`<site><regions><asia>` +
+			`<item><name>pen</name><price>30</price></item>` +
+			`<item><name>ink</name><price>8</price></item>` +
+			`</asia></regions></site>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := xmlviews.BuildSummary(doc)
+	if s.Size() != 6 {
+		t.Fatalf("summary size = %d", s.Size())
+	}
+
+	v := xmlviews.NewView("items", xmlviews.MustParsePattern(`site(//item[id](/name[v] /price[v]))`))
+	q := xmlviews.MustParsePattern(`site(//item[id](/name[v] /price{v>20}))`)
+
+	ok, err := xmlviews.Satisfiable(q, s)
+	if err != nil || !ok {
+		t.Fatalf("Satisfiable = %v, %v", ok, err)
+	}
+	model, err := xmlviews.CanonicalModel(q, s)
+	if err != nil || len(model) == 0 {
+		t.Fatalf("CanonicalModel = %d, %v", len(model), err)
+	}
+
+	res, err := xmlviews.Rewrite(q, []*xmlviews.View{v}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rewritings) == 0 {
+		t.Fatal("no rewriting")
+	}
+	store := xmlviews.NewStore(doc, []*xmlviews.View{v})
+	out, err := xmlviews.Execute(res.Rewritings[0], store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rel.Len() != 1 || !strings.Contains(out.Rel.String(), "pen") {
+		t.Fatalf("plan result wrong:\n%s", out.Rel)
+	}
+
+	direct := xmlviews.EvalPattern(q, doc)
+	if direct.Len() != 1 {
+		t.Fatalf("direct evaluation = %d rows", direct.Len())
+	}
+}
+
+func TestFacadeContainment(t *testing.T) {
+	s, err := xmlviews.ParseSummary("a(!b(c) d)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := xmlviews.ParsePattern(`a(/b[id])`)
+	q, _ := xmlviews.ParsePattern(`a(//b[id])`)
+	ok, err := xmlviews.Contained(p, q, s)
+	if err != nil || !ok {
+		t.Fatalf("Contained = %v, %v", ok, err)
+	}
+	eq, err := xmlviews.Equivalent(p, q, s)
+	if err != nil || !eq {
+		t.Fatalf("Equivalent = %v, %v (b occurs only as a child)", eq, err)
+	}
+	u1, _ := xmlviews.ParsePattern(`a(/b[id]{v<5})`)
+	u2, _ := xmlviews.ParsePattern(`a(/b[id]{v>=5})`)
+	all, _ := xmlviews.ParsePattern(`a(/b[id])`)
+	ok, err = xmlviews.ContainedInUnion(all, []*xmlviews.Pattern{u1, u2}, s)
+	if err != nil || !ok {
+		t.Fatalf("union containment = %v, %v", ok, err)
+	}
+}
+
+func TestFacadeXQuery(t *testing.T) {
+	q, err := xmlviews.TranslateXQuery(
+		`for $x in doc("d")//item[//mail] return <r>{$x/name/text()}</r>`, "site")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q.String(), "item[id]") || !strings.Contains(q.String(), "mail") {
+		t.Fatalf("translation = %s", q)
+	}
+}
+
+func TestFacadeMaterialize(t *testing.T) {
+	doc, _ := xmlviews.ParseXMLString(`<a><b>1</b><b>2</b></a>`)
+	v := xmlviews.NewView("vb", xmlviews.MustParsePattern(`a(n?/b[v])`))
+	rel := xmlviews.Materialize(v, doc)
+	if rel.Len() != 1 {
+		t.Fatalf("nested materialization = %d rows", rel.Len())
+	}
+	if rel.Rows[0][0].Table.Len() != 2 {
+		t.Fatalf("nested table = %d rows", rel.Rows[0][0].Table.Len())
+	}
+}
