@@ -4,7 +4,9 @@
 package xmlviews_test
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"xmlviews"
@@ -44,11 +46,13 @@ func BenchmarkTable1SummaryConstruction(b *testing.B) {
 // the 20 XMark patterns (Figure 13, top).
 func BenchmarkFig13XMarkSelfContainment(b *testing.B) {
 	s := experiments.XMarkSummary()
+	opts := core.DefaultContainOptions()
+	opts.Subsume = core.NewSubsumeCache(0) // shared per summary, as the experiments do
 	for _, i := range []int{1, 5, 7, 14, 20} {
 		q1, q2 := xmark.Query(i), xmark.Query(i)
-		b.Run(querName(i), func(b *testing.B) {
+		b.Run(queryName(i), func(b *testing.B) {
 			for n := 0; n < b.N; n++ {
-				ok, err := core.Contained(q1, q2, s)
+				ok, _, err := core.ContainedWith(q1, []*pattern.Pattern{q2}, s, opts)
 				if err != nil || !ok {
 					b.Fatalf("Q%d: %v %v", i, ok, err)
 				}
@@ -57,8 +61,8 @@ func BenchmarkFig13XMarkSelfContainment(b *testing.B) {
 	}
 }
 
-func querName(i int) string {
-	return "Q" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+func queryName(i int) string {
+	return fmt.Sprintf("Q%02d", i)
 }
 
 // BenchmarkFig13Synthetic measures synthetic-pattern containment at
@@ -79,7 +83,8 @@ func BenchmarkFig13Synthetic(b *testing.B) {
 		opts := core.DefaultContainOptions()
 		opts.IgnoreAttrs = true
 		opts.Model.MaxTrees = 20000
-		b.Run("n="+string(rune('0'+n/10))+string(rune('0'+n%10)), func(b *testing.B) {
+		opts.Subsume = core.NewSubsumeCache(0)
+		b.Run(fmt.Sprintf("n=%02d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				// Canonical-model overflow counts as a (skipped) decision:
 				// the Section 5 protocol also drops such pairs.
@@ -110,6 +115,7 @@ func BenchmarkFig14DBLP(b *testing.B) {
 		}
 		opts := core.DefaultContainOptions()
 		opts.IgnoreAttrs = true
+		opts.Subsume = core.NewSubsumeCache(0)
 		b.Run(opt.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, _, err := core.ContainedWith(p1, []*pattern.Pattern{p2}, s, opts); err != nil {
@@ -133,10 +139,81 @@ func BenchmarkFig15Rewriting(b *testing.B) {
 	opts.FirstOnly = true
 	for _, i := range []int{1, 5} {
 		q := xmark.Query(i)
-		b.Run(querName(i), func(b *testing.B) {
+		b.Run(queryName(i), func(b *testing.B) {
 			for n := 0; n < b.N; n++ {
 				if _, err := core.Rewrite(q, views, s, opts); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRewriteParallel compares the sequential rewriting search with
+// the worker-pool engine on the Figure 15 workload (exhaustive mode, so
+// the DP levels are wide enough to fan out). Both modes produce identical
+// RewriteResults; the benchmark measures the wall-clock difference.
+func BenchmarkRewriteParallel(b *testing.B) {
+	s := experiments.XMarkSummary()
+	views := experiments.Fig15Views(s, 5, 77)
+	base := core.DefaultRewriteOptions()
+	base.MaxScansPerPlan = 3
+	base.MaxNavDepth = 2
+	base.MaxExplored = 1000
+	base.MaxResults = 4
+	poolSize := runtime.GOMAXPROCS(0)
+	if poolSize < 4 {
+		poolSize = 4 // still exercises the parallel engine on small machines
+	}
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{fmt.Sprintf("workers=%d", poolSize), poolSize},
+	} {
+		opts := base
+		opts.Workers = mode.workers
+		b.Run(mode.name, func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				for _, i := range []int{1, 5} {
+					if _, err := core.Rewrite(xmark.Query(i), views, s, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJoinParallel compares the sequential ID hash join with the
+// partitioned build / chunked probe path on a large self-join of the
+// XMark item view. Both produce identical relations (row order included).
+func BenchmarkJoinParallel(b *testing.B) {
+	doc := datagen.XMark(128, 6)
+	va := xmlviews.NewView("va", xmlviews.MustParsePattern(`site(//item[id])`))
+	vb := xmlviews.NewView("vb", xmlviews.MustParsePattern(`site(//item[id,v])`))
+	st := view.NewStore(doc, []*core.View{va, vb})
+	plan := core.NewJoin(core.JoinID, false, core.Scan(va), 0, core.Scan(vb), 0)
+	poolSize := runtime.GOMAXPROCS(0)
+	if poolSize < 4 {
+		poolSize = 4 // still exercises the parallel join on small machines
+	}
+	for _, mode := range []struct {
+		name string
+		opts algebra.Options
+	}{
+		{"workers=1", algebra.Options{}},
+		{fmt.Sprintf("workers=%d", poolSize), algebra.Options{Workers: poolSize}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := algebra.ExecuteWith(plan, st, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Rel.Len() == 0 {
+					b.Fatal("empty join result")
 				}
 			}
 		})
@@ -214,7 +291,7 @@ func BenchmarkCanonicalModel(b *testing.B) {
 	s := experiments.XMarkSummary()
 	for _, i := range []int{1, 7} {
 		q := xmark.Query(i)
-		b.Run(querName(i), func(b *testing.B) {
+		b.Run(queryName(i), func(b *testing.B) {
 			for n := 0; n < b.N; n++ {
 				if _, err := core.Model(q, s); err != nil {
 					b.Fatal(err)

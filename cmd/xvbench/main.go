@@ -9,7 +9,9 @@
 //	xvbench -exp ablation          Enhanced vs plain summary rewriting
 //	xvbench -exp all               Everything (default)
 //
-// Flags -scale and -views trade runtime for fidelity.
+// Flags -scale and -views trade runtime for fidelity; -workers runs the
+// fig15 rewriting search on a worker pool (identical results, different
+// timings).
 package main
 
 import (
@@ -26,6 +28,7 @@ func main() {
 	scale := flag.Int("scale", 1, "document scale multiplier for table1")
 	views := flag.Int("views", 100, "random views for fig15 (paper: 100)")
 	perSize := flag.Int("persize", 12, "synthetic patterns per (n,r) point (paper: 40)")
+	workers := flag.Int("workers", 1, "rewriting search workers for fig15 (1 = sequential, <0 = GOMAXPROCS)")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -44,7 +47,7 @@ func main() {
 	run("fig13a", fig13a)
 	run("fig13b", func() error { return fig13b(*perSize) })
 	run("fig14", func() error { return fig14(*perSize) })
-	run("fig15", func() error { return fig15(*views) })
+	run("fig15", func() error { return fig15(*views, *workers) })
 	run("ablation", ablation)
 }
 
@@ -140,9 +143,9 @@ func printSynthetic(rows []experiments.SyntheticRow) {
 	}
 }
 
-func fig15(views int) error {
+func fig15(views, workers int) error {
 	s := experiments.XMarkSummary()
-	rows, err := experiments.Fig15(s, views)
+	rows, err := experiments.Fig15(s, views, workers)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,3 @@
+module xmlviews
+
+go 1.21

@@ -11,6 +11,8 @@ package algebra
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"strings"
 
 	"xmlviews/internal/core"
@@ -32,6 +34,22 @@ type Options struct {
 	// NestedLoopJoins forces nested-loop structural joins instead of the
 	// stack-based merge (used by the join ablation benchmark).
 	NestedLoopJoins bool
+	// Workers sets the number of goroutines for the hash-join build and
+	// probe phases: 0 or 1 runs sequentially, n > 1 uses n workers, and
+	// any negative value uses runtime.GOMAXPROCS(0). Parallel and
+	// sequential execution produce identical results (row order included).
+	Workers int
+}
+
+// effectiveWorkers resolves the Workers knob to a concrete worker count.
+func (o Options) effectiveWorkers() int {
+	switch {
+	case o.Workers < 0:
+		return runtime.GOMAXPROCS(0)
+	case o.Workers == 0:
+		return 1
+	}
+	return o.Workers
 }
 
 // Execute runs a plan against the store.
@@ -232,7 +250,11 @@ func (ex *executor) join(p *core.Plan) (*Result, error) {
 	var rows []joinedRow
 	switch {
 	case p.Kind == core.JoinID:
-		rows = hashJoin(left.Rel, lid, right.Rel, rid)
+		if w := ex.opts.effectiveWorkers(); w > 1 {
+			rows = parallelHashJoin(left.Rel, lid, right.Rel, rid, w)
+		} else {
+			rows = hashJoin(left.Rel, lid, right.Rel, rid)
+		}
 	case ex.opts.NestedLoopJoins:
 		rows = nestedLoopStructuralJoin(left.Rel, lid, right.Rel, rid, p.Kind == core.JoinParent)
 	default:
@@ -412,26 +434,12 @@ func sortedByID(rows []nrel.Tuple, col int) []nrel.Tuple {
 	return out
 }
 
+// sortTuples orders rows by document order on the given ID column, keeping
+// the input order of equal IDs (duplicates arise after prior joins).
 func sortTuples(rows []nrel.Tuple, col int) {
-	if len(rows) < 2 {
-		return
-	}
-	// Simple merge sort on document order.
-	mid := len(rows) / 2
-	leftPart := append([]nrel.Tuple(nil), rows[:mid]...)
-	rightPart := append([]nrel.Tuple(nil), rows[mid:]...)
-	sortTuples(leftPart, col)
-	sortTuples(rightPart, col)
-	i, j := 0, 0
-	for k := range rows {
-		if i < len(leftPart) && (j >= len(rightPart) || leftPart[i][col].ID.Compare(rightPart[j][col].ID) <= 0) {
-			rows[k] = leftPart[i]
-			i++
-		} else {
-			rows[k] = rightPart[j]
-			j++
-		}
-	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		return rows[i][col].ID.Compare(rows[j][col].ID) < 0
+	})
 }
 
 func (ex *executor) union(p *core.Plan) (*Result, error) {

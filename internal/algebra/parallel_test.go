@@ -1,0 +1,105 @@
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"xmlviews/internal/nrel"
+	"xmlviews/internal/view"
+)
+
+// randomIDRelation builds a relation of n rows whose ID column at slot
+// `slot` is drawn from a small pool (so joins produce many matches) and
+// whose value column distinguishes physically distinct rows.
+func randomIDRelation(slot, n int, r *rand.Rand) *nrel.Relation {
+	rel := nrel.NewRelation(view.SlotCol(slot, "id"), view.SlotCol(slot, "v"))
+	for i := 0; i < n; i++ {
+		var row nrel.Tuple
+		if r.Intn(20) == 0 {
+			row = nrel.Tuple{nrel.Null(), nrel.String(fmt.Sprintf("v%d", i))}
+		} else {
+			id := nrel.ID([]uint32{1, uint32(r.Intn(40)), uint32(r.Intn(8))})
+			row = nrel.Tuple{id, nrel.String(fmt.Sprintf("v%d", i))}
+		}
+		rel.Append(row)
+	}
+	return rel
+}
+
+func renderJoined(rows []joinedRow) string {
+	var b strings.Builder
+	for _, jr := range rows {
+		b.WriteString(renderKey(jr.left))
+		b.WriteByte('|')
+		b.WriteString(renderKey(jr.right))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestParallelHashJoinMatchesSequential asserts that the partitioned
+// build / chunked probe join produces byte-identical output (rows and
+// order) to the sequential hash join, across sizes and worker counts.
+func TestParallelHashJoinMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, size := range []int{0, 1, 7, 100, 1337} {
+		l := randomIDRelation(0, size, r)
+		rr := randomIDRelation(0, size/2+1, r)
+		want := renderJoined(hashJoin(l, 0, rr, 0))
+		for _, workers := range []int{2, 3, 8} {
+			got := renderJoined(parallelHashJoin(l, 0, rr, 0, workers))
+			if got != want {
+				t.Fatalf("size=%d workers=%d: parallel join diverged", size, workers)
+			}
+		}
+	}
+}
+
+// TestParallelHashJoinConcurrentCallers is the -race check: several
+// goroutines join the same shared relations concurrently.
+func TestParallelHashJoinConcurrentCallers(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	l := randomIDRelation(0, 500, r)
+	rr := randomIDRelation(0, 300, r)
+	want := renderJoined(hashJoin(l, 0, rr, 0))
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := range errs {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if got := renderJoined(parallelHashJoin(l, 0, rr, 0, 4)); got != want {
+				errs[g] = fmt.Errorf("goroutine %d diverged", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSortTuplesStable checks that document-order sorting keeps the input
+// order of duplicate IDs (the stack structural join groups them).
+func TestSortTuplesStable(t *testing.T) {
+	rel := nrel.NewRelation(view.SlotCol(0, "id"), view.SlotCol(0, "v"))
+	ids := [][]uint32{{1, 2}, {1, 1}, {1, 2}, {1}, {1, 1}, {1, 3}}
+	for i, id := range ids {
+		rel.Append(nrel.Tuple{nrel.ID(id), nrel.String(fmt.Sprintf("r%d", i))})
+	}
+	rows := append([]nrel.Tuple(nil), rel.Rows...)
+	sortTuples(rows, 0)
+	var got []string
+	for _, row := range rows {
+		got = append(got, row[1].Str)
+	}
+	want := []string{"r3", "r1", "r4", "r0", "r2", "r5"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,127 @@
+package algebra
+
+import (
+	"hash/maphash"
+	"sync"
+
+	"xmlviews/internal/nrel"
+)
+
+// Parallel ID hash join. The build side is partitioned by key hash so each
+// worker owns a disjoint slice of the hash table (no locking, and per-key
+// row lists keep build-side order because exactly one worker appends to
+// them, scanning rows in order). The probe side is split into contiguous
+// chunks whose outputs are concatenated in chunk order, so the joined rows
+// come out in exactly the order the sequential hashJoin produces: probe
+// row order, then build row order within a key.
+
+var joinSeed = maphash.MakeSeed()
+
+func parallelHashJoin(l *nrel.Relation, lid int, r *nrel.Relation, rid int, workers int) []joinedRow {
+	// Render build-side keys once, in parallel chunks, collecting the row
+	// indices of each (chunk, partition) pair so the build workers below
+	// each walk only their own partition's rows.
+	rkeys := make([]string, len(r.Rows))
+	chunkParts := make([][][]int32, numChunks(workers, len(r.Rows)))
+	forChunks(workers, len(r.Rows), func(chunk, lo, hi int) {
+		lists := make([][]int32, workers)
+		for i := lo; i < hi; i++ {
+			if v := r.Rows[i][rid]; !v.IsNull() {
+				rkeys[i] = v.ID.String()
+				p := maphash.String(joinSeed, rkeys[i]) % uint64(workers)
+				lists[p] = append(lists[p], int32(i))
+			}
+		}
+		chunkParts[chunk] = lists
+	})
+
+	// Partitioned build: worker w indexes the keys hashing to partition w,
+	// visiting chunks in order so per-key row lists keep build-side order.
+	parts := make([]map[string][]nrel.Tuple, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := map[string][]nrel.Tuple{}
+			for _, lists := range chunkParts {
+				for _, i := range lists[w] {
+					m[rkeys[i]] = append(m[rkeys[i]], r.Rows[i])
+				}
+			}
+			parts[w] = m
+		}(w)
+	}
+	wg.Wait()
+
+	// Chunked probe; chunk outputs concatenate in probe-row order.
+	outs := make([][]joinedRow, numChunks(workers, len(l.Rows)))
+	forChunks(workers, len(l.Rows), func(chunk, lo, hi int) {
+		var rows []joinedRow
+		for _, lrow := range l.Rows[lo:hi] {
+			v := lrow[lid]
+			if v.IsNull() {
+				continue
+			}
+			k := v.ID.String()
+			for _, rrow := range parts[int(maphash.String(joinSeed, k)%uint64(workers))][k] {
+				rows = append(rows, joinedRow{lrow, rrow})
+			}
+		}
+		outs[chunk] = rows
+	})
+	total := 0
+	for _, rows := range outs {
+		total += len(rows)
+	}
+	out := make([]joinedRow, 0, total)
+	for _, rows := range outs {
+		out = append(out, rows...)
+	}
+	return out
+}
+
+func numChunks(workers, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return 1
+	}
+	size := (n + workers - 1) / workers
+	return (n + size - 1) / size
+}
+
+// forChunks splits [0, n) into at most `workers` contiguous chunks and
+// runs f(chunkIndex, lo, hi) on each concurrently.
+func forChunks(workers, n int, f func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		f(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	size := (n + workers - 1) / workers
+	chunk := 0
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(chunk, lo, hi int) {
+			defer wg.Done()
+			f(chunk, lo, hi)
+		}(chunk, lo, hi)
+		chunk++
+	}
+	wg.Wait()
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// The rewriting search shares three memo structures across workers: the
+// per-tree cover verdicts (plan ⊆S q direction), the per-adaptation
+// verdict pairs, and the summary-implication cache (SubsumeCache). All
+// are striped: a key is hashed to one of a fixed number of shards, each
+// with its own mutex, so concurrent workers rarely contend. Every cached
+// value is a pure function of its key, which is what keeps the parallel
+// search deterministic: a hit and a recomputation agree.
+
+const stripeShards = 32
+
+var stripeSeed = maphash.MakeSeed()
+
+func stripeOf(key string) int {
+	return int(maphash.String(stripeSeed, key) % stripeShards)
+}
+
+// verdict is a pair of containment decisions for one adaptation (eqQ is
+// only meaningful when inQ holds).
+type verdict struct {
+	inQ, eqQ bool
+}
+
+// verdictMemo memoizes both containment directions per adaptation
+// canonical key. Equal keys mean isomorphic canonical models, so the
+// verdicts transfer — the same argument that lets the sequential path
+// skip duplicate adaptations outright.
+type verdictMemo struct {
+	shards [stripeShards]struct {
+		mu sync.Mutex
+		m  map[string]verdict
+	}
+}
+
+func newVerdictMemo() *verdictMemo {
+	v := &verdictMemo{}
+	for i := range v.shards {
+		v.shards[i].m = map[string]verdict{}
+	}
+	return v
+}
+
+func (v *verdictMemo) get(key string) (verdict, bool) {
+	sh := &v.shards[stripeOf(key)]
+	sh.mu.Lock()
+	val, ok := sh.m[key]
+	sh.mu.Unlock()
+	return val, ok
+}
+
+func (v *verdictMemo) put(key string, val verdict) {
+	sh := &v.shards[stripeOf(key)]
+	sh.mu.Lock()
+	sh.m[key] = val
+	sh.mu.Unlock()
+}
+
+// coverMemo memoizes queryCoversTree verdicts by canonical tree key
+// (identical trees recur across many candidate plans). Safe for concurrent
+// use; the verdict is a pure function of the key for a fixed query.
+type coverMemo struct {
+	shards [stripeShards]struct {
+		mu sync.Mutex
+		m  map[string]bool
+	}
+}
+
+func newCoverMemo() *coverMemo {
+	c := &coverMemo{}
+	for i := range c.shards {
+		c.shards[i].m = map[string]bool{}
+	}
+	return c
+}
+
+func (c *coverMemo) get(key string) (covered, ok bool) {
+	sh := &c.shards[stripeOf(key)]
+	sh.mu.Lock()
+	covered, ok = sh.m[key]
+	sh.mu.Unlock()
+	return covered, ok
+}
+
+func (c *coverMemo) put(key string, covered bool) {
+	sh := &c.shards[stripeOf(key)]
+	sh.mu.Lock()
+	sh.m[key] = covered
+	sh.mu.Unlock()
+}

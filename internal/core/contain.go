@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"strconv"
-	"sync"
 
 	"xmlviews/internal/pattern"
 	"xmlviews/internal/predicate"
@@ -17,6 +16,10 @@ type ContainOptions struct {
 	// equality). The rewriting algorithm uses this, handling attributes
 	// separately through slot selection and projection.
 	IgnoreAttrs bool
+	// Subsume memoizes summary-implication decisions. Callers deciding many
+	// containments over one summary should share a cache across calls
+	// (NewSubsumeCache); when nil, a transient per-call cache is used.
+	Subsume *SubsumeCache
 }
 
 // DefaultContainOptions uses the default canonical model settings.
@@ -39,13 +42,17 @@ func ContainedInUnion(p *pattern.Pattern, qs []*pattern.Pattern, s *summary.Summ
 	return ok, err
 }
 
-// Equivalent decides p ≡S q (two-way containment).
+// Equivalent decides p ≡S q (two-way containment). One summary-implication
+// cache serves both directions.
 func Equivalent(p, q *pattern.Pattern, s *summary.Summary) (bool, error) {
-	ok, err := Contained(p, q, s)
+	opts := DefaultContainOptions()
+	opts.Subsume = NewSubsumeCache(0)
+	ok, _, err := ContainedWith(p, []*pattern.Pattern{q}, s, opts)
 	if err != nil || !ok {
 		return false, err
 	}
-	return Contained(q, p, s)
+	ok, _, err = ContainedWith(q, []*pattern.Pattern{p}, s, opts)
+	return ok, err
 }
 
 // ContainedWith is the full containment decision procedure. It returns a
@@ -59,6 +66,9 @@ func Equivalent(p, q *pattern.Pattern, s *summary.Summary) (bool, error) {
 func ContainedWith(p *pattern.Pattern, qs []*pattern.Pattern, s *summary.Summary, opts ContainOptions) (bool, *Tree, error) {
 	if len(qs) == 0 {
 		return false, nil, fmt.Errorf("core: empty container union")
+	}
+	if opts.Subsume == nil {
+		opts.Subsume = NewSubsumeCache(0)
 	}
 	for _, q := range qs {
 		if q.Arity() != p.Arity() {
@@ -101,7 +111,7 @@ func treeCovered(te *Tree, qs []*pattern.Pattern, opts ContainOptions) (bool, er
 			if !matchNestOK(te, m) {
 				continue
 			}
-			if !erasedCompatible(te, m) {
+			if !erasedCompatible(te, m, opts.Subsume) {
 				continue
 			}
 			cover = append(cover, m.Box)
@@ -145,7 +155,7 @@ func Satisfiable(p *pattern.Pattern, s *summary.Summary) (bool, error) {
 // document match of Tq implies a match of Tp, witnessed by a homomorphism
 // Tp → Tq. Erased subtrees without return slots do not affect the tuple
 // and are exempt.
-func erasedCompatible(te *Tree, m match) bool {
+func erasedCompatible(te *Tree, m match, sub *SubsumeCache) bool {
 	for _, eq := range m.Erased {
 		if !eq.hasSlotIn() {
 			continue
@@ -156,7 +166,7 @@ func erasedCompatible(te *Tree, m match) bool {
 				continue
 			}
 			if homSubsumes(ep.Root, eq.Root) ||
-				summaryImplies(te.Sum, te.Nodes[ep.Parent].SID, eq.Root, ep.Root) {
+				summaryImplies(te.Sum, te.Nodes[ep.Parent].SID, eq.Root, ep.Root, sub) {
 				ok = true
 				break
 			}
@@ -248,31 +258,17 @@ func homChild(pc *pattern.Node, tq *pattern.Node) bool {
 // because increase only occurs below bidder. summaryImplies decides the
 // exact condition — every document match of tp under a node on path anchor
 // yields a match of tq there — by a 0-ary containment test on anchored
-// patterns, memoized per summary.
-var subsumeCache = struct {
-	sync.Mutex
-	m map[*summary.Summary]map[string]bool
-}{m: map[*summary.Summary]map[string]bool{}}
-
-func summaryImplies(s *summary.Summary, anchor int, tp, tq *pattern.Node) bool {
-	key := strconv.Itoa(anchor) + "|" + subtreeSig(tp) + "|" + subtreeSig(tq)
-	subsumeCache.Lock()
-	byS := subsumeCache.m[s]
-	if byS == nil {
-		byS = map[string]bool{}
-		subsumeCache.m[s] = byS
+// patterns, memoized in the caller-scoped cache (nil = no memoization).
+func summaryImplies(s *summary.Summary, anchor int, tp, tq *pattern.Node, cache *SubsumeCache) bool {
+	if cache == nil || !cache.bind(s) {
+		return decideSummaryImplies(s, anchor, tp, tq)
 	}
-	if v, ok := byS[key]; ok {
-		subsumeCache.Unlock()
+	key := strconv.Itoa(anchor) + "|" + subtreeSig(tp) + "|" + subtreeSig(tq)
+	if v, ok := cache.get(key); ok {
 		return v
 	}
-	subsumeCache.Unlock()
-
 	res := decideSummaryImplies(s, anchor, tp, tq)
-
-	subsumeCache.Lock()
-	byS[key] = res
-	subsumeCache.Unlock()
+	cache.put(key, res)
 	return res
 }
 

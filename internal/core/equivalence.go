@@ -5,37 +5,31 @@ import (
 	"xmlviews/internal/predicate"
 )
 
-// planContainedInQuery decides plan ⊆S q: for every canonical tree of the
-// plan (already projected to q's schema), q must produce the tree's return
-// tuple on every document realizing it. This is direction one of the ≡S
-// test of Algorithm 1 (line 7). The optional cache memoizes q's embeddings
-// per canonical tree key — identical trees recur across many candidate
-// plans during rewriting.
-func planContainedInQuery(planModel []*Tree, q *pattern.Pattern) bool {
-	return planContainedInQueryCached(planModel, q, nil)
-}
-
-// planContainedInQueryCached memoizes the per-tree decision by canonical
-// key: equal keys mean isomorphic decorated trees with corresponding slots
-// and erased subtrees, so the covered/uncovered outcome transfers. (The
-// embeddings themselves do not transfer — node indexes are
-// instance-specific.)
-func planContainedInQueryCached(planModel []*Tree, q *pattern.Pattern, cache map[string]bool) bool {
+// planContainedInQueryCached decides plan ⊆S q: for every canonical tree
+// of the plan (already projected to q's schema), q must produce the
+// tree's return tuple on every document realizing it. This is direction
+// one of the ≡S test of Algorithm 1 (line 7). The memo caches the
+// per-tree decision by canonical key: equal keys mean isomorphic
+// decorated trees with corresponding slots and erased subtrees, so the
+// covered/uncovered outcome transfers. (The embeddings themselves do not
+// transfer — node indexes are instance-specific.) Both caches may be nil;
+// both are safe to share across goroutines.
+func planContainedInQueryCached(planModel []*Tree, q *pattern.Pattern, memo *coverMemo, sub *SubsumeCache) bool {
 	for _, te := range planModel {
 		if len(te.Slots) != q.Arity() {
 			return false
 		}
-		if cache != nil {
-			if covered, ok := cache[te.Key()]; ok {
+		if memo != nil {
+			if covered, ok := memo.get(te.Key()); ok {
 				if !covered {
 					return false
 				}
 				continue
 			}
 		}
-		covered := queryCoversTree(te, q)
-		if cache != nil {
-			cache[te.Key()] = covered
+		covered := queryCoversTree(te, q, sub)
+		if memo != nil {
+			memo.put(te.Key(), covered)
 		}
 		if !covered {
 			return false
@@ -44,7 +38,7 @@ func planContainedInQueryCached(planModel []*Tree, q *pattern.Pattern, cache map
 	return true
 }
 
-func queryCoversTree(te *Tree, q *pattern.Pattern) bool {
+func queryCoversTree(te *Tree, q *pattern.Pattern, sub *SubsumeCache) bool {
 	var cover []predicate.Box
 	for _, m := range matchPattern(q, te, bottomIfImpossible) {
 		if !slotsEqual(m.Slots, te.Slots) {
@@ -53,7 +47,7 @@ func queryCoversTree(te *Tree, q *pattern.Pattern) bool {
 		if !matchNestOK(te, m) {
 			continue
 		}
-		if !erasedCompatible(te, m) {
+		if !erasedCompatible(te, m, sub) {
 			continue
 		}
 		cover = append(cover, m.Box)
@@ -64,7 +58,7 @@ func queryCoversTree(te *Tree, q *pattern.Pattern) bool {
 // queryContainedInPlan decides q ⊆S plan: for every canonical tree tq of
 // the query, some plan tree must map homomorphically into tq with the right
 // slots, and the plan-tree formulas must jointly cover φ_tq.
-func queryContainedInPlan(qModel, planModel []*Tree) bool {
+func queryContainedInPlan(qModel, planModel []*Tree, sub *SubsumeCache) bool {
 	for _, tq := range qModel {
 		var cover []predicate.Box
 		for _, te := range planModel {
@@ -72,7 +66,7 @@ func queryContainedInPlan(qModel, planModel []*Tree) bool {
 				continue
 			}
 			for _, h := range treeHoms(te, tq) {
-				if !homSlotsOK(te, tq, h) {
+				if !homSlotsOK(te, tq, h, sub) {
 					continue
 				}
 				cover = append(cover, h.Box)
@@ -90,7 +84,7 @@ func queryContainedInPlan(qModel, planModel []*Tree) bool {
 // must align with ⊥ slots whose erased subtrees are at least as demanding
 // on the plan side (the mirror of erasedCompatible), and nesting sequences
 // must agree modulo one-to-one edges.
-func homSlotsOK(te, tq *Tree, h treeHom) bool {
+func homSlotsOK(te, tq *Tree, h treeHom, sub *SubsumeCache) bool {
 	for k, sl := range te.Slots {
 		qs := tq.Slots[k]
 		if sl.Node < 0 {
@@ -120,7 +114,7 @@ func homSlotsOK(te, tq *Tree, h treeHom) bool {
 				continue
 			}
 			if homSubsumes(eq.Root, ep.Root) ||
-				summaryImplies(tq.Sum, tq.Nodes[eq.Parent].SID, ep.Root, eq.Root) {
+				summaryImplies(tq.Sum, tq.Nodes[eq.Parent].SID, ep.Root, eq.Root, sub) {
 				ok = true
 				break
 			}

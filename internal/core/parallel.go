@@ -1,0 +1,219 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel rewriting search.
+//
+// The left-deep join development of Algorithm 1 is a dynamic program over
+// a growing working set: iteration i joins work[i] against every seed plan
+// and appends the surviving candidates. Iteration order is what makes the
+// sequential result canonical (discovery order, first-representative
+// dedup), so the parallel engine processes each DP level in four phases:
+//
+//  1. generate (parallel): each work entry of the level is handed to a
+//     worker that develops all its join candidates (model merges plus the
+//     Proposition 3.5 redundancy filter) — pure work against read-only
+//     state.
+//  2. admit (sequential, cheap): candidates are walked in exactly the
+//     order the sequential search visits them — work index, then seed
+//     index, then attempt index — replaying the exploration budget, the
+//     canonical-model dedup and the working-set growth deterministically.
+//  3. judge (parallel): the admitted survivors — exactly the entries the
+//     sequential search would run containment on, each unique — get their
+//     adaptations and both containment verdicts computed by the worker
+//     pool, memoized in the shared concurrency-safe caches.
+//  4. commit (sequential): verdicts are replayed in admission order,
+//     emitting rewritings and collecting union-phase partials just like
+//     the sequential path.
+//
+// The exploration budget (MaxExplored) needs care: the sequential search
+// stops generating mid-pair once the budget runs out, and the budget
+// state is only known during the admit phase. Workers therefore generate
+// against a soft budget (the budget committed before their level started,
+// a lower bound on what admit will have consumed), tag every candidate
+// with its attempt index, and admit replays the exact cutoff —
+// regenerating a pair synchronously in the rare case the soft budget
+// under-generated. When an early exit (FirstOnly / MaxResults) fires
+// during commit, the explored counter is rewound to the admitted
+// candidate's snapshot so the reported statistics match the sequential
+// run exactly.
+
+// pairGen is the generation result for one (work entry, seed) pair.
+type pairGen struct {
+	lj        int // index into m0
+	cands     []taggedCand
+	attempts  int
+	truncated bool // generation may have stopped before the pair was exhausted
+}
+
+// survivor is one admitted candidate awaiting its containment verdicts.
+type survivor struct {
+	e entry
+	// explored snapshots res.PlansExplored after this candidate's pair,
+	// the value the counter must rewind to if the search stops here.
+	explored int
+	pre      []adaptedVerdict
+}
+
+// searchParallel runs the seed phase and the left-deep development with a
+// worker pool of the given size, producing results identical to
+// searchSequential.
+func (rw *rewriter) searchParallel(work []entry, m0 []entry, workers int) {
+	// Seed phase: the containment verdicts for the single-view plans are
+	// precomputed in parallel, then replayed in order.
+	seedPre := make([][]adaptedVerdict, len(m0))
+	runWorkers(workers, len(m0), func(i int) {
+		seedPre[i] = rw.precomputeConsider(m0[i])
+	})
+	for i, e := range m0 {
+		rw.seenAdd(e.key)
+		rw.replayConsider(seedPre[i])
+		if rw.done() {
+			return
+		}
+	}
+
+	for lo := 0; lo < len(work); {
+		hi := len(work)
+		batch := work[lo:hi]
+
+		// Generate.
+		results := make([][]pairGen, len(batch))
+		committed := rw.res.PlansExplored
+		var levelUsed atomic.Int64
+		runWorkers(workers, len(batch), func(bi int) {
+			results[bi] = rw.generateTask(batch[bi], m0, committed, &levelUsed)
+		})
+
+		// Admit.
+		var survivors []survivor
+		for bi := range batch {
+			li := batch[bi]
+			for _, pg := range results[bi] {
+				rem := rw.budgetLeft()
+				if pg.truncated && (rem < 0 || pg.attempts < rem) {
+					// The soft budget cut generation short of what the true
+					// budget allows: redo this pair exactly.
+					pg.cands, pg.attempts = rw.genJoinCandidates(li, m0[pg.lj], rem)
+				} else if rem >= 0 && pg.attempts > rem {
+					kept := pg.cands[:0:0]
+					for _, tc := range pg.cands {
+						if tc.attempt < rem {
+							kept = append(kept, tc)
+						}
+					}
+					pg.cands, pg.attempts = kept, rem
+				}
+				rw.res.PlansExplored += pg.attempts
+				for _, tc := range pg.cands {
+					if !rw.seenAdd(tc.e.key) {
+						continue
+					}
+					survivors = append(survivors, survivor{e: tc.e, explored: rw.res.PlansExplored})
+					if len(work) < rw.opts.MaxPlans {
+						work = append(work, tc.e)
+					}
+				}
+			}
+		}
+
+		// Judge.
+		runWorkers(workers, len(survivors), func(i int) {
+			survivors[i].pre = rw.precomputeConsider(survivors[i].e)
+		})
+
+		// Commit.
+		for i := range survivors {
+			rw.replayConsider(survivors[i].pre)
+			if rw.done() {
+				rw.res.PlansExplored = survivors[i].explored
+				return
+			}
+		}
+		lo = hi
+	}
+}
+
+// generateTask develops, for one work entry, the join candidates against
+// every seed plan. committed is the exploration budget already consumed
+// when the level started; the task's own attempts are counted against
+// MaxExplored - committed, which never under-runs the cutoff the admit
+// phase will apply (its consumed count can only be higher). levelUsed
+// accumulates attempts across the whole level: once the level has
+// collectively generated a budget's worth, further speculative generation
+// is pointless — the admit phase will have run out by then — so the task
+// stops and marks its remaining pairs truncated. (Truncation is always
+// safe: admit regenerates a truncated pair exactly when it still has
+// budget for it.)
+func (rw *rewriter) generateTask(li entry, m0 []entry, committed int, levelUsed *atomic.Int64) []pairGen {
+	if li.plan.NumScans() >= rw.opts.MaxScansPerPlan {
+		return nil
+	}
+	softRem := -1
+	if rw.opts.MaxExplored > 0 {
+		softRem = rw.opts.MaxExplored - committed
+		if softRem < 0 {
+			softRem = 0
+		}
+	}
+	used := 0
+	out := make([]pairGen, 0, len(m0))
+	for j, lj := range m0 {
+		limit := -1
+		if softRem >= 0 {
+			limit = softRem - used
+			if limit < 0 {
+				limit = 0
+			}
+			if levelUsed.Load() >= int64(softRem) {
+				limit = 0
+			}
+		}
+		cands, attempts := rw.genJoinCandidates(li, lj, limit)
+		used += attempts
+		if attempts > 0 {
+			levelUsed.Add(int64(attempts))
+		}
+		out = append(out, pairGen{
+			lj: j, cands: cands, attempts: attempts,
+			truncated: limit >= 0 && attempts >= limit,
+		})
+	}
+	return out
+}
+
+// runWorkers executes f(0..n-1) on up to `workers` goroutines, pulling
+// indices from a shared counter, and returns when all calls finished.
+func runWorkers(workers, n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

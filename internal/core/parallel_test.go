@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/summary"
+)
+
+// rewriteCase is one summary + view set + query workload used to compare
+// the sequential and parallel engines.
+type rewriteCase struct {
+	name  string
+	sum   string
+	query string
+	views []*View
+}
+
+func parallelCases() []rewriteCase {
+	return []rewriteCase{
+		{
+			name: "id-join", sum: "a(b(c d))",
+			query: "a(//b[id](/c[v] /d[v]))",
+			views: []*View{view("vc", "a(//b[id](/c[v]))"), view("vd", "a(//b[id](/d[v]))")},
+		},
+		{
+			name: "figure5", sum: "r(a(b c(b)) c(b a(b)))",
+			query: "r(//*(//*(//b[id])))",
+			views: []*View{view("p1", "r(//a(//b[id]))"), view("p2", "r(//c(//b[id]))")},
+		},
+		{
+			name: "union", sum: "a(b c)",
+			query: "a(/*[id])",
+			views: []*View{view("vb", "a(/b[id])"), view("vc", "a(/c[id])")},
+		},
+		{
+			name: "many-views", sum: "s(x(p q) y(p r) z(q r))",
+			query: "s(//p[id](?/q))",
+			views: []*View{
+				view("v1", "s(//p[id])"), view("v2", "s(//q[id])"),
+				view("v3", "s(//r[id])"), view("v4", "s(//x[id](/p[id]))"),
+				view("v5", "s(//y[id](/p[id]))"), view("v6", "s(/*[id,l])"),
+			},
+		},
+		{
+			name: "nested", sum: "a(b(c))",
+			query: "a(/b[id](n/c[id,v]))",
+			views: []*View{view("vb", "a(/b[id])"), view("vcv", "a(//c[id,v])")},
+		},
+	}
+}
+
+// resultSignature captures the deterministic parts of a RewriteResult:
+// everything except the timing fields.
+func resultSignature(res *RewriteResult) string {
+	sig := fmt.Sprintf("kept=%d/%d explored=%d rewritings=%d\n",
+		res.ViewsKept, res.ViewsTotal, res.PlansExplored, len(res.Rewritings))
+	for _, p := range res.Rewritings {
+		sig += p.String() + "\n"
+	}
+	return sig
+}
+
+// TestParallelRewriteMatchesSequential asserts that the worker-pool search
+// produces byte-identical results (plans, order, exploration statistics)
+// to the sequential search, across worker counts and budget settings.
+func TestParallelRewriteMatchesSequential(t *testing.T) {
+	for _, tc := range parallelCases() {
+		for _, budget := range []int{7, 800, 4000} {
+			t.Run(fmt.Sprintf("%s/budget=%d", tc.name, budget), func(t *testing.T) {
+				s := summary.MustParse(tc.sum)
+				q := pattern.MustParse(tc.query)
+				opts := DefaultRewriteOptions()
+				opts.MaxExplored = budget
+				seq, err := Rewrite(q, tc.views, s, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := resultSignature(seq)
+				for _, workers := range []int{2, 8, -1} {
+					opts.Workers = workers
+					par, err := Rewrite(q, tc.views, s, opts)
+					if err != nil {
+						t.Fatalf("workers=%d: %v", workers, err)
+					}
+					if got := resultSignature(par); got != want {
+						t.Errorf("workers=%d diverged:\nsequential:\n%s\nparallel:\n%s", workers, want, got)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentRewriteAndContained is the -race regression test: 8
+// goroutines share one summary (and one subsume cache) and run both the
+// parallel rewriting search and containment decisions concurrently; every
+// goroutine must reproduce the sequential results exactly.
+func TestConcurrentRewriteAndContained(t *testing.T) {
+	s := summary.MustParse("site(regions(item(name mail location)) people(person(name)))")
+	views := []*View{
+		view("vi", "site(//item[id](/name[v]))"),
+		view("vm", "site(//item[id](?/mail[v]))"),
+		view("vp", "site(//person[id](/name[v]))"),
+		view("vn", "site(//name[id,v])"),
+	}
+	q := pattern.MustParse("site(//item[id](/name[v] ?/mail[v]))")
+	p1 := pattern.MustParse("site(//item[id](/name[v]))")
+	p2 := pattern.MustParse("site(//*[id](/name[v]))")
+
+	seqOpts := DefaultRewriteOptions()
+	seqOpts.MaxExplored = 1500
+	seqOpts.MaxResults = 8
+	seq, err := Rewrite(q, views, s, seqOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSig := resultSignature(seq)
+	wantContained, err := Contained(p1, p2, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := NewSubsumeCache(0)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 3; iter++ {
+				opts := DefaultRewriteOptions()
+				opts.MaxExplored = 1500
+				opts.MaxResults = 8
+				opts.Workers = 4
+				opts.Subsume = shared
+				res, err := Rewrite(q, views, s, opts)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if got := resultSignature(res); got != wantSig {
+					errs[g] = fmt.Errorf("goroutine %d: rewrite diverged:\n%s\nwant:\n%s", g, got, wantSig)
+					return
+				}
+				copts := DefaultContainOptions()
+				copts.Subsume = shared
+				ok, _, err := ContainedWith(p1, []*pattern.Pattern{p2}, s, copts)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if ok != wantContained {
+					errs[g] = fmt.Errorf("goroutine %d: containment = %v, want %v", g, ok, wantContained)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestParallelFirstOnly checks the early-exit path: FirstOnly must report
+// the same first rewriting in both modes.
+func TestParallelFirstOnly(t *testing.T) {
+	s := summary.MustParse("a(b)")
+	views := []*View{view("v1", "a(/b[id])"), view("v2", "a(//b[id])")}
+	q := pattern.MustParse("a(/b[id])")
+	opts := DefaultRewriteOptions()
+	opts.FirstOnly = true
+	seq, err := Rewrite(q, views, s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 8
+	par, err := Rewrite(q, views, s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Rewritings) != 1 || len(par.Rewritings) != 1 {
+		t.Fatalf("FirstOnly counts: seq=%d par=%d", len(seq.Rewritings), len(par.Rewritings))
+	}
+	if seq.Rewritings[0].String() != par.Rewritings[0].String() {
+		t.Fatalf("first rewriting differs: %s vs %s", seq.Rewritings[0], par.Rewritings[0])
+	}
+}
+
+// TestSubsumeCacheSummaryScoped checks that a cache binds to the first
+// summary it serves and bypasses (rather than mis-serves) any other:
+// the keys are summary-local node indices, so cross-summary hits would
+// return wrong verdicts.
+func TestSubsumeCacheSummaryScoped(t *testing.T) {
+	s1 := summary.MustParse("a(b(c))")
+	s2 := summary.MustParse("x(y z)")
+	c := NewSubsumeCache(0)
+	if !c.bind(s1) {
+		t.Fatal("fresh cache must bind its first summary")
+	}
+	if c.bind(s2) {
+		t.Fatal("bound cache must reject a different summary")
+	}
+	if !c.bind(s1) {
+		t.Fatal("bound cache must keep serving its owner")
+	}
+	// Sharing one ContainOptions across summaries stays correct: the
+	// second summary's decisions bypass the bound cache.
+	opts := DefaultContainOptions()
+	opts.Subsume = NewSubsumeCache(0)
+	p1 := pattern.MustParse("a(//c[id])")
+	q1 := pattern.MustParse("a(/b(/c[id]))")
+	ok, _, err := ContainedWith(p1, []*pattern.Pattern{q1}, s1, opts)
+	if err != nil || !ok {
+		t.Fatalf("s1 containment: %v %v", ok, err)
+	}
+	p2 := pattern.MustParse("x(/y[id])")
+	ok, _, err = ContainedWith(p2, []*pattern.Pattern{p2}, s2, opts)
+	if err != nil || !ok {
+		t.Fatalf("s2 self-containment with foreign cache: %v %v", ok, err)
+	}
+}
+
+func TestSubsumeCacheLRUEviction(t *testing.T) {
+	c := NewSubsumeCache(stripeShards) // one slot per shard
+	for i := 0; i < 10*stripeShards; i++ {
+		c.put(fmt.Sprintf("key-%d", i), i%2 == 0)
+	}
+	if n := c.Len(); n > stripeShards {
+		t.Fatalf("cache exceeded capacity: %d > %d", n, stripeShards)
+	}
+	c2 := NewSubsumeCache(0)
+	c2.put("k", true)
+	if v, ok := c2.get("k"); !ok || !v {
+		t.Fatal("cache lost a fresh entry")
+	}
+	if _, ok := c2.get("absent"); ok {
+		t.Fatal("phantom cache hit")
+	}
+}
+
+// TestRunWorkersCoversAll sanity-checks the index-pulling worker pool.
+func TestRunWorkersCoversAll(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		hit := make([]int32, 101)
+		var mu sync.Mutex
+		runWorkers(workers, len(hit), func(i int) {
+			mu.Lock()
+			hit[i]++
+			mu.Unlock()
+		})
+		want := make([]int32, len(hit))
+		for i := range want {
+			want[i] = 1
+		}
+		if !reflect.DeepEqual(hit, want) {
+			t.Fatalf("workers=%d: coverage %v", workers, hit)
+		}
+	}
+}

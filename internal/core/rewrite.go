@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -32,6 +33,17 @@ type RewriteOptions struct {
 	// MaxExplored bounds the number of join merges attempted; the search
 	// stops (reporting what it found) once exhausted.
 	MaxExplored int
+	// Workers sets the number of goroutines exploring join candidates:
+	// 0 or 1 runs the search sequentially, n > 1 fans each DP level of the
+	// left-deep development out across n workers, and any negative value
+	// uses runtime.GOMAXPROCS(0). Parallel and sequential modes produce
+	// identical RewriteResults (rewritings, counters and exploration
+	// statistics); only the timing fields differ.
+	Workers int
+	// Subsume optionally shares a summary-implication cache across calls
+	// (useful when rewriting many queries over one summary). When nil, a
+	// fresh bounded cache is created per call.
+	Subsume *SubsumeCache
 }
 
 // DefaultRewriteOptions returns the defaults described above.
@@ -45,6 +57,17 @@ func DefaultRewriteOptions() RewriteOptions {
 		MaxResults:      64,
 		MaxExplored:     200000,
 	}
+}
+
+// effectiveWorkers resolves the Workers knob to a concrete worker count.
+func (o RewriteOptions) effectiveWorkers() int {
+	switch {
+	case o.Workers < 0:
+		return runtime.GOMAXPROCS(0)
+	case o.Workers == 0:
+		return 1
+	}
+	return o.Workers
 }
 
 // RewriteResult reports the rewritings found and the timing/pruning
@@ -95,7 +118,29 @@ func newEntry(plan *Plan, model []*Tree) entry {
 // projections, unnest/group-by nesting adjustments, and unions.
 func Rewrite(q *pattern.Pattern, views []*View, s *summary.Summary, opts RewriteOptions) (*RewriteResult, error) {
 	if opts.MaxScansPerPlan <= 0 {
-		opts = DefaultRewriteOptions()
+		// Legacy zero-value handling: fill in the unset search bounds,
+		// keeping every field the caller did set (flags and engine knobs
+		// included).
+		def := DefaultRewriteOptions()
+		opts.MaxScansPerPlan = def.MaxScansPerPlan
+		if opts.MaxPlans <= 0 {
+			opts.MaxPlans = def.MaxPlans
+		}
+		if opts.MaxUnion <= 0 {
+			opts.MaxUnion = def.MaxUnion
+		}
+		if opts.MaxNavDepth <= 0 {
+			opts.MaxNavDepth = def.MaxNavDepth
+		}
+		if opts.MaxResults <= 0 {
+			opts.MaxResults = def.MaxResults
+		}
+		if opts.MaxExplored <= 0 {
+			opts.MaxExplored = def.MaxExplored
+		}
+		if opts.Model.MaxTrees <= 0 {
+			opts.Model = def.Model
+		}
 	}
 	start := time.Now()
 	res := &RewriteResult{}
@@ -131,57 +176,69 @@ func Rewrite(q *pattern.Pattern, views []*View, s *summary.Summary, opts Rewrite
 	sortByRelevance(m0, q, qPaths)
 	res.Setup = time.Since(start)
 
+	subsume := opts.Subsume
+	if subsume == nil {
+		subsume = NewSubsumeCache(0)
+	}
 	rw := &rewriter{
 		q: q, qModel: qModel, qPaths: qPaths, s: s, opts: opts,
 		seen: map[string]bool{}, adaptedSeen: map[string]bool{},
-		resultKeys: map[string]bool{}, matchCache: map[string]bool{},
+		resultKeys: map[string]bool{}, cover: newCoverMemo(), subsume: subsume,
 		res: res, start: start,
 	}
-
-	// Seed the working set and test the single-view plans.
-	work := append([]entry(nil), m0...)
-	for _, e := range m0 {
-		rw.seen[e.key] = true
-		rw.consider(e)
-		if rw.done() {
-			res.Total = time.Since(start)
-			return res, nil
-		}
+	// Memoize the shared trees' canonical keys up front, so worker
+	// goroutines only ever read them.
+	for _, t := range qModel {
+		t.Key()
 	}
 
-	// Left-deep join development (Algorithm 1, lines 2-11).
-	for i := 0; i < len(work); i++ {
-		li := work[i]
-		if li.plan.NumScans() >= opts.MaxScansPerPlan {
-			continue
-		}
-		for _, lj := range m0 {
-			for _, e := range rw.joinCandidates(li, lj) {
-				if rw.seen[e.key] {
-					continue
-				}
-				// Proposition 3.5: a join that adds nothing to either
-				// child opens no new rewriting possibilities.
-				if e.reduced == li.reduced || e.reduced == lj.reduced {
-					continue
-				}
-				rw.seen[e.key] = true
-				rw.consider(e)
-				if rw.done() {
-					res.Total = time.Since(start)
-					return res, nil
-				}
-				if len(work) < opts.MaxPlans {
-					work = append(work, e)
-				}
-			}
-		}
+	work := append([]entry(nil), m0...)
+	if workers := opts.effectiveWorkers(); workers > 1 {
+		rw.verdicts = newVerdictMemo()
+		rw.searchParallel(work, m0, workers)
+	} else {
+		rw.searchSequential(work, m0)
 	}
 
 	// Union phase (Algorithm 1, lines 13-14).
 	rw.unionPhase()
 	res.Total = time.Since(start)
 	return res, nil
+}
+
+// searchSequential seeds the working set with the single-view plans and
+// runs the left-deep join development (Algorithm 1, lines 2-11) on one
+// goroutine.
+func (rw *rewriter) searchSequential(work []entry, m0 []entry) {
+	for _, e := range m0 {
+		rw.seenAdd(e.key)
+		rw.consider(e)
+		if rw.done() {
+			return
+		}
+	}
+	for i := 0; i < len(work); i++ {
+		li := work[i]
+		if li.plan.NumScans() >= rw.opts.MaxScansPerPlan {
+			continue
+		}
+		for _, lj := range m0 {
+			cands, attempts := rw.genJoinCandidates(li, lj, rw.budgetLeft())
+			rw.res.PlansExplored += attempts
+			for _, tc := range cands {
+				if !rw.seenAdd(tc.e.key) {
+					continue
+				}
+				rw.consider(tc.e)
+				if rw.done() {
+					return
+				}
+				if len(work) < rw.opts.MaxPlans {
+					work = append(work, tc.e)
+				}
+			}
+		}
+	}
 }
 
 func prepareViewSet(views []*View, s *summary.Summary, opts RewriteOptions) []*View {
@@ -248,12 +305,23 @@ type rewriter struct {
 	s      *summary.Summary
 	opts   RewriteOptions
 
+	// seen is the canonical-model dedup set. It is only touched by the
+	// sequential phases of either engine (the parallel admit step runs on
+	// one goroutine), so a plain map suffices.
 	seen        map[string]bool
 	adaptedSeen map[string]bool
 	resultKeys  map[string]bool
-	matchCache  map[string]bool
-	res         *RewriteResult
-	start       time.Time
+	// cover memoizes plan-tree cover verdicts; subsume memoizes
+	// summary-implication decisions. Both are concurrency-safe and shared
+	// by all workers.
+	cover   *coverMemo
+	subsume *SubsumeCache
+	// verdicts memoizes both containment directions per adaptation key so
+	// parallel workers don't redo work the sequential path would skip via
+	// adaptedSeen. Allocated only in parallel mode.
+	verdicts *verdictMemo
+	res      *RewriteResult
+	start    time.Time
 
 	// partials are adapted plans contained in q but not equivalent,
 	// kept for the union phase.
@@ -267,10 +335,45 @@ func (rw *rewriter) done() bool {
 	return rw.opts.FirstOnly || len(rw.res.Rewritings) >= rw.opts.MaxResults
 }
 
-// joinCandidates develops all joins of li (left) with lj (right), using
-// the cached slot path sets as a cheap compatibility pre-check.
-func (rw *rewriter) joinCandidates(li, lj entry) []entry {
-	var out []entry
+// seenAdd inserts a canonical-model key into the dedup set, reporting
+// whether it was absent.
+func (rw *rewriter) seenAdd(key string) bool {
+	if rw.seen[key] {
+		return false
+	}
+	rw.seen[key] = true
+	return true
+}
+
+// budgetLeft returns the remaining join-merge budget, or -1 for unlimited.
+func (rw *rewriter) budgetLeft() int {
+	if rw.opts.MaxExplored <= 0 {
+		return -1
+	}
+	left := rw.opts.MaxExplored - rw.res.PlansExplored
+	if left < 0 {
+		left = 0
+	}
+	return left
+}
+
+// taggedCand is one join candidate tagged with the attempt index at which
+// it was produced, so a bounded exploration budget can be replayed exactly
+// when candidates are generated ahead of time by a worker.
+type taggedCand struct {
+	e       entry
+	attempt int
+}
+
+// genJoinCandidates develops all joins of li (left) with lj (right), using
+// the cached slot path sets as a cheap compatibility pre-check. Every
+// nested/outer variant costs one attempt whether or not it yields a
+// candidate; generation stops once limit attempts were made (limit < 0 =
+// unlimited). Candidates that merely re-derive one child (Proposition 3.5)
+// are dropped here.
+func (rw *rewriter) genJoinCandidates(li, lj entry, limit int) ([]taggedCand, int) {
+	var out []taggedCand
+	attempts := 0
 	ls, rs := li.plan.OutSlots(), lj.plan.OutSlots()
 	for lslot, lps := range ls {
 		if !lps.Attrs.Has(pattern.AttrID) {
@@ -285,22 +388,29 @@ func (rw *rewriter) joinCandidates(li, lj entry) []entry {
 					continue
 				}
 				for _, variant := range joinVariants(kind, lj.plan) {
-					if rw.exhausted() {
-						return out
+					if limit >= 0 && attempts >= limit {
+						return out, attempts
 					}
-					rw.res.PlansExplored++
+					attempt := attempts
+					attempts++
 					plan := NewJoin(kind, variant.nested, li.plan, lslot, lj.plan, rslot)
 					plan.Outer = variant.outer
 					model, err := joinModels(li.model, lj.model, plan, rw.s, rw.opts.Model)
 					if err != nil || len(model) == 0 {
 						continue
 					}
-					out = append(out, newEntry(plan, model))
+					e := newEntry(plan, model)
+					// Proposition 3.5: a join that adds nothing to either
+					// child opens no new rewriting possibilities.
+					if e.reduced == li.reduced || e.reduced == lj.reduced {
+						continue
+					}
+					out = append(out, taggedCand{e: e, attempt: attempt})
 				}
 			}
 		}
 	}
-	return out
+	return out, attempts
 }
 
 // joinFeasible checks whether any summary-node pair of the two slots can
@@ -347,12 +457,64 @@ func joinVariants(kind JoinKind, right *Plan) []struct{ nested, outer bool } {
 	return variants
 }
 
-func (rw *rewriter) exhausted() bool {
-	return rw.opts.MaxExplored > 0 && rw.res.PlansExplored >= rw.opts.MaxExplored
+// adaptedVerdict is one adaptation of a candidate plan together with its
+// two containment verdicts (eqQ is only meaningful when inQ holds). The
+// verdicts are pure functions of the adaptation, so they can be computed
+// by a worker ahead of the deterministic merge.
+type adaptedVerdict struct {
+	a   entry
+	inQ bool
+	eqQ bool
 }
 
-// consider tests one plan–model pair against the query, with the slot
-// selection of Proposition 3.7 and the Section 4.6 adaptations.
+// precomputeConsider runs the slot selection of Proposition 3.7 and the
+// Section 4.6 adaptations for one plan–model pair and decides both
+// containment directions per adaptation. Read-only on the rewriter except
+// for the concurrency-safe memo structures; safe to call from workers.
+func (rw *rewriter) precomputeConsider(e entry) []adaptedVerdict {
+	adapted := rw.adaptToQuery(e)
+	out := make([]adaptedVerdict, 0, len(adapted))
+	for _, a := range adapted {
+		av := adaptedVerdict{a: a}
+		if v, ok := rw.verdicts.get(a.key); ok {
+			av.inQ, av.eqQ = v.inQ, v.eqQ
+			out = append(out, av)
+			continue
+		}
+		av.inQ = planContainedInQueryCached(a.model, rw.q, rw.cover, rw.subsume)
+		if av.inQ {
+			av.eqQ = queryContainedInPlan(rw.qModel, a.model, rw.subsume)
+		}
+		rw.verdicts.put(a.key, verdict{av.inQ, av.eqQ})
+		out = append(out, av)
+	}
+	return out
+}
+
+// replayConsider applies precomputed verdicts in deterministic order:
+// dedup by adaptation key, then emit equivalents and collect partials.
+func (rw *rewriter) replayConsider(pre []adaptedVerdict) {
+	for _, av := range pre {
+		if rw.adaptedSeen[av.a.key] {
+			continue
+		}
+		rw.adaptedSeen[av.a.key] = true
+		if !av.inQ {
+			continue
+		}
+		if av.eqQ {
+			rw.emit(av.a)
+			if rw.done() {
+				return
+			}
+		} else {
+			rw.partials = append(rw.partials, av.a)
+		}
+	}
+}
+
+// consider tests one plan–model pair against the query (sequential path:
+// the adaptedSeen check short-circuits before the containment tests).
 func (rw *rewriter) consider(e entry) {
 	adapted := rw.adaptToQuery(e)
 	for _, a := range adapted {
@@ -360,11 +522,11 @@ func (rw *rewriter) consider(e entry) {
 			continue
 		}
 		rw.adaptedSeen[a.key] = true
-		inQ := planContainedInQueryCached(a.model, rw.q, rw.matchCache)
+		inQ := planContainedInQueryCached(a.model, rw.q, rw.cover, rw.subsume)
 		if !inQ {
 			continue
 		}
-		if queryContainedInPlan(rw.qModel, a.model) {
+		if queryContainedInPlan(rw.qModel, a.model, rw.subsume) {
 			rw.emit(a)
 			if rw.done() {
 				return
@@ -415,7 +577,7 @@ func (rw *rewriter) unionPhase() {
 					}
 				}
 				model = sortedTrees(byKey)
-				if queryContainedInPlan(rw.qModel, model) {
+				if queryContainedInPlan(rw.qModel, model, rw.subsume) {
 					u := &Plan{Op: OpUnion, Parts: parts}
 					successful = append(successful, append([]int(nil), idx...))
 					rw.emit(entry{plan: u, model: model, key: modelKey(model)})

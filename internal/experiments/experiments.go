@@ -86,6 +86,9 @@ type Fig13QueryRow struct {
 // time for the 20 XMark queries (Figure 13, top).
 func Fig13XMarkQueries(s *summary.Summary) ([]Fig13QueryRow, error) {
 	rows := make([]Fig13QueryRow, 0, xmark.Count)
+	// One summary-implication cache across the 20 decisions (one summary).
+	opts := core.DefaultContainOptions()
+	opts.Subsume = core.NewSubsumeCache(0)
 	for i := 1; i <= xmark.Count; i++ {
 		q := xmark.Query(i)
 		model, err := core.Model(q, s)
@@ -93,7 +96,7 @@ func Fig13XMarkQueries(s *summary.Summary) ([]Fig13QueryRow, error) {
 			return nil, fmt.Errorf("Q%d: %v", i, err)
 		}
 		start := time.Now()
-		ok, err := core.Contained(q, xmark.Query(i), s)
+		ok, _, err := core.ContainedWith(q, []*pattern.Pattern{xmark.Query(i)}, s, opts)
 		if err != nil {
 			return nil, fmt.Errorf("Q%d: %v", i, err)
 		}
@@ -142,6 +145,8 @@ func DefaultSyntheticConfig(labels ...string) SyntheticConfig {
 // Figure 13 bottom / Figure 14 protocol: p(n,i,r) ⊆S p(n,j,r)).
 func Synthetic(s *summary.Summary, cfg SyntheticConfig) ([]SyntheticRow, error) {
 	r := rand.New(rand.NewSource(cfg.Seed))
+	copts := relaxedContain()
+	copts.Subsume = core.NewSubsumeCache(0) // shared across the pair loop
 	var rows []SyntheticRow
 	for _, n := range cfg.Sizes {
 		for _, arity := range cfg.Arities {
@@ -163,7 +168,7 @@ func Synthetic(s *summary.Summary, cfg SyntheticConfig) ([]SyntheticRow, error) 
 			for i := 0; i < len(pats); i++ {
 				for j := i; j < len(pats); j++ {
 					start := time.Now()
-					ok, _, err := core.ContainedWith(pats[i], []*pattern.Pattern{pats[j]}, s, relaxedContain())
+					ok, _, err := core.ContainedWith(pats[i], []*pattern.Pattern{pats[j]}, s, copts)
 					el := time.Since(start)
 					if err != nil {
 						continue // canonical model overflow: skip the pair
@@ -277,13 +282,19 @@ func randomThreeNodeView(s *summary.Summary, r *rand.Rand, i int) *core.View {
 }
 
 // Fig15 rewrites the 20 XMark query patterns against the view set.
-func Fig15(s *summary.Summary, randomViews int) ([]Fig15Row, error) {
+// workers tunes the parallel search (0 or 1 = sequential, n > 1 = that
+// many workers, negative = GOMAXPROCS); the results are identical across
+// worker counts, only the timings change. One summary-implication cache
+// is shared across all 20 queries (they run over the same summary).
+func Fig15(s *summary.Summary, randomViews, workers int) ([]Fig15Row, error) {
 	views := Fig15Views(s, randomViews, 77)
 	opts := core.DefaultRewriteOptions()
 	opts.MaxScansPerPlan = 3
 	opts.MaxResults = 4
 	opts.MaxExplored = 30000
 	opts.MaxNavDepth = 3
+	opts.Workers = workers
+	opts.Subsume = core.NewSubsumeCache(0)
 	rows := make([]Fig15Row, 0, xmark.Count)
 	for i := 1; i <= xmark.Count; i++ {
 		res, err := core.Rewrite(xmark.Query(i), views, s, opts)

@@ -146,5 +146,21 @@ func Materialize(v *View, doc *Document) *Relation { return view.Materialize(v, 
 // Execute runs a rewriting plan against materialized views.
 func Execute(p *Plan, st *Store) (*Result, error) { return algebra.Execute(p, st) }
 
+// ExecOptions tunes plan execution (join strategy, worker count).
+type ExecOptions = algebra.Options
+
+// ExecuteWith runs a rewriting plan with explicit execution options.
+func ExecuteWith(p *Plan, st *Store, opts ExecOptions) (*Result, error) {
+	return algebra.ExecuteWith(p, st, opts)
+}
+
+// SubsumeCache memoizes summary-implication decisions; share one across
+// containment/rewriting calls over the same summary.
+type SubsumeCache = core.SubsumeCache
+
+// NewSubsumeCache creates a bounded summary-implication cache
+// (capacity <= 0 uses the default).
+func NewSubsumeCache(capacity int) *SubsumeCache { return core.NewSubsumeCache(capacity) }
+
 // EvalPattern evaluates a pattern (e.g. a query) directly on a document.
 func EvalPattern(p *Pattern, doc *Document) *Relation { return p.Eval(doc) }
