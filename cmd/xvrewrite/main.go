@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -27,19 +28,36 @@ type viewFlags []string
 func (v *viewFlags) String() string     { return strings.Join(*v, "; ") }
 func (v *viewFlags) Set(s string) error { *v = append(*v, s); return nil }
 
+// errNoRewriting distinguishes "search succeeded, found nothing" (exit 1,
+// like grep) from flag/parse errors.
+var errNoRewriting = fmt.Errorf("no equivalent rewriting found")
+
 func main() {
-	docFile := flag.String("doc", "", "XML document (summary source and execution target)")
-	sumSrc := flag.String("summary", "", "summary notation (alternative to -doc for rewriting only)")
-	qSrc := flag.String("q", "", "query pattern")
-	exec := flag.Bool("exec", false, "execute the first rewriting against -doc")
-	first := flag.Bool("first", false, "stop at the first rewriting")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != errNoRewriting {
+			fmt.Fprintln(os.Stderr, "xvrewrite:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("xvrewrite", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	docFile := fs.String("doc", "", "XML document (summary source and execution target)")
+	sumSrc := fs.String("summary", "", "summary notation (alternative to -doc for rewriting only)")
+	qSrc := fs.String("q", "", "query pattern")
+	exec := fs.Bool("exec", false, "execute the first rewriting against -doc")
+	first := fs.Bool("first", false, "stop at the first rewriting")
 	var vdefs viewFlags
-	flag.Var(&vdefs, "v", "view definition name=pattern (repeatable)")
-	flag.Parse()
+	fs.Var(&vdefs, "v", "view definition name=pattern (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *qSrc == "" || len(vdefs) == 0 || (*docFile == "" && *sumSrc == "") {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("need -q, at least one -v, and -doc or -summary")
 	}
 
 	var doc *xmltree.Document
@@ -47,36 +65,36 @@ func main() {
 	if *docFile != "" {
 		f, err := os.Open(*docFile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		var perr error
 		doc, perr = xmltree.ParseXML(f)
 		f.Close()
 		if perr != nil {
-			fatal(perr)
+			return perr
 		}
 		s = summary.Build(doc)
 	} else {
 		var err error
 		s, err = summary.Parse(*sumSrc)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
 	q, err := pattern.Parse(*qSrc)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var views []*core.View
 	for _, def := range vdefs {
 		name, src, ok := strings.Cut(def, "=")
 		if !ok {
-			fatal(fmt.Errorf("view definition %q is not name=pattern", def))
+			return fmt.Errorf("view definition %q is not name=pattern", def)
 		}
 		p, err := pattern.Parse(src)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		views = append(views, &core.View{Name: name, Pattern: p, DerivableParentIDs: true})
 	}
@@ -85,32 +103,28 @@ func main() {
 	opts.FirstOnly = *first
 	res, err := core.Rewrite(q, views, s, opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("views kept after pruning: %d/%d; plans explored: %d; setup %v; total %v\n",
+	fmt.Fprintf(stdout, "views kept after pruning: %d/%d; plans explored: %d; setup %v; total %v\n",
 		res.ViewsKept, res.ViewsTotal, res.PlansExplored,
 		res.Setup.Round(time.Microsecond), res.Total.Round(time.Microsecond))
 	if len(res.Rewritings) == 0 {
-		fmt.Println("no equivalent rewriting found")
-		os.Exit(1)
+		fmt.Fprintln(stdout, "no equivalent rewriting found")
+		return errNoRewriting
 	}
 	for i, p := range res.Rewritings {
-		fmt.Printf("rewriting %d: %s\n", i+1, p)
+		fmt.Fprintf(stdout, "rewriting %d: %s\n", i+1, p)
 	}
 	if *exec {
 		if doc == nil {
-			fatal(fmt.Errorf("-exec requires -doc"))
+			return fmt.Errorf("-exec requires -doc")
 		}
 		st := view.NewStore(doc, views)
 		out, err := algebra.Execute(res.Rewritings[0], st)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Print(out.Rel.Sorted())
+		fmt.Fprint(stdout, out.Rel.Sorted())
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "xvrewrite:", err)
-	os.Exit(1)
+	return nil
 }

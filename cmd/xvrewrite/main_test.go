@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "doc.xml")
+	xml := `<site><item><name>pen</name></item><item><name>ink</name></item></site>`
+	if err := os.WriteFile(path, []byte(xml), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunRewriteAndExec(t *testing.T) {
+	doc := writeDoc(t)
+	var out strings.Builder
+	err := run([]string{
+		"-doc", doc,
+		"-q", `site(/item[id](/name[v]))`,
+		"-v", `v1=site(/item[id](/name[v]))`,
+		"-exec",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "rewriting 1:") {
+		t.Fatalf("no rewriting reported:\n%s", got)
+	}
+	if !strings.Contains(got, "pen") || !strings.Contains(got, "ink") {
+		t.Fatalf("executed rows missing:\n%s", got)
+	}
+}
+
+func TestRunSummaryOnly(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-summary", `site(item(name))`,
+		"-q", `site(/item[id])`,
+		"-v", `v1=site(/item[id])`,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+}
+
+func TestRunNoRewriting(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-summary", `site(item(name mail))`,
+		"-q", `site(/item[id](/mail[v]))`,
+		"-v", `v1=site(/item[id](/name[v]))`,
+	}, &out)
+	if err != errNoRewriting {
+		t.Fatalf("err = %v, want errNoRewriting\n%s", err, out.String())
+	}
+}
+
+func TestRunMissingFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-q", "a"}, &out); err == nil {
+		t.Fatal("missing flags not rejected")
+	}
+}

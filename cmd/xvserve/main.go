@@ -1,0 +1,52 @@
+// Command xvserve is the query daemon: it loads a persistent view store
+// built by xvstore and answers tree-pattern (and XQuery) queries over HTTP
+// without ever touching the source document.
+//
+//	xvserve -dir store/ -addr :8080
+//	curl 'localhost:8080/query?q=site(/item[id](/name[v]))'
+//	curl 'localhost:8080/healthz'
+//	curl 'localhost:8080/stats'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+
+	"xmlviews/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "xvserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("xvserve", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	dir := fs.String("dir", "", "store directory built by xvstore")
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "rewrite/execution worker goroutines (0: all CPUs)")
+	planCache := fs.Int("plancache", 0, "plan cache capacity (0: default 256)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("missing -dir (a store directory built by xvstore)")
+	}
+	srv, err := serve.New(serve.Config{Dir: *dir, Workers: *workers, PlanCacheSize: *planCache})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "xvserve: serving %d view(s) from %s on %s\n", srv.Views(), *dir, ln.Addr())
+	return http.Serve(ln, srv.Handler())
+}

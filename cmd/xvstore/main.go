@@ -1,0 +1,128 @@
+// Command xvstore builds and inspects persistent view stores: directories
+// of columnar segment files plus a catalog manifest, served by xvserve.
+//
+//	xvstore build -doc auction.xml -out store/ \
+//	    -v 'V1=site(//item[id](/name[v]))' -v 'V2=site(//name[id,v])'
+//	xvstore info -dir store/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"xmlviews/internal/core"
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/store"
+	"xmlviews/internal/view"
+	"xmlviews/internal/xmltree"
+)
+
+type viewFlags []string
+
+func (v *viewFlags) String() string     { return strings.Join(*v, "; ") }
+func (v *viewFlags) Set(s string) error { *v = append(*v, s); return nil }
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "xvstore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: xvstore build|info [flags]")
+	}
+	switch args[0] {
+	case "build":
+		return runBuild(args[1:], stdout)
+	case "info":
+		return runInfo(args[1:], stdout)
+	}
+	return fmt.Errorf("unknown subcommand %q (want build or info)", args[0])
+}
+
+func runBuild(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("xvstore build", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	docFile := fs.String("doc", "", "XML document to materialize the views over")
+	out := fs.String("out", "", "store directory to create")
+	var vdefs viewFlags
+	fs.Var(&vdefs, "v", "view definition name=pattern (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *docFile == "" || *out == "" || len(vdefs) == 0 {
+		return fmt.Errorf("build needs -doc, -out and at least one -v")
+	}
+	f, err := os.Open(*docFile)
+	if err != nil {
+		return err
+	}
+	doc, perr := xmltree.ParseXML(f)
+	f.Close()
+	if perr != nil {
+		return perr
+	}
+	doc.Name = *docFile
+	views, err := parseViews(vdefs)
+	if err != nil {
+		return err
+	}
+	cat, err := view.BuildStore(*out, doc, views)
+	if err != nil {
+		return err
+	}
+	var total int64
+	for _, e := range cat.Views {
+		fmt.Fprintf(stdout, "%s: %d rows, %d bytes (%s)\n", e.Name, e.Rows, e.Bytes, e.Segment)
+		total += e.Bytes
+	}
+	fmt.Fprintf(stdout, "wrote %d view(s), %d bytes total, summary hash %s\n",
+		len(cat.Views), total, cat.SummaryHash[:12])
+	return nil
+}
+
+func runInfo(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("xvstore info", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	dir := fs.String("dir", "", "store directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("info needs -dir")
+	}
+	cat, err := store.OpenCatalog(*dir)
+	if err != nil {
+		return err
+	}
+	if cat.Document != "" {
+		fmt.Fprintf(stdout, "document: %s\n", cat.Document)
+	}
+	fmt.Fprintf(stdout, "summary hash: %s\n", cat.SummaryHash)
+	for _, e := range cat.Views {
+		fmt.Fprintf(stdout, "%s: %s — %d rows, %d bytes, columns %s\n",
+			e.Name, e.Pattern, e.Rows, e.Bytes, strings.Join(e.Columns, ","))
+	}
+	return nil
+}
+
+func parseViews(defs []string) ([]*core.View, error) {
+	var views []*core.View
+	for _, def := range defs {
+		name, src, ok := strings.Cut(def, "=")
+		if !ok {
+			return nil, fmt.Errorf("view definition %q is not name=pattern", def)
+		}
+		p, err := pattern.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		views = append(views, &core.View{Name: name, Pattern: p, DerivableParentIDs: true})
+	}
+	return views, nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBuildAndInfo(t *testing.T) {
+	dir := t.TempDir()
+	docPath := filepath.Join(dir, "doc.xml")
+	xml := `<site><item><name>pen</name></item><item><name>ink</name></item></site>`
+	if err := os.WriteFile(docPath, []byte(xml), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "store")
+
+	var buildOut strings.Builder
+	err := run([]string{"build", "-doc", docPath, "-out", out,
+		"-v", `v1=site(/item[id](/name[v]))`}, &buildOut)
+	if err != nil {
+		t.Fatalf("build: %v\n%s", err, buildOut.String())
+	}
+	if !strings.Contains(buildOut.String(), "v1: 2 rows") {
+		t.Fatalf("build output wrong:\n%s", buildOut.String())
+	}
+	if _, err := os.Stat(filepath.Join(out, "catalog.json")); err != nil {
+		t.Fatalf("no catalog written: %v", err)
+	}
+
+	var infoOut strings.Builder
+	if err := run([]string{"info", "-dir", out}, &infoOut); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	got := infoOut.String()
+	if !strings.Contains(got, "v1:") || !strings.Contains(got, "summary hash:") {
+		t.Fatalf("info output wrong:\n%s", got)
+	}
+}
+
+func TestRunBadUsage(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Fatal("empty args not rejected")
+	}
+	if err := run([]string{"frobnicate"}, &out); err == nil {
+		t.Fatal("unknown subcommand not rejected")
+	}
+	if err := run([]string{"build"}, &out); err == nil {
+		t.Fatal("build without flags not rejected")
+	}
+	if err := run([]string{"build", "-doc", "x", "-out", "y", "-v", "no-equals-sign"}, &out); err == nil {
+		t.Fatal("bad view definition not rejected")
+	}
+	if err := run([]string{"info", "-dir", "/nonexistent"}, &out); err == nil {
+		t.Fatal("missing store not reported")
+	}
+}

@@ -17,43 +17,50 @@ import (
 )
 
 func main() {
-	stats := flag.Bool("stats", true, "print summary statistics (Table 1 columns)")
-	tree := flag.Bool("tree", false, "print the summary tree (strong edges '!', one-to-one '=')")
-	paths := flag.Bool("paths", false, "print every rooted path with its node count")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "xvsummary:", err)
+		os.Exit(1)
+	}
+}
 
-	var in io.Reader = os.Stdin
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("xvsummary", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	stats := fs.Bool("stats", true, "print summary statistics (Table 1 columns)")
+	tree := fs.Bool("tree", false, "print the summary tree (strong edges '!', one-to-one '=')")
+	paths := fs.Bool("paths", false, "print every rooted path with its node count")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	in := stdin
 	name := "<stdin>"
-	if flag.NArg() > 0 {
-		f, err := os.Open(flag.Arg(0))
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		in = f
-		name = flag.Arg(0)
+		name = fs.Arg(0)
 	}
 	doc, err := xmltree.ParseXML(in)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	s := summary.Build(doc)
 	if *stats {
 		ns, n1 := s.Stats()
-		fmt.Printf("%s: %d nodes, |S| = %d, strong edges = %d, one-to-one = %d\n",
+		fmt.Fprintf(stdout, "%s: %d nodes, |S| = %d, strong edges = %d, one-to-one = %d\n",
 			name, doc.Size(), s.Size(), ns, n1)
 	}
 	if *tree {
-		fmt.Println(s)
+		fmt.Fprintln(stdout, s)
 	}
 	if *paths {
 		for _, id := range s.NodeIDs() {
-			fmt.Printf("%6d  %s\n", s.Node(id).Count, s.PathString(id))
+			fmt.Fprintf(stdout, "%6d  %s\n", s.Node(id).Count, s.PathString(id))
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "xvsummary:", err)
-	os.Exit(1)
+	return nil
 }

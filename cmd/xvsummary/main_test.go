@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunStdin(t *testing.T) {
+	in := strings.NewReader(`<a><b>1</b><b>2</b></a>`)
+	var out strings.Builder
+	if err := run(nil, in, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "|S| = 2") {
+		t.Fatalf("stats line wrong:\n%s", out.String())
+	}
+}
+
+func TestRunFileWithTreeAndPaths(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "doc.xml")
+	if err := os.WriteFile(path, []byte(`<a><b>1</b><c/></a>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-tree", "-paths", path}, nil, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "a(") || !strings.Contains(got, "/a/b") {
+		t.Fatalf("tree/paths output wrong:\n%s", got)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"/nonexistent/doc.xml"}, nil, &out); err == nil {
+		t.Fatal("missing file not reported")
+	}
+}

@@ -110,11 +110,30 @@ func (ex *executor) scan(v *core.View) (*Result, error) {
 	}
 	res := &Result{Rel: rel, Slots: core.Scan(v).OutSlots()}
 	if len(v.VirtualSlots) > 0 {
+		// The store's extent is shared (and may be served to concurrent
+		// executors); derive virtual columns on a private copy. A nav
+		// scan's relation is freshly built above and needs no copy.
+		if v.Nav == nil {
+			res.Rel = cloneForVirtualIDs(rel, len(v.VirtualSlots))
+		}
 		if err := fillVirtualIDs(res, v); err != nil {
 			return nil, err
 		}
 	}
 	return res, nil
+}
+
+// cloneForVirtualIDs copies the relation's header and tuples (values are
+// shared) with room for the derived ID columns, so fillVirtualIDs never
+// writes into the store's cached extent.
+func cloneForVirtualIDs(rel *nrel.Relation, extra int) *nrel.Relation {
+	out := nrel.NewRelation()
+	out.Cols = append(make([]string, 0, len(rel.Cols)+extra), rel.Cols...)
+	out.Rows = make([]nrel.Tuple, len(rel.Rows))
+	for i, row := range rel.Rows {
+		out.Rows[i] = append(make(nrel.Tuple, 0, len(row)+extra), row...)
+	}
+	return out
 }
 
 // scanNav evaluates a navigation view: for each base row, navigate the

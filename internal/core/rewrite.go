@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -9,6 +10,11 @@ import (
 	"xmlviews/internal/pattern"
 	"xmlviews/internal/summary"
 )
+
+// ErrUnsatisfiable reports that the query cannot match any document
+// conforming to the summary; callers (e.g. a serving layer) can treat it
+// as a client error rather than a search failure.
+var ErrUnsatisfiable = errors.New("core: query is unsatisfiable under the summary")
 
 // RewriteOptions tunes Algorithm 1.
 type RewriteOptions struct {
@@ -150,7 +156,7 @@ func Rewrite(q *pattern.Pattern, views []*View, s *summary.Summary, opts Rewrite
 		return nil, err
 	}
 	if len(qModel) == 0 {
-		return nil, fmt.Errorf("core: query is unsatisfiable under the summary")
+		return nil, ErrUnsatisfiable
 	}
 	qPaths := pattern.AssociatedPaths(q, s)
 

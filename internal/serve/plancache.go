@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"xmlviews/internal/core"
+)
+
+// planCache is a bounded LRU of rewriting results keyed by the query's
+// canonical pattern text. Negatives are cached too — both "no equivalent
+// rewriting exists" (nil plan) and "unsatisfiable under the summary" — so
+// hopeless queries don't re-run the search.
+type planCache struct {
+	mu  sync.Mutex
+	m   map[string]*list.Element
+	lru list.List // front = most recently used
+	cap int
+}
+
+// cachedPlan is one rewriting verdict: a plan, or one of the two negative
+// outcomes.
+type cachedPlan struct {
+	plan          *core.Plan
+	unsatisfiable bool
+}
+
+type planEntry struct {
+	key string
+	val cachedPlan
+}
+
+// defaultPlanCacheCap bounds the plan cache when the caller passes <= 0.
+const defaultPlanCacheCap = 256
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = defaultPlanCacheCap
+	}
+	return &planCache{m: map[string]*list.Element{}, cap: capacity}
+}
+
+// get returns the cached verdict for the key and whether an entry exists.
+func (c *planCache) get(key string) (cachedPlan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return cachedPlan{}, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*planEntry).val, true
+}
+
+func (c *planCache) put(key string, v cachedPlan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*planEntry).val = v
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.lru.PushFront(&planEntry{key: key, val: v})
+	for len(c.m) > c.cap {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.m, last.Value.(*planEntry).key)
+	}
+}
+
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,297 @@
+// Package serve implements the xvserve query daemon: an HTTP server that
+// answers tree-pattern (and XQuery-translated) queries from a persistent
+// view store built by xvstore, without ever touching the source document.
+//
+// A server loads the store directory's catalog, parses the recorded
+// summary and view definitions, memory-loads the extents, and then for
+// each query runs the view-based rewriting (core.Rewrite) — memoized by a
+// bounded LRU plan cache keyed by the query's canonical pattern text and
+// sharing one summary-implication cache across all queries — and executes
+// the chosen plan with the parallel algebra executor.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"xmlviews/internal/algebra"
+	"xmlviews/internal/core"
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/store"
+	"xmlviews/internal/summary"
+	"xmlviews/internal/view"
+	"xmlviews/internal/xquery"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Dir is the store directory (catalog.json + segments) to serve.
+	Dir string
+	// Workers is handed to both the rewriting search and the algebra
+	// executor; <= 0 means use all CPUs.
+	Workers int
+	// PlanCacheSize bounds the LRU plan cache (<= 0: default 256).
+	PlanCacheSize int
+}
+
+// Server answers queries over one store directory. It is safe for
+// concurrent use.
+type Server struct {
+	cfg     Config
+	cat     *store.Catalog
+	sum     *summary.Summary
+	views   []*core.View
+	st      *view.Store
+	subsume *core.SubsumeCache
+	plans   *planCache
+	started time.Time
+
+	queries      atomic.Int64
+	errors       atomic.Int64
+	planHits     atomic.Int64
+	planMisses   atomic.Int64
+	rowsServed   atomic.Int64
+	rewriteNanos atomic.Int64
+	execNanos    atomic.Int64
+}
+
+// New opens the store directory and builds a ready-to-serve Server.
+func New(cfg Config) (*Server, error) {
+	cat, err := store.OpenCatalog(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	sum, err := summary.Parse(cat.Summary)
+	if err != nil {
+		return nil, fmt.Errorf("serve: catalog summary does not parse: %w", err)
+	}
+	views := make([]*core.View, 0, len(cat.Views))
+	for _, e := range cat.Views {
+		p, err := pattern.Parse(e.Pattern)
+		if err != nil {
+			return nil, fmt.Errorf("serve: catalog view %q pattern does not parse: %w", e.Name, err)
+		}
+		views = append(views, &core.View{Name: e.Name, Pattern: p, DerivableParentIDs: true})
+	}
+	st, err := view.OpenStoreWithCatalog(cfg.Dir, cat, views)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:     cfg,
+		cat:     cat,
+		sum:     sum,
+		views:   views,
+		st:      st,
+		subsume: core.NewSubsumeCache(0),
+		plans:   newPlanCache(cfg.PlanCacheSize),
+		started: time.Now(),
+	}, nil
+}
+
+// Views returns the number of views served.
+func (s *Server) Views() int { return len(s.views) }
+
+// Handler returns the server's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// QueryResponse is the JSON answer to /query.
+type QueryResponse struct {
+	// Query is the canonical pattern text the request resolved to.
+	Query string `json:"query"`
+	// Plan is the executed rewriting plan.
+	Plan string `json:"plan"`
+	// PlanCached reports a plan-cache hit (the rewriting search was
+	// skipped).
+	PlanCached bool `json:"plan_cached"`
+	// Columns and Rows are the result: one rendered string per value.
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	// RewriteMicros and ExecMicros are this request's latencies; the
+	// rewrite time is ~0 on plan-cache hits.
+	RewriteMicros int64 `json:"rewrite_us"`
+	ExecMicros    int64 `json:"exec_us"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	if err := r.ParseForm(); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad form: %v", err)
+		return
+	}
+	qSrc, xqSrc := r.Form.Get("q"), r.Form.Get("xq")
+	var q *pattern.Pattern
+	var err error
+	switch {
+	case qSrc != "" && xqSrc != "":
+		s.fail(w, http.StatusBadRequest, "pass either q (tree pattern) or xq (XQuery), not both")
+		return
+	case qSrc != "":
+		q, err = pattern.Parse(qSrc)
+	case xqSrc != "":
+		q, err = xquery.Translate(xqSrc, s.sum.Node(summary.RootID).Label)
+	default:
+		s.fail(w, http.StatusBadRequest, "missing query: pass q (tree pattern) or xq (XQuery)")
+		return
+	}
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "query does not parse: %v", err)
+		return
+	}
+
+	s.queries.Add(1)
+	key := q.String()
+	rewriteStart := time.Now()
+	verdict, hit := s.plans.get(key)
+	if hit {
+		s.planHits.Add(1)
+	} else {
+		s.planMisses.Add(1)
+		verdict.plan, err = s.rewrite(q)
+		if errors.Is(err, core.ErrUnsatisfiable) {
+			verdict.unsatisfiable = true
+		} else if err != nil {
+			s.fail(w, http.StatusInternalServerError, "rewrite: %v", err)
+			return
+		}
+		s.plans.put(key, verdict)
+	}
+	rewriteDur := time.Since(rewriteStart)
+	s.rewriteNanos.Add(rewriteDur.Nanoseconds())
+	if verdict.unsatisfiable {
+		s.fail(w, http.StatusUnprocessableEntity, "%v", core.ErrUnsatisfiable)
+		return
+	}
+	plan := verdict.plan
+	if plan == nil {
+		s.fail(w, http.StatusUnprocessableEntity, "no equivalent rewriting of %s over the stored views", key)
+		return
+	}
+
+	execStart := time.Now()
+	out, err := algebra.ExecuteWith(plan, s.st, algebra.Options{Workers: s.workers()})
+	execDur := time.Since(execStart)
+	s.execNanos.Add(execDur.Nanoseconds())
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, "execute: %v", err)
+		return
+	}
+	rel := out.Rel.Sorted()
+	rows := make([][]string, 0, rel.Len())
+	for _, row := range rel.Rows {
+		rendered := make([]string, len(row))
+		for i, v := range row {
+			rendered[i] = v.Render()
+		}
+		rows = append(rows, rendered)
+	}
+	s.rowsServed.Add(int64(len(rows)))
+	writeJSON(w, http.StatusOK, &QueryResponse{
+		Query:         key,
+		Plan:          plan.String(),
+		PlanCached:    hit,
+		Columns:       rel.Cols,
+		Rows:          rows,
+		RewriteMicros: rewriteDur.Microseconds(),
+		ExecMicros:    execDur.Microseconds(),
+	})
+}
+
+// rewrite runs the search and returns the first equivalent plan, or nil
+// when none exists.
+func (s *Server) rewrite(q *pattern.Pattern) (*core.Plan, error) {
+	opts := core.DefaultRewriteOptions()
+	opts.Workers = s.workers()
+	opts.Subsume = s.subsume
+	opts.FirstOnly = true
+	res, err := core.Rewrite(q, s.views, s.sum, opts)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Rewritings) == 0 {
+		return nil, nil
+	}
+	return res.Rewritings[0], nil
+}
+
+func (s *Server) workers() int {
+	if s.cfg.Workers <= 0 {
+		return -1 // resolved to GOMAXPROCS by both core and algebra
+	}
+	return s.cfg.Workers
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"views":  len(s.views),
+	})
+}
+
+// Stats is the JSON body of /stats.
+type Stats struct {
+	UptimeSeconds   float64 `json:"uptime_seconds"`
+	Views           int     `json:"views"`
+	Queries         int64   `json:"queries"`
+	Errors          int64   `json:"errors"`
+	RowsServed      int64   `json:"rows_served"`
+	PlanCacheHits   int64   `json:"plan_cache_hits"`
+	PlanCacheMisses int64   `json:"plan_cache_misses"`
+	PlanCacheSize   int     `json:"plan_cache_size"`
+	PlanHitRate     float64 `json:"plan_hit_rate"`
+	SubsumeEntries  int     `json:"subsume_cache_entries"`
+	RewriteMillis   int64   `json:"rewrite_ms_total"`
+	ExecMillis      int64   `json:"exec_ms_total"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.planHits.Load(), s.planMisses.Load()
+	rate := 0.0
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	writeJSON(w, http.StatusOK, &Stats{
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		Views:           len(s.views),
+		Queries:         s.queries.Load(),
+		Errors:          s.errors.Load(),
+		RowsServed:      s.rowsServed.Load(),
+		PlanCacheHits:   hits,
+		PlanCacheMisses: misses,
+		PlanCacheSize:   s.plans.len(),
+		PlanHitRate:     rate,
+		SubsumeEntries:  s.subsume.Len(),
+		RewriteMillis:   s.rewriteNanos.Load() / 1e6,
+		ExecMillis:      s.execNanos.Load() / 1e6,
+	})
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.errors.Add(1)
+	writeJSON(w, code, &errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body)
+}

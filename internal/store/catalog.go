@@ -1,0 +1,105 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestName is the catalog manifest's file name inside a store
+// directory.
+const ManifestName = "catalog.json"
+
+// CatalogVersion is the manifest format version.
+const CatalogVersion = 1
+
+// Entry describes one stored view extent.
+type Entry struct {
+	// Name is the view name; it keys plan scans to segments.
+	Name string `json:"name"`
+	// Pattern is the canonical source text of the view's tree pattern.
+	Pattern string `json:"pattern"`
+	// Columns is the extent's flat column schema (s<k>.<attr> names).
+	Columns []string `json:"columns"`
+	// Rows is the extent's row count.
+	Rows int `json:"rows"`
+	// Bytes is the segment file's size.
+	Bytes int64 `json:"bytes"`
+	// Segment is the segment file name, relative to the store directory.
+	Segment string `json:"segment"`
+}
+
+// Catalog is the manifest of a store directory: the summary the views were
+// built under and one entry per stored extent.
+type Catalog struct {
+	FormatVersion int `json:"format_version"`
+	// Document optionally records the source document's name.
+	Document string `json:"document,omitempty"`
+	// Summary is the path summary in parenthesized notation
+	// (summary.Parse format); serving rewrites against it without ever
+	// touching the source document.
+	Summary string `json:"summary"`
+	// SummaryHash is the SHA-256 of Summary, cross-checking segment and
+	// manifest provenance.
+	SummaryHash string  `json:"summary_hash"`
+	Views       []Entry `json:"views"`
+}
+
+// Entry returns the catalog entry for the named view, or nil.
+func (c *Catalog) Entry(name string) *Entry {
+	for i := range c.Views {
+		if c.Views[i].Name == name {
+			return &c.Views[i]
+		}
+	}
+	return nil
+}
+
+// SummaryHash returns the hex SHA-256 of a summary's source text.
+func SummaryHash(summarySrc string) string {
+	h := sha256.Sum256([]byte(summarySrc))
+	return hex.EncodeToString(h[:])
+}
+
+// WriteCatalog writes the manifest into dir (atomically, via rename).
+func WriteCatalog(dir string, c *Catalog) error {
+	c.FormatVersion = CatalogVersion
+	c.SummaryHash = SummaryHash(c.Summary)
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(dir, ManifestName), append(data, '\n'))
+}
+
+// OpenCatalog reads and validates the manifest of a store directory.
+func OpenCatalog(dir string) (*Catalog, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	var c Catalog
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("store: invalid catalog in %s: %w", dir, err)
+	}
+	if c.FormatVersion != CatalogVersion {
+		return nil, fmt.Errorf("store: unsupported catalog version %d (want %d)", c.FormatVersion, CatalogVersion)
+	}
+	if got := SummaryHash(c.Summary); got != c.SummaryHash {
+		return nil, fmt.Errorf("store: catalog summary hash mismatch (manifest says %s, computed %s)", c.SummaryHash, got)
+	}
+	seen := map[string]bool{}
+	for _, e := range c.Views {
+		if e.Name == "" || e.Segment == "" {
+			return nil, fmt.Errorf("store: catalog entry with empty name or segment")
+		}
+		if seen[e.Name] {
+			return nil, fmt.Errorf("store: duplicate catalog entry %q", e.Name)
+		}
+		seen[e.Name] = true
+	}
+	return &c, nil
+}

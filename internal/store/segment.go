@@ -1,0 +1,69 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"xmlviews/internal/nrel"
+)
+
+// WriteFile encodes the relation and atomically writes it as a segment
+// file. It returns the segment's size in bytes.
+func WriteFile(path string, r *nrel.Relation) (int64, error) {
+	data := EncodeRelation(r)
+	if err := writeFileAtomic(path, data); err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}
+
+// writeFileAtomic writes data to a temp file in path's directory and
+// renames it into place, so a crash never leaves a half-written file
+// behind a valid name. Segments and the catalog share this path.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".xvtmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadFile loads a segment file into memory, verifying every block
+// checksum, and returns the decoded relation.
+func ReadFile(path string) (*nrel.Relation, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := DecodeRelation(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Scan streams the rows of a segment file through fn in storage order,
+// stopping at the first error fn returns. The segment is decoded
+// column-block by column-block before iteration, so Scan costs one decode
+// plus one pass over the rows.
+func Scan(path string, fn func(cols []string, row nrel.Tuple) error) error {
+	r, err := ReadFile(path)
+	if err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := fn(r.Cols, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package view_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"xmlviews/internal/core"
+	"xmlviews/internal/datagen"
+	"xmlviews/internal/nrel"
+	"xmlviews/internal/store"
+	"xmlviews/internal/view"
+	"xmlviews/internal/xmltree"
+)
+
+func benchDocAndViews() (*xmltree.Document, []*core.View) {
+	doc := datagen.XMark(40, 1)
+	views := []*core.View{
+		mkView("vitem", `site(//item[id](/name[v]))`),
+		mkView("vprice", `site(//price[id,v])`),
+		mkView("vperson", `site(//person[id,c])`),
+	}
+	return doc, views
+}
+
+// BenchmarkStoreOpen compares cold store startup: loading persisted
+// segments from disk (the xvserve path) versus re-materializing every
+// extent from the parsed document (the seed behaviour).
+func BenchmarkStoreOpen(b *testing.B) {
+	doc, views := benchDocAndViews()
+	dir := b.TempDir()
+	if _, err := view.BuildStore(dir, doc, views); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("disk", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := view.OpenStore(dir, views); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rematerialize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			view.NewStore(doc, views)
+		}
+	})
+}
+
+// BenchmarkSegmentScan measures a full scan of one persisted extent (codec
+// decode plus a pass over every row) versus evaluating the view's pattern
+// over the document.
+func BenchmarkSegmentScan(b *testing.B) {
+	doc, _ := benchDocAndViews()
+	v := mkView("vprice", `site(//price[id,v])`)
+	dir := b.TempDir()
+	cat, err := view.BuildStore(dir, doc, []*core.View{v})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(dir, cat.Views[0].Segment)
+	want := cat.Views[0].Rows
+	b.Run("segment", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows := 0
+			if err := store.Scan(path, func(cols []string, row nrel.Tuple) error {
+				rows++
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if rows != want {
+				b.Fatalf("scanned %d rows, want %d", rows, want)
+			}
+		}
+	})
+	b.Run("evaluate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if n := view.MaterializeFlat(v, doc).Len(); n != want {
+				b.Fatalf("materialized %d rows, want %d", n, want)
+			}
+		}
+	})
+}

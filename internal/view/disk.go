@@ -1,0 +1,87 @@
+package view
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"xmlviews/internal/core"
+	"xmlviews/internal/nrel"
+	"xmlviews/internal/store"
+	"xmlviews/internal/summary"
+	"xmlviews/internal/xmltree"
+)
+
+// BuildStore materializes every view over the document once and persists
+// the extents as columnar segments plus a catalog manifest in dir (created
+// if needed). Later runs serve the views with OpenStore, never touching
+// the document again. The document's summary is built (annotating the
+// document, as pattern evaluation requires) and recorded in the catalog in
+// parseable notation.
+func BuildStore(dir string, doc *xmltree.Document, views []*core.View) (*store.Catalog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := summary.Build(doc)
+	cat := &store.Catalog{Document: doc.Name, Summary: s.String()}
+	for i, v := range views {
+		if cat.Entry(v.Name) != nil {
+			return nil, fmt.Errorf("view: duplicate view name %q", v.Name)
+		}
+		rel := MaterializeFlat(v, doc)
+		seg := fmt.Sprintf("seg-%04d.xvs", i)
+		n, err := store.WriteFile(filepath.Join(dir, seg), rel)
+		if err != nil {
+			return nil, fmt.Errorf("view: writing segment for %q: %w", v.Name, err)
+		}
+		cat.Views = append(cat.Views, store.Entry{
+			Name:    v.Name,
+			Pattern: v.Pattern.String(),
+			Columns: append([]string(nil), rel.Cols...),
+			Rows:    rel.Len(),
+			Bytes:   n,
+			Segment: seg,
+		})
+	}
+	if err := store.WriteCatalog(dir, cat); err != nil {
+		return nil, err
+	}
+	return cat, nil
+}
+
+// OpenStore loads the named views' extents from a store directory built by
+// BuildStore. Each view's definition is checked against the catalog's
+// recorded pattern text, and every segment block is CRC-verified at load.
+// The returned store carries no document: queries are answered purely from
+// the persisted extents.
+func OpenStore(dir string, views []*core.View) (*Store, error) {
+	cat, err := store.OpenCatalog(dir)
+	if err != nil {
+		return nil, err
+	}
+	return OpenStoreWithCatalog(dir, cat, views)
+}
+
+// OpenStoreWithCatalog is OpenStore for callers that already hold the
+// directory's catalog (e.g. a serving daemon that also needs the summary).
+func OpenStoreWithCatalog(dir string, cat *store.Catalog, views []*core.View) (*Store, error) {
+	st := &Store{rels: map[string]*nrel.Relation{}, prepared: map[string]*nrel.Relation{}}
+	for _, v := range views {
+		e := cat.Entry(v.Name)
+		if e == nil {
+			return nil, fmt.Errorf("view: %q not in catalog %s", v.Name, dir)
+		}
+		if got := v.Pattern.String(); got != e.Pattern {
+			return nil, fmt.Errorf("view: definition of %q does not match catalog (have %s, catalog has %s); rebuild the store", v.Name, got, e.Pattern)
+		}
+		rel, err := store.ReadFile(filepath.Join(dir, e.Segment))
+		if err != nil {
+			return nil, err
+		}
+		if rel.Len() != e.Rows {
+			return nil, fmt.Errorf("view: segment %s has %d rows, catalog says %d", e.Segment, rel.Len(), e.Rows)
+		}
+		st.rels[v.Name] = rel
+	}
+	return st, nil
+}

@@ -1,0 +1,131 @@
+package view_test
+
+import (
+	"strings"
+	"testing"
+
+	"xmlviews/internal/algebra"
+	"xmlviews/internal/core"
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/store"
+	"xmlviews/internal/summary"
+	"xmlviews/internal/view"
+	"xmlviews/internal/xmltree"
+)
+
+func mkView(name, pat string) *core.View {
+	return &core.View{Name: name, Pattern: pattern.MustParse(pat), DerivableParentIDs: true}
+}
+
+// checkDiskParity is the PR's acceptance scenario: build a store directory
+// from the document, reopen it without the document, rewrite the query
+// against the catalog's summary, and check every plan's results against
+// the in-memory NewStore path.
+func checkDiskParity(t *testing.T, docSrc, qSrc string, views ...*core.View) {
+	t.Helper()
+	dir := t.TempDir()
+	doc := xmltree.MustParseParen(docSrc)
+	cat, err := view.BuildStore(dir, doc, views)
+	if err != nil {
+		t.Fatalf("BuildStore: %v", err)
+	}
+	if len(cat.Views) != len(views) {
+		t.Fatalf("catalog has %d views, want %d", len(cat.Views), len(views))
+	}
+
+	// The serving side: only the directory contents, never the document.
+	cat2, err := store.OpenCatalog(dir)
+	if err != nil {
+		t.Fatalf("OpenCatalog: %v", err)
+	}
+	s, err := summary.Parse(cat2.Summary)
+	if err != nil {
+		t.Fatalf("catalog summary does not parse: %v", err)
+	}
+	diskSt, err := view.OpenStore(dir, views)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	if diskSt.Document() != nil {
+		t.Fatal("disk-backed store should carry no document")
+	}
+
+	q := pattern.MustParse(qSrc)
+	res, err := core.Rewrite(q, views, s, core.DefaultRewriteOptions())
+	if err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	if len(res.Rewritings) == 0 {
+		t.Fatalf("no rewritings for %s", qSrc)
+	}
+	memSt := view.NewStore(doc, views)
+	for _, plan := range res.Rewritings {
+		want, err := algebra.Execute(plan, memSt)
+		if err != nil {
+			t.Fatalf("Execute(mem, %s): %v", plan, err)
+		}
+		got, err := algebra.Execute(plan, diskSt)
+		if err != nil {
+			t.Fatalf("Execute(disk, %s): %v", plan, err)
+		}
+		if gotS, wantS := got.Rel.Sorted().String(), want.Rel.Sorted().String(); gotS != wantS {
+			t.Errorf("plan %s: disk result differs from in-memory\n got:\n%s\nwant:\n%s", plan, gotS, wantS)
+		}
+	}
+}
+
+func TestOpenStoreMatchesNewStore(t *testing.T) {
+	t.Run("identity", func(t *testing.T) {
+		checkDiskParity(t,
+			`site(item(name "pen" price "3") item(name "ink" price "7"))`,
+			`site(/item[id](/name[v]))`,
+			mkView("v1", `site(/item[id](/name[v]))`))
+	})
+	t.Run("id join", func(t *testing.T) {
+		checkDiskParity(t,
+			`a(b(c "1" d "x") b(c "2" d "y") b(c "3"))`,
+			`a(//b[id](/c[v] /d[v]))`,
+			mkView("vc", `a(//b[id](/c[v]))`),
+			mkView("vd", `a(//b[id](/d[v]))`))
+	})
+	t.Run("virtual id", func(t *testing.T) {
+		// Exercises the prepared-view rename path: the store has no
+		// document, so the prepared extent must derive from the segment.
+		checkDiskParity(t,
+			`a(b(c "1") b(c "2"))`,
+			`a(/b[id](/c[v]))`,
+			mkView("vc", `a(/b(/c[id,v]))`))
+	})
+	t.Run("navigation in stored content", func(t *testing.T) {
+		// Content (C) columns round-trip through the segment codec and the
+		// executor navigates inside them.
+		checkDiskParity(t,
+			`a(b(d "x" d "y") b(d "z") b)`,
+			`a(//b[id](/d[v]))`,
+			mkView("vb", `a(//b[id,c])`))
+	})
+}
+
+func TestOpenStoreRejectsChangedDefinition(t *testing.T) {
+	dir := t.TempDir()
+	doc := xmltree.MustParseParen(`a(b "1")`)
+	if _, err := view.BuildStore(dir, doc, []*core.View{mkView("v", `a(/b[id,v])`)}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := view.OpenStore(dir, []*core.View{mkView("v", `a(/b[id])`)})
+	if err == nil || !strings.Contains(err.Error(), "does not match catalog") {
+		t.Fatalf("changed view definition not rejected: %v", err)
+	}
+	_, err = view.OpenStore(dir, []*core.View{mkView("unknown", `a(/b[id])`)})
+	if err == nil || !strings.Contains(err.Error(), "not in catalog") {
+		t.Fatalf("unknown view not rejected: %v", err)
+	}
+}
+
+func TestBuildStoreRejectsDuplicateNames(t *testing.T) {
+	doc := xmltree.MustParseParen(`a(b "1")`)
+	vs := []*core.View{mkView("v", `a(/b[id])`), mkView("v", `a(/b[v])`)}
+	if _, err := view.BuildStore(t.TempDir(), doc, vs); err == nil {
+		t.Fatal("duplicate view names not rejected")
+	}
+}

@@ -10,6 +10,7 @@ package view
 
 import (
 	"fmt"
+	"sync"
 
 	"xmlviews/internal/core"
 	"xmlviews/internal/nrel"
@@ -80,49 +81,122 @@ func SlotCol(k int, attr string) string { return fmt.Sprintf("s%d.%s", k, attr) 
 // Store holds materialized (flat) view extents by name. Prepared views
 // (those carrying reasoning-only virtual attributes) are cached separately
 // because their column naming differs from the stored definition's.
+//
+// A Store is safe for concurrent use: lazy materialization is guarded by a
+// read-write mutex with double-checked lookup, so many goroutines can
+// execute plans against one store.
 type Store struct {
-	doc      *xmltree.Document
-	rels     map[string]*nrel.Relation
-	prepared map[*core.View]*nrel.Relation
+	mu   sync.RWMutex
+	doc  *xmltree.Document // nil for disk-backed stores (OpenStore)
+	rels map[string]*nrel.Relation
+	// prepared is keyed by the view's name plus canonical pattern text, not
+	// by *core.View: the rewriter clones views on every call, and a
+	// long-running server would otherwise accumulate one cache entry per
+	// clone. Two prepared views with equal name and pattern text have
+	// byte-identical extents.
+	prepared map[string]*nrel.Relation
 }
+
+// preparedKey identifies a prepared view's extent across rewriter clones.
+func preparedKey(v *core.View) string { return v.Name + "\x1f" + v.Pattern.String() }
 
 // NewStore materializes all base views over the document. Derived
 // navigation views are materialized lazily by the executor.
 func NewStore(doc *xmltree.Document, views []*core.View) *Store {
-	st := &Store{doc: doc, rels: map[string]*nrel.Relation{}, prepared: map[*core.View]*nrel.Relation{}}
+	st := &Store{doc: doc, rels: map[string]*nrel.Relation{}, prepared: map[string]*nrel.Relation{}}
 	for _, v := range views {
 		st.rels[v.Name] = MaterializeFlat(v, doc)
 	}
 	return st
 }
 
-// Document returns the store's backing document.
+// Document returns the store's backing document; nil for stores opened
+// from disk, which never touch the source document.
 func (st *Store) Document() *xmltree.Document { return st.doc }
 
 // Relation returns the flat extent of a view, materializing on demand.
 func (st *Store) Relation(v *core.View) *nrel.Relation {
+	st.mu.RLock()
+	r, ok := st.lookup(v)
+	st.mu.RUnlock()
+	if ok {
+		return r
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if r, ok := st.lookup(v); ok {
+		return r
+	}
+	r = st.materialize(v)
 	if v.Stored != nil {
-		if r, ok := st.prepared[v]; ok {
-			return r
-		}
-		r := MaterializeFlat(v, st.doc)
-		st.prepared[v] = r
-		return r
+		st.prepared[preparedKey(v)] = r
+	} else {
+		st.rels[v.Name] = r
 	}
-	if r, ok := st.rels[v.Name]; ok {
-		return r
-	}
-	r := MaterializeFlat(v, st.doc)
-	st.rels[v.Name] = r
 	return r
+}
+
+// lookup checks the caches; callers hold at least the read lock.
+func (st *Store) lookup(v *core.View) (*nrel.Relation, bool) {
+	if v.Stored != nil {
+		r, ok := st.prepared[preparedKey(v)]
+		return r, ok
+	}
+	r, ok := st.rels[v.Name]
+	return r, ok
+}
+
+// materialize builds the extent of a cache-missed view; callers hold the
+// write lock. With a document attached the view is evaluated over it. A
+// disk-backed store has no document: a prepared view's extent is then
+// derived from the stored base extent by renaming slot columns (the data
+// is identical — preparation only adds reasoning attributes), and a
+// missing base extent is a caller error.
+func (st *Store) materialize(v *core.View) *nrel.Relation {
+	if st.doc != nil {
+		return MaterializeFlat(v, st.doc)
+	}
+	base, ok := st.rels[v.Name]
+	if !ok || v.Stored == nil {
+		panic(fmt.Sprintf("view: extent %q not in store and no document attached", v.Name))
+	}
+	return renameStored(base, v)
+}
+
+// renameStored maps a stored base extent's identity slot columns
+// (s<k>.<attr> for stored slot k) to the prepared view's slot numbering
+// via StoredSlotMap. Rows are shared; only the column header changes.
+func renameStored(base *nrel.Relation, v *core.View) *nrel.Relation {
+	names := map[string]string{}
+	for k := 0; k < v.Stored.Arity(); k++ {
+		for _, attr := range []string{"id", "l", "v", "c"} {
+			names[SlotCol(k, attr)] = SlotCol(v.StoredSlotMap[k], attr)
+		}
+	}
+	out := nrel.NewRelation()
+	for _, c := range base.Cols {
+		n, ok := names[c]
+		if !ok {
+			n = c
+		}
+		out.Cols = append(out.Cols, n)
+	}
+	out.Rows = base.Rows
+	return out
 }
 
 // Put registers a precomputed extent (used by tests and by the executor
 // for derived views).
-func (st *Store) Put(name string, r *nrel.Relation) { st.rels[name] = r }
+func (st *Store) Put(name string, r *nrel.Relation) {
+	st.mu.Lock()
+	st.rels[name] = r
+	st.mu.Unlock()
+}
 
 // Has reports whether the store already holds the named extent.
 func (st *Store) Has(name string) bool {
+	st.mu.RLock()
 	_, ok := st.rels[name]
+	st.mu.RUnlock()
 	return ok
 }

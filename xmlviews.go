@@ -12,9 +12,11 @@
 //	internal/pattern    the extended tree pattern language
 //	internal/predicate  value predicate formulas
 //	internal/core       canonical models, containment, rewriting
-//	internal/view       view materialization
+//	internal/view       view materialization (in-memory and disk-backed)
+//	internal/store      persistent columnar segments + catalog manifest
 //	internal/algebra    plan execution
 //	internal/xquery     XQuery-subset front end
+//	internal/serve      the xvserve HTTP query daemon
 //
 // # Quick start
 //
@@ -29,11 +31,14 @@ package xmlviews
 
 import (
 	"io"
+	"net/http"
 
 	"xmlviews/internal/algebra"
 	"xmlviews/internal/core"
 	"xmlviews/internal/nrel"
 	"xmlviews/internal/pattern"
+	"xmlviews/internal/serve"
+	"xmlviews/internal/store"
 	"xmlviews/internal/summary"
 	"xmlviews/internal/view"
 	"xmlviews/internal/xmltree"
@@ -164,3 +169,45 @@ func NewSubsumeCache(capacity int) *SubsumeCache { return core.NewSubsumeCache(c
 
 // EvalPattern evaluates a pattern (e.g. a query) directly on a document.
 func EvalPattern(p *Pattern, doc *Document) *Relation { return p.Eval(doc) }
+
+// Catalog is the manifest of a persistent view store directory: summary,
+// summary hash, and one entry (pattern, schema, row count, byte size,
+// segment file) per stored view.
+type Catalog = store.Catalog
+
+// BuildStore materializes the views over the document once and persists
+// their extents as columnar segment files plus a catalog manifest in dir.
+// Later runs serve them with OpenStore without touching the document.
+func BuildStore(dir string, doc *Document, views []*View) (*Catalog, error) {
+	return view.BuildStore(dir, doc, views)
+}
+
+// OpenStore loads view extents from a store directory built by BuildStore.
+// The returned store carries no document and is safe for concurrent use.
+func OpenStore(dir string, views []*View) (*Store, error) { return view.OpenStore(dir, views) }
+
+// OpenCatalog reads a store directory's manifest (for the recorded summary
+// and the stored view definitions) without loading any extent.
+func OpenCatalog(dir string) (*Catalog, error) { return store.OpenCatalog(dir) }
+
+// ServeConfig tunes a query Server.
+type ServeConfig = serve.Config
+
+// Server is the xvserve query daemon: it answers tree-pattern and XQuery
+// queries over a persistent view store, with a shared containment cache
+// and an LRU plan cache. Mount Handler on any HTTP server.
+type Server = serve.Server
+
+// NewServer opens a store directory and builds a ready-to-serve query
+// daemon.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// NewServerHandler is a convenience returning just the daemon's routes
+// (/query, /healthz, /stats).
+func NewServerHandler(cfg ServeConfig) (http.Handler, error) {
+	s, err := serve.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Handler(), nil
+}
