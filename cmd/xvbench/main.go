@@ -17,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -24,58 +25,75 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig13a, fig13b, fig14, fig15, ablation, all")
-	scale := flag.Int("scale", 1, "document scale multiplier for table1")
-	views := flag.Int("views", 100, "random views for fig15 (paper: 100)")
-	perSize := flag.Int("persize", 12, "synthetic patterns per (n,r) point (paper: 40)")
-	workers := flag.Int("workers", 1, "rewriting search workers for fig15 (1 = sequential, <0 = GOMAXPROCS)")
-	flag.Parse()
-
-	run := func(name string, fn func() error) {
-		if *exp != "all" && *exp != name {
-			return
-		}
-		fmt.Printf("== %s ==\n", name)
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Println()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "xvbench:", err)
+		os.Exit(1)
 	}
-
-	run("table1", func() error { return table1(*scale) })
-	run("fig13a", fig13a)
-	run("fig13b", func() error { return fig13b(*perSize) })
-	run("fig14", func() error { return fig14(*perSize) })
-	run("fig15", func() error { return fig15(*views, *workers) })
-	run("ablation", ablation)
 }
 
-func table1(scale int) error {
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("xvbench", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	exp := fs.String("exp", "all", "experiment: table1, fig13a, fig13b, fig14, fig15, ablation, all")
+	scale := fs.Int("scale", 1, "document scale multiplier for table1")
+	views := fs.Int("views", 100, "random views for fig15 (paper: 100)")
+	perSize := fs.Int("persize", 12, "synthetic patterns per (n,r) point (paper: 40)")
+	workers := fs.Int("workers", 1, "rewriting search workers for fig15 (1 = sequential, <0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	experimentsByName := map[string]func(io.Writer) error{
+		"table1":   func(w io.Writer) error { return table1(w, *scale) },
+		"fig13a":   fig13a,
+		"fig13b":   func(w io.Writer) error { return fig13b(w, *perSize) },
+		"fig14":    func(w io.Writer) error { return fig14(w, *perSize) },
+		"fig15":    func(w io.Writer) error { return fig15(w, *views, *workers) },
+		"ablation": ablation,
+	}
+	if *exp != "all" {
+		if _, ok := experimentsByName[*exp]; !ok {
+			return fmt.Errorf("unknown experiment %q", *exp)
+		}
+	}
+	for _, name := range []string{"table1", "fig13a", "fig13b", "fig14", "fig15", "ablation"} {
+		if *exp != "all" && *exp != name {
+			continue
+		}
+		fmt.Fprintf(stdout, "== %s ==\n", name)
+		if err := experimentsByName[name](stdout); err != nil {
+			return fmt.Errorf("%s: %v", name, err)
+		}
+		fmt.Fprintln(stdout)
+	}
+	return nil
+}
+
+func table1(w io.Writer, scale int) error {
 	rows := experiments.Table1(scale)
-	fmt.Printf("%-12s %10s %10s %6s %8s %8s %12s\n", "Doc.", "nodes", "approx KB", "|S|", "nS", "n1", "build")
+	fmt.Fprintf(w, "%-12s %10s %10s %6s %8s %8s %12s\n", "Doc.", "nodes", "approx KB", "|S|", "nS", "n1", "build")
 	for _, r := range rows {
-		fmt.Printf("%-12s %10d %10d %6d %8d %8d %12s\n",
+		fmt.Fprintf(w, "%-12s %10d %10d %6d %8d %8d %12s\n",
 			r.Name, r.Nodes, r.ApproxKB, r.S, r.Strong, r.OneToOne, r.BuildTime.Round(time.Microsecond))
 	}
 	return nil
 }
 
-func fig13a() error {
+func fig13a(w io.Writer) error {
 	s := experiments.XMarkSummary()
-	fmt.Printf("XMark summary: %d nodes\n", s.Size())
+	fmt.Fprintf(w, "XMark summary: %d nodes\n", s.Size())
 	rows, err := experiments.Fig13XMarkQueries(s)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-6s %12s %14s\n", "query", "|modS(p)|", "containment")
+	fmt.Fprintf(w, "%-6s %12s %14s\n", "query", "|modS(p)|", "containment")
 	for _, r := range rows {
-		fmt.Printf("Q%-5d %12d %14s\n", r.Query, r.ModelSize, r.Time.Round(time.Microsecond))
+		fmt.Fprintf(w, "Q%-5d %12d %14s\n", r.Query, r.ModelSize, r.Time.Round(time.Microsecond))
 	}
 	return nil
 }
 
-func fig13b(perSize int) error {
+func fig13b(w io.Writer, perSize int) error {
 	s := experiments.XMarkSummary()
 	cfg := experiments.DefaultSyntheticConfig("item", "name", "keyword")
 	cfg.PerSize = perSize
@@ -83,22 +101,22 @@ func fig13b(perSize int) error {
 	if err != nil {
 		return err
 	}
-	printSynthetic(rows)
+	printSynthetic(w, rows)
 	return nil
 }
 
-func fig14(perSize int) error {
+func fig14(w io.Writer, perSize int) error {
 	s := experiments.DBLPSummary()
-	fmt.Printf("DBLP'05 summary: %d nodes\n", s.Size())
+	fmt.Fprintf(w, "DBLP'05 summary: %d nodes\n", s.Size())
 	cfg := experiments.DefaultSyntheticConfig("article", "author", "title")
 	cfg.PerSize = perSize
 	rows, err := experiments.Synthetic(s, cfg)
 	if err != nil {
 		return err
 	}
-	printSynthetic(rows)
+	printSynthetic(w, rows)
 
-	fmt.Println("\noptional-edge ablation (r=1):")
+	fmt.Fprintln(w, "\noptional-edge ablation (r=1):")
 	for _, opt := range []float64{0, 0.5} {
 		c := cfg
 		c.Optional = opt
@@ -121,7 +139,7 @@ func fig14(perSize int) error {
 		if nn > 0 {
 			neg /= time.Duration(nn)
 		}
-		fmt.Printf("  optional=%.0f%%  avg positive %v  avg negative %v\n", opt*100,
+		fmt.Fprintf(w, "  optional=%.0f%%  avg positive %v  avg negative %v\n", opt*100,
 			pos.Round(time.Microsecond), neg.Round(time.Microsecond))
 	}
 	return nil
@@ -134,44 +152,44 @@ func boolInt(b bool) int {
 	return 0
 }
 
-func printSynthetic(rows []experiments.SyntheticRow) {
-	fmt.Printf("%4s %3s %14s %6s %14s %6s\n", "n", "r", "positive", "#", "negative", "#")
+func printSynthetic(w io.Writer, rows []experiments.SyntheticRow) {
+	fmt.Fprintf(w, "%4s %3s %14s %6s %14s %6s\n", "n", "r", "positive", "#", "negative", "#")
 	for _, r := range rows {
-		fmt.Printf("%4d %3d %14s %6d %14s %6d\n",
+		fmt.Fprintf(w, "%4d %3d %14s %6d %14s %6d\n",
 			r.N, r.R, r.Positive.Round(time.Microsecond), r.PosCount,
 			r.Negative.Round(time.Microsecond), r.NegCount)
 	}
 }
 
-func fig15(views, workers int) error {
+func fig15(w io.Writer, views, workers int) error {
 	s := experiments.XMarkSummary()
 	rows, err := experiments.Fig15(s, views, workers)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-6s %12s %12s %12s %4s %10s %10s\n",
+	fmt.Fprintf(w, "%-6s %12s %12s %12s %4s %10s %10s\n",
 		"query", "setup", "first", "total", "#rw", "kept", "explored")
 	keptSum, totalSum := 0, 0
 	for _, r := range rows {
-		fmt.Printf("Q%-5d %12s %12s %12s %4d %6d/%-4d %10d\n",
+		fmt.Fprintf(w, "Q%-5d %12s %12s %12s %4d %6d/%-4d %10d\n",
 			r.Query, r.Setup.Round(time.Microsecond), r.First.Round(time.Microsecond),
 			r.Total.Round(time.Microsecond), r.Rewritings, r.ViewsKept, r.ViewsTotal, r.PlansExplored)
 		keptSum += r.ViewsKept
 		totalSum += r.ViewsTotal
 	}
 	if totalSum > 0 {
-		fmt.Printf("view pruning kept %.0f%% on average (paper: ~57%%)\n",
+		fmt.Fprintf(w, "view pruning kept %.0f%% on average (paper: ~57%%)\n",
 			100*float64(keptSum)/float64(totalSum))
 	}
 	return nil
 }
 
-func ablation() error {
+func ablation(w io.Writer) error {
 	row, err := experiments.AblationEnhancedSummary()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s:\n  enhanced summary: %d rewritings (%v)\n  plain summary:    %d rewritings (%v)\n",
+	fmt.Fprintf(w, "%s:\n  enhanced summary: %d rewritings (%v)\n  plain summary:    %d rewritings (%v)\n",
 		row.Name, row.EnhancedRewritings, row.EnhancedTime.Round(time.Microsecond),
 		row.PlainRewritings, row.PlainTime.Round(time.Microsecond))
 	return nil

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFig13aSmoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "fig13a"}, &out); err != nil {
+		t.Fatalf("fig13a: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "== fig13a ==") || !strings.Contains(got, "XMark summary") {
+		t.Fatalf("output wrong:\n%s", got)
+	}
+}
+
+func TestRunTable1Smoke(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "table1", "-scale", "1"}, &out); err != nil {
+		t.Fatalf("table1: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "XMark") {
+		t.Fatalf("output wrong:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "nope"}, &out); err == nil {
+		t.Fatal("unknown experiment not rejected")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("unknown flag not rejected")
+	}
+}

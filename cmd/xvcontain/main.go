@@ -4,12 +4,13 @@
 //	xvcontain -summary 'a(!b(c) d)' -p 'a(/b[id])' -q 'a(//b[id])'
 //
 // The summary may also be built from a document with -doc file.xml. On
-// failure a counterexample document is printed.
+// failure a counterexample document is printed and the exit status is 1.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"xmlviews/internal/core"
@@ -19,60 +20,75 @@ import (
 )
 
 func main() {
-	sumSrc := flag.String("summary", "", "summary in parenthesized notation, e.g. 'a(!b(c) d)'")
-	docFile := flag.String("doc", "", "build the summary from this XML document instead")
-	pSrc := flag.String("p", "", "contained pattern")
-	qSrc := flag.String("q", "", "container pattern")
-	flag.Parse()
-
-	if *pSrc == "" || *qSrc == "" || (*sumSrc == "" && *docFile == "") {
-		flag.Usage()
+	contained, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xvcontain:", err)
 		os.Exit(2)
+	}
+	if !contained {
+		os.Exit(1)
+	}
+}
+
+// run decides the containment and reports it on stdout; the boolean is the
+// verdict (callers map it to the exit status).
+func run(args []string, stdout io.Writer) (bool, error) {
+	fs := flag.NewFlagSet("xvcontain", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	sumSrc := fs.String("summary", "", "summary in parenthesized notation, e.g. 'a(!b(c) d)'")
+	docFile := fs.String("doc", "", "build the summary from this XML document instead")
+	pSrc := fs.String("p", "", "contained pattern")
+	qSrc := fs.String("q", "", "container pattern")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+	if *pSrc == "" || *qSrc == "" {
+		return false, fmt.Errorf("need both -p and -q")
+	}
+	if (*sumSrc == "") == (*docFile == "") {
+		return false, fmt.Errorf("need exactly one of -summary and -doc")
 	}
 	var s *summary.Summary
 	if *docFile != "" {
 		f, err := os.Open(*docFile)
 		if err != nil {
-			fatal(err)
+			return false, err
 		}
 		doc, err := xmltree.ParseXML(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return false, err
 		}
 		s = summary.Build(doc)
 	} else {
 		var err error
 		s, err = summary.Parse(*sumSrc)
 		if err != nil {
-			fatal(err)
+			return false, err
 		}
 	}
 	p, err := pattern.Parse(*pSrc)
 	if err != nil {
-		fatal(err)
+		return false, err
 	}
 	q, err := pattern.Parse(*qSrc)
 	if err != nil {
-		fatal(err)
+		return false, err
 	}
 	ok, witness, err := core.ContainedWith(p, []*pattern.Pattern{q}, s, core.DefaultContainOptions())
 	if err != nil {
-		fatal(err)
+		return false, err
 	}
 	if ok {
-		fmt.Println("p ⊆S q: yes")
-		return
+		fmt.Fprintln(stdout, "p ⊆S q: yes")
+		return true, nil
 	}
-	fmt.Println("p ⊆S q: no")
+	fmt.Fprintln(stdout, "p ⊆S q: no")
 	if witness != nil {
-		doc, _ := witness.Realize()
-		fmt.Println("counterexample document:", doc.Root)
+		doc, err := witness.Realize()
+		if err == nil {
+			fmt.Fprintln(stdout, "counterexample document:", doc.Root)
+		}
 	}
-	os.Exit(1)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "xvcontain:", err)
-	os.Exit(1)
+	return false, nil
 }

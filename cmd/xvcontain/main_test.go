@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunContainmentVerdicts(t *testing.T) {
+	var out strings.Builder
+	ok, err := run([]string{"-summary", "a(b(c))", "-p", "a(/b[id])", "-q", "a(//b[id])"}, &out)
+	if err != nil || !ok {
+		t.Fatalf("positive containment: ok=%v err=%v\n%s", ok, err, out.String())
+	}
+	if !strings.Contains(out.String(), "yes") {
+		t.Fatalf("output wrong:\n%s", out.String())
+	}
+
+	out.Reset()
+	ok, err = run([]string{"-summary", "a(b c)", "-p", "a(/b[id] /c)", "-q", "a(/b[id](/c))"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("non-containment reported as contained:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "no") {
+		t.Fatalf("verdict missing:\n%s", out.String())
+	}
+}
+
+func TestRunWithDocumentSummary(t *testing.T) {
+	docPath := filepath.Join(t.TempDir(), "d.xml")
+	if err := os.WriteFile(docPath, []byte(`<a><b><c>1</c></b></a>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	ok, err := run([]string{"-doc", docPath, "-p", "a(/b[id])", "-q", "a(//b[id])"}, &out)
+	if err != nil || !ok {
+		t.Fatalf("doc summary containment: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestRunBadUsage(t *testing.T) {
+	var out strings.Builder
+	if _, err := run(nil, &out); err == nil {
+		t.Fatal("missing flags not rejected")
+	}
+	if _, err := run([]string{"-p", "a", "-q", "a"}, &out); err == nil {
+		t.Fatal("missing summary not rejected")
+	}
+	if _, err := run([]string{"-summary", "a", "-doc", "x", "-p", "a", "-q", "a"}, &out); err == nil {
+		t.Fatal("both -summary and -doc not rejected")
+	}
+	if _, err := run([]string{"-summary", "a(", "-p", "a[id]", "-q", "a[id]"}, &out); err == nil {
+		t.Fatal("bad summary not rejected")
+	}
+	if _, err := run([]string{"-summary", "a", "-p", "a(", "-q", "a[id]"}, &out); err == nil {
+		t.Fatal("bad pattern not rejected")
+	}
+	if _, err := run([]string{"-doc", "/nonexistent.xml", "-p", "a[id]", "-q", "a[id]"}, &out); err == nil {
+		t.Fatal("missing document not reported")
+	}
+}

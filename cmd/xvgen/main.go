@@ -9,6 +9,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"xmlviews/internal/datagen"
@@ -16,11 +17,24 @@ import (
 )
 
 func main() {
-	corpus := flag.String("corpus", "xmark", "xmark, dblp02, dblp05, shakespeare, nasa, swissprot")
-	scale := flag.Int("scale", 5, "document scale")
-	seed := flag.Int64("seed", 1, "random seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "xvgen:", err)
+		os.Exit(1)
+	}
+}
 
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("xvgen", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	corpus := fs.String("corpus", "xmark", "xmark, dblp02, dblp05, shakespeare, nasa, swissprot")
+	scale := fs.Int("scale", 5, "document scale")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scale < 0 {
+		return fmt.Errorf("negative scale %d", *scale)
+	}
 	var doc *xmltree.Document
 	switch *corpus {
 	case "xmark":
@@ -36,14 +50,12 @@ func main() {
 	case "swissprot":
 		doc = datagen.SwissProt(*scale, *seed)
 	default:
-		fmt.Fprintf(os.Stderr, "xvgen: unknown corpus %q\n", *corpus)
-		os.Exit(2)
+		return fmt.Errorf("unknown corpus %q", *corpus)
 	}
-	w := bufio.NewWriter(os.Stdout)
-	defer w.Flush()
+	w := bufio.NewWriter(stdout)
 	if err := doc.WriteXML(w); err != nil {
-		fmt.Fprintln(os.Stderr, "xvgen:", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Fprintln(w)
+	return w.Flush()
 }

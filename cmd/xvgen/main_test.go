@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"xmlviews/internal/xmltree"
+)
+
+func TestRunGeneratesParseableXML(t *testing.T) {
+	for _, corpus := range []string{"xmark", "dblp02", "dblp05", "shakespeare", "nasa", "swissprot"} {
+		var out strings.Builder
+		if err := run([]string{"-corpus", corpus, "-scale", "1", "-seed", "3"}, &out); err != nil {
+			t.Fatalf("%s: %v", corpus, err)
+		}
+		doc, err := xmltree.ParseXMLString(strings.TrimSpace(out.String()))
+		if err != nil {
+			t.Fatalf("%s output does not parse: %v", corpus, err)
+		}
+		if doc.Size() < 5 {
+			t.Fatalf("%s produced a trivial document (%d nodes)", corpus, doc.Size())
+		}
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-scale", "1", "-seed", "9"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scale", "1", "-seed", "9"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different documents")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-corpus", "nope"}, &out); err == nil {
+		t.Fatal("unknown corpus not rejected")
+	}
+	if err := run([]string{"-scale", "-1"}, &out); err == nil {
+		t.Fatal("negative scale not rejected")
+	}
+	if err := run([]string{"-bogusflag"}, &out); err == nil {
+		t.Fatal("unknown flag not rejected")
+	}
+}

@@ -33,13 +33,16 @@ func run(args []string, stdout io.Writer) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "rewrite/execution worker goroutines (0: all CPUs)")
 	planCache := fs.Int("plancache", 0, "plan cache capacity (0: default 256)")
+	readOnly := fs.Bool("readonly", false, "disable POST /update")
+	maxUpdate := fs.Int64("maxupdate", 0, "maximum /update body bytes (0: default 8 MiB)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dir == "" {
 		return fmt.Errorf("missing -dir (a store directory built by xvstore)")
 	}
-	srv, err := serve.New(serve.Config{Dir: *dir, Workers: *workers, PlanCacheSize: *planCache})
+	srv, err := serve.New(serve.Config{Dir: *dir, Workers: *workers, PlanCacheSize: *planCache,
+		ReadOnly: *readOnly, MaxUpdateBytes: *maxUpdate})
 	if err != nil {
 		return err
 	}

@@ -1,8 +1,12 @@
-// Command xvstore builds and inspects persistent view stores: directories
-// of columnar segment files plus a catalog manifest, served by xvserve.
+// Command xvstore builds, maintains and inspects persistent view stores:
+// directories of columnar segment files plus a catalog manifest, served by
+// xvserve.
 //
 //	xvstore build -doc auction.xml -out store/ \
 //	    -v 'V1=site(//item[id](/name[v]))' -v 'V2=site(//name[id,v])'
+//	xvstore apply -dir store/ -u '{"op":"insert","parent":"1","subtree":"item(name \"x\")"}'
+//	xvstore apply -dir store/ -f updates.json
+//	xvstore compact -dir store/
 //	xvstore info -dir store/
 package main
 
@@ -14,6 +18,7 @@ import (
 	"strings"
 
 	"xmlviews/internal/core"
+	"xmlviews/internal/maintain"
 	"xmlviews/internal/pattern"
 	"xmlviews/internal/store"
 	"xmlviews/internal/view"
@@ -39,10 +44,14 @@ func run(args []string, stdout io.Writer) error {
 	switch args[0] {
 	case "build":
 		return runBuild(args[1:], stdout)
+	case "apply":
+		return runApply(args[1:], stdout)
+	case "compact":
+		return runCompact(args[1:], stdout)
 	case "info":
 		return runInfo(args[1:], stdout)
 	}
-	return fmt.Errorf("unknown subcommand %q (want build or info)", args[0])
+	return fmt.Errorf("unknown subcommand %q (want build, apply, compact or info)", args[0])
 }
 
 func runBuild(args []string, stdout io.Writer) error {
@@ -86,6 +95,68 @@ func runBuild(args []string, stdout io.Writer) error {
 	return nil
 }
 
+func runApply(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("xvstore apply", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	dir := fs.String("dir", "", "store directory")
+	file := fs.String("f", "", "JSON file holding the update batch ('-' for stdin)")
+	var inline viewFlags
+	fs.Var(&inline, "u", "one JSON update object (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" || (*file == "" && len(inline) == 0) || (*file != "" && len(inline) > 0) {
+		return fmt.Errorf("apply needs -dir and either -f or one or more -u")
+	}
+	var data []byte
+	switch {
+	case *file == "-":
+		var err error
+		if data, err = io.ReadAll(os.Stdin); err != nil {
+			return err
+		}
+	case *file != "":
+		var err error
+		if data, err = os.ReadFile(*file); err != nil {
+			return err
+		}
+	default:
+		data = []byte("[" + strings.Join(inline, ",") + "]")
+	}
+	updates, err := maintain.ParseUpdates(data)
+	if err != nil {
+		return err
+	}
+	res, err := view.UpdateStore(*dir, updates)
+	if err != nil {
+		return err
+	}
+	for _, c := range res.Changed {
+		fmt.Fprintf(stdout, "%s: +%d -%d rows (now %d)\n", c.Name, c.Adds, c.Dels, c.Rows)
+	}
+	fmt.Fprintf(stdout, "applied %d update(s): %d view(s) changed, %d unaffected; epoch %d\n",
+		len(updates), len(res.Changed), res.Skipped, res.Epoch)
+	return nil
+}
+
+func runCompact(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("xvstore compact", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	dir := fs.String("dir", "", "store directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("compact needs -dir")
+	}
+	folded, err := view.CompactStore(*dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "folded %d delta segment(s)\n", folded)
+	return nil
+}
+
 func runInfo(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("xvstore info", flag.ContinueOnError)
 	fs.SetOutput(stdout)
@@ -104,9 +175,14 @@ func runInfo(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "document: %s\n", cat.Document)
 	}
 	fmt.Fprintf(stdout, "summary hash: %s\n", cat.SummaryHash)
+	fmt.Fprintf(stdout, "epoch: %d\n", cat.Epoch)
 	for _, e := range cat.Views {
 		fmt.Fprintf(stdout, "%s: %s — %d rows, %d bytes, columns %s\n",
 			e.Name, e.Pattern, e.Rows, e.Bytes, strings.Join(e.Columns, ","))
+		for _, d := range e.Deltas {
+			fmt.Fprintf(stdout, "  delta %s: +%d -%d tuples, %d bytes (epoch %d)\n",
+				d.Segment, d.Adds, d.Dels, d.Bytes, d.Epoch)
+		}
 	}
 	return nil
 }

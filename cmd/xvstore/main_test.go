@@ -39,6 +39,71 @@ func TestRunBuildAndInfo(t *testing.T) {
 	}
 }
 
+func TestRunApplyCompactInfo(t *testing.T) {
+	dir := t.TempDir()
+	docPath := filepath.Join(dir, "doc.xml")
+	xml := `<site><item><name>pen</name></item><item><name>ink</name></item></site>`
+	if err := os.WriteFile(docPath, []byte(xml), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "store")
+	var sb strings.Builder
+	if err := run([]string{"build", "-doc", docPath, "-out", out,
+		"-v", `v1=site(/item[id](/name[v]))`}, &sb); err != nil {
+		t.Fatal(err)
+	}
+
+	var applyOut strings.Builder
+	err := run([]string{"apply", "-dir", out,
+		"-u", `{"op":"insert","parent":"1","subtree":"item(name \"dry\")"}`}, &applyOut)
+	if err != nil {
+		t.Fatalf("apply: %v\n%s", err, applyOut.String())
+	}
+	got := applyOut.String()
+	if !strings.Contains(got, "v1: +1 -0 rows (now 3)") || !strings.Contains(got, "epoch 1") {
+		t.Fatalf("apply output wrong:\n%s", got)
+	}
+
+	// A batch from a file, driving a second epoch.
+	batch := filepath.Join(dir, "batch.json")
+	if err := os.WriteFile(batch, []byte(`{"updates":[{"op":"settext","target":"1.1.1","value":"quill"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	applyOut.Reset()
+	if err := run([]string{"apply", "-dir", out, "-f", batch}, &applyOut); err != nil {
+		t.Fatalf("apply -f: %v\n%s", err, applyOut.String())
+	}
+	if !strings.Contains(applyOut.String(), "epoch 2") {
+		t.Fatalf("apply -f output wrong:\n%s", applyOut.String())
+	}
+
+	var infoOut strings.Builder
+	if err := run([]string{"info", "-dir", out}, &infoOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(infoOut.String(), "epoch: 2") || !strings.Contains(infoOut.String(), "delta seg-0000.d0001.xvs") {
+		t.Fatalf("info output wrong:\n%s", infoOut.String())
+	}
+
+	var compactOut strings.Builder
+	if err := run([]string{"compact", "-dir", out}, &compactOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(compactOut.String(), "folded 2 delta segment(s)") {
+		t.Fatalf("compact output wrong:\n%s", compactOut.String())
+	}
+	infoOut.Reset()
+	if err := run([]string{"info", "-dir", out}, &infoOut); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(infoOut.String(), "delta ") {
+		t.Fatalf("delta chain survived compaction:\n%s", infoOut.String())
+	}
+	if !strings.Contains(infoOut.String(), "epoch: 2") {
+		t.Fatalf("compaction changed the epoch:\n%s", infoOut.String())
+	}
+}
+
 func TestRunBadUsage(t *testing.T) {
 	var out strings.Builder
 	if err := run(nil, &out); err == nil {
@@ -55,5 +120,17 @@ func TestRunBadUsage(t *testing.T) {
 	}
 	if err := run([]string{"info", "-dir", "/nonexistent"}, &out); err == nil {
 		t.Fatal("missing store not reported")
+	}
+	if err := run([]string{"apply", "-dir", "/nonexistent"}, &out); err == nil {
+		t.Fatal("apply without updates not rejected")
+	}
+	if err := run([]string{"apply", "-dir", "/nonexistent", "-u", `{"op":"delete","target":"1.1"}`}, &out); err == nil {
+		t.Fatal("apply on missing store not reported")
+	}
+	if err := run([]string{"apply", "-dir", "/nonexistent", "-u", `nope`}, &out); err == nil {
+		t.Fatal("bad update JSON not rejected")
+	}
+	if err := run([]string{"compact"}, &out); err == nil {
+		t.Fatal("compact without -dir not rejected")
 	}
 }

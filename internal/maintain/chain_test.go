@@ -1,0 +1,53 @@
+package maintain
+
+import (
+	"strings"
+	"testing"
+
+	"xmlviews/internal/pattern"
+)
+
+func matchLast(t *testing.T, patSrc string, nodeLabel, path string) bool {
+	t.Helper()
+	p := pattern.MustParse(patSrc)
+	var pn *pattern.Node
+	for _, n := range p.Nodes() {
+		if n.Label == nodeLabel {
+			pn = n
+		}
+	}
+	if pn == nil {
+		t.Fatalf("pattern %s has no node %q", patSrc, nodeLabel)
+	}
+	return chainMatchesPath(chainOf(pn), strings.Split(path, "/"))
+}
+
+func TestChainMatchesPath(t *testing.T) {
+	cases := []struct {
+		pat, node, path string
+		want            bool
+	}{
+		{`a(/b[id](/c[v]))`, "c", "a/b/c", true},
+		{`a(/b[id](/c[v]))`, "c", "a/b/d", false},
+		{`a(/b[id](/c[v]))`, "b", "a/b", true},
+		{`a(//c[v])`, "c", "a/b/c", true},
+		{`a(//c[v])`, "c", "a/c", true},
+		{`a(//c[v])`, "c", "a/b/c/d", false}, // must end at c
+		{`a(/b(//d[id]))`, "d", "a/b/x/y/d", true},
+		{`a(/b(//d[id]))`, "d", "a/x/y/d", false}, // b must be the first step
+		{`a(//*[id])`, "*", "a/anything", true},
+		{`a(/b[id] /c[v])`, "c", "a/c", true},
+		{`b(//c[v])`, "c", "a/b/c", false}, // root label must match
+		// Descendant chains may skip several levels then continue by child.
+		{`a(//b(/c[id]))`, "c", "a/x/b/c", true},
+		{`a(//b(/c[id]))`, "c", "a/b/x/c", false},
+		// A //-step can land on several candidate positions; any viable
+		// split must be found (b at position 1 fails, position 3 works).
+		{`a(//b(/b[id](/c[v])))`, "c", "a/b/x/b/b/c", true},
+	}
+	for _, c := range cases {
+		if got := matchLast(t, c.pat, c.node, c.path); got != c.want {
+			t.Errorf("pattern %s node %s vs path %s = %v, want %v", c.pat, c.node, c.path, got, c.want)
+		}
+	}
+}

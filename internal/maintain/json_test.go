@@ -1,0 +1,70 @@
+package maintain
+
+import (
+	"testing"
+
+	"xmlviews/internal/xmltree"
+)
+
+func TestParseUpdatesForms(t *testing.T) {
+	bare := `[{"op":"insert","parent":"1","subtree":"b \"x\""},{"op":"delete","target":"1.1"}]`
+	env := `{"updates":` + bare + `}`
+	for _, src := range []string{bare, env} {
+		ups, err := ParseUpdates([]byte(src))
+		if err != nil {
+			t.Fatalf("ParseUpdates(%s): %v", src, err)
+		}
+		if len(ups) != 2 || ups[0].Kind != xmltree.UpdateInsert || ups[1].Kind != xmltree.UpdateDelete {
+			t.Fatalf("decoded %v", ups)
+		}
+		if ups[0].Subtree.Root.Label != "b" || ups[0].Subtree.Root.Value != "x" {
+			t.Fatalf("subtree decoded wrong: %s", ups[0].Subtree.Root)
+		}
+	}
+}
+
+func TestParseUpdatesErrors(t *testing.T) {
+	cases := []string{
+		`{"nope":1}`,
+		`[{"op":"insert","parent":"1"}]`,                                  // no subtree
+		`[{"op":"insert","subtree":"b"}]`,                                 // no parent
+		`[{"op":"insert","parent":"1.2","subtree":"b"}]`,                  // ill-formed ID (even tail)
+		`[{"op":"insert","parent":"1","subtree":"b("}]`,                   // bad paren
+		`[{"op":"delete"}]`,                                               // no target
+		`[{"op":"rename","target":"1.1"}]`,                                // no label
+		`[{"op":"teleport","target":"1.1"}]`,                              // unknown op
+		`[{"op":"insert","parent":"x","subtree":"b"}]`,                    // unparseable ID
+		`[{"op":"insert","parent":"1","before":"", "subtree":"b"}]` + "x", // trailing garbage
+	}
+	for _, src := range cases {
+		if _, err := ParseUpdates([]byte(src)); err == nil {
+			t.Errorf("ParseUpdates(%s) succeeded, want error", src)
+		}
+	}
+}
+
+func TestUpdateJSONRoundTrip(t *testing.T) {
+	ups := []xmltree.Update{
+		{Kind: xmltree.UpdateInsert, Parent: []uint32{1, 3}, Before: []uint32{1, 3, 1},
+			Subtree: xmltree.MustParseParen(`m(x "7")`)},
+		{Kind: xmltree.UpdateDelete, Target: []uint32{1, 5}},
+		{Kind: xmltree.UpdateRename, Target: []uint32{1, 3}, Label: "zz"},
+		{Kind: xmltree.UpdateSetValue, Target: []uint32{1, 3}, Value: "v v"},
+	}
+	data, err := EncodeUpdates(ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseUpdates(data)
+	if err != nil {
+		t.Fatalf("re-parse %s: %v", data, err)
+	}
+	if len(back) != len(ups) {
+		t.Fatalf("round trip lost updates: %d != %d", len(back), len(ups))
+	}
+	for i := range ups {
+		if Encode(back[i]) != Encode(ups[i]) {
+			t.Errorf("update %d round trip: %+v != %+v", i, Encode(back[i]), Encode(ups[i]))
+		}
+	}
+}

@@ -1,0 +1,420 @@
+// Package maintain implements incremental maintenance of materialized
+// tree-pattern views under typed document updates (xmltree.Update).
+//
+// The engine maps every update of a batch against every view's tree
+// pattern before touching any extent. For each update it collects the set
+// of affected rooted label paths — the paths of inserted, deleted or
+// renamed nodes, the path of a retexted node, and the ancestor paths whose
+// content (C) attribute sees the change — and checks, per view, whether
+// any pattern node's root chain can match one of them (the same label/axis
+// embedding discipline core's matching uses, minus value predicates, which
+// keeps the test a sound over-approximation). Views that cannot match any
+// affected path are proven unaffected and skipped outright; this
+// irrelevance filter is what makes a multi-view store cheap to maintain,
+// since a typical update touches few views.
+//
+// For the remaining views the engine re-evaluates the (flat) extent over
+// the updated document and emits the tuple delta against the current
+// extent. Recomputation keeps the engine exactly faithful to the paper's
+// optional-edge and set semantics (an insertion can retract ⊥-padded rows,
+// a deletion can resurrect them, and a tuple with several embeddings
+// survives losing one); per-embedding delta propagation is future work.
+// Batches are atomic: if any update fails to apply, the document is rolled
+// back and no extent changes.
+package maintain
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlviews/internal/core"
+	"xmlviews/internal/nrel"
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/summary"
+	"xmlviews/internal/xmltree"
+)
+
+// Materializer produces a view's flat extent over a document. The view
+// package passes view.MaterializeFlat; taking it as a parameter keeps this
+// package importable from view without a cycle.
+type Materializer func(*core.View, *xmltree.Document) *nrel.Relation
+
+// Delta is the tuple-level change to one view's flat extent.
+type Delta struct {
+	View *core.View
+	// Adds and Dels share the extent's column schema. A row moves from the
+	// extent when it appears in Dels and into it when it appears in Adds.
+	Adds, Dels *nrel.Relation
+	// New is the full maintained extent after the batch.
+	New *nrel.Relation
+}
+
+// Batch is the result of maintaining a store through one update batch.
+type Batch struct {
+	// Deltas holds one entry per view whose extent changed.
+	Deltas []*Delta
+	// Skipped lists views the relevance mapping proved unaffected (their
+	// extents were not even re-evaluated).
+	Skipped []string
+	// Summary is the path summary of the updated document, rebuilt after
+	// the batch (updates can add paths and invalidate strong/one-to-one
+	// edge annotations, and the serving side rewrites against it).
+	Summary *summary.Summary
+}
+
+// ComputeDeltas applies the update batch to doc (in place, atomically) and
+// returns the per-view extent deltas. current returns a view's extent
+// before the batch; mat re-evaluates one over the updated document.
+func ComputeDeltas(doc *xmltree.Document, views []*core.View, updates []xmltree.Update,
+	current func(*core.View) *nrel.Relation, mat Materializer) (*Batch, error) {
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("maintain: empty update batch")
+	}
+	paths := newPathSet()
+	var undo []func()
+	for i := range updates {
+		u := updates[i]
+		if err := paths.collect(doc, u); err != nil {
+			rollback(undo)
+			return nil, fmt.Errorf("maintain: update %d: %w", i, err)
+		}
+		node, un, err := applyWithUndo(doc, u)
+		if err != nil {
+			rollback(undo)
+			return nil, fmt.Errorf("maintain: update %d: %w", i, err)
+		}
+		undo = append(undo, un)
+		// collect sees the pre-update document; the paths of freshly
+		// inserted nodes (and of a renamed subtree's new shape) only exist
+		// now, so gather them post-apply.
+		if u.Kind == xmltree.UpdateInsert || u.Kind == xmltree.UpdateRename {
+			paths.addSubtreePaths(node)
+		}
+	}
+
+	batch := &Batch{Summary: summary.Build(doc)}
+	for _, v := range views {
+		if !paths.relevant(v.Pattern) {
+			batch.Skipped = append(batch.Skipped, v.Name)
+			continue
+		}
+		newRel := mat(v, doc)
+		old := current(v)
+		adds, dels := diffRelations(old, newRel)
+		if adds.Len() == 0 && dels.Len() == 0 {
+			continue
+		}
+		batch.Deltas = append(batch.Deltas, &Delta{View: v, Adds: adds, Dels: dels, New: newRel})
+	}
+	return batch, nil
+}
+
+func rollback(undo []func()) {
+	for i := len(undo) - 1; i >= 0; i-- {
+		undo[i]()
+	}
+}
+
+// applyWithUndo applies one update, returning the node it touched and a
+// closure restoring the document to its prior state (splicing nodes back
+// by identity, so no ID is reallocated on rollback).
+func applyWithUndo(doc *xmltree.Document, u xmltree.Update) (*xmltree.Node, func(), error) {
+	switch u.Kind {
+	case xmltree.UpdateInsert:
+		n, err := doc.InsertSubtree(u.Parent, u.Before, u.Subtree)
+		if err != nil {
+			return nil, nil, err
+		}
+		return n, func() {
+			p := n.Parent
+			for i, c := range p.Children {
+				if c == n {
+					p.Children = append(p.Children[:i:i], p.Children[i+1:]...)
+					return
+				}
+			}
+		}, nil
+	case xmltree.UpdateDelete:
+		n := doc.FindByID(u.Target)
+		if n == nil || n.Parent == nil {
+			// Delegate error wording to the real operation.
+			_, err := doc.DeleteSubtree(u.Target)
+			return nil, nil, err
+		}
+		parent := n.Parent
+		pos := -1
+		for i, c := range parent.Children {
+			if c == n {
+				pos = i
+				break
+			}
+		}
+		if _, err := doc.DeleteSubtree(u.Target); err != nil {
+			return nil, nil, err
+		}
+		return n, func() {
+			parent.Children = append(parent.Children, nil)
+			copy(parent.Children[pos+1:], parent.Children[pos:])
+			parent.Children[pos] = n
+			n.Parent = parent
+		}, nil
+	case xmltree.UpdateRename:
+		n := doc.FindByID(u.Target)
+		if n == nil {
+			_, err := doc.RenameNode(u.Target, u.Label)
+			return nil, nil, err
+		}
+		old := n.Label
+		if _, err := doc.RenameNode(u.Target, u.Label); err != nil {
+			return nil, nil, err
+		}
+		return n, func() { n.Label = old }, nil
+	case xmltree.UpdateSetValue:
+		n := doc.FindByID(u.Target)
+		if n == nil {
+			_, err := doc.SetNodeValue(u.Target, u.Value)
+			return nil, nil, err
+		}
+		old := n.Value
+		if _, err := doc.SetNodeValue(u.Target, u.Value); err != nil {
+			return nil, nil, err
+		}
+		return n, func() { n.Value = old }, nil
+	}
+	return nil, nil, fmt.Errorf("unknown update kind %d", u.Kind)
+}
+
+// diffRelations returns the rows of new missing from old (adds) and the
+// rows of old missing from new (dels), under set semantics.
+func diffRelations(old, new *nrel.Relation) (adds, dels *nrel.Relation) {
+	adds, dels = nrel.NewRelation(new.Cols...), nrel.NewRelation(new.Cols...)
+	oldKeys := make(map[string]bool, old.Len())
+	for _, row := range old.Rows {
+		oldKeys[rowKey(row)] = true
+	}
+	newKeys := make(map[string]bool, new.Len())
+	for _, row := range new.Rows {
+		k := rowKey(row)
+		newKeys[k] = true
+		if !oldKeys[k] {
+			adds.Rows = append(adds.Rows, row)
+		}
+	}
+	for _, row := range old.Rows {
+		if !newKeys[rowKey(row)] {
+			dels.Rows = append(dels.Rows, row)
+		}
+	}
+	return adds, dels
+}
+
+// FoldDelta applies a delta to an extent: rows in dels leave, rows in adds
+// enter (ignored when already present), preserving storage order. It is
+// the replay primitive for delta segments.
+func FoldDelta(base, adds, dels *nrel.Relation) *nrel.Relation {
+	out := nrel.NewRelation(base.Cols...)
+	delKeys := make(map[string]bool, dels.Len())
+	for _, row := range dels.Rows {
+		delKeys[rowKey(row)] = true
+	}
+	have := make(map[string]bool, base.Len())
+	for _, row := range base.Rows {
+		k := rowKey(row)
+		if delKeys[k] {
+			continue
+		}
+		have[k] = true
+		out.Rows = append(out.Rows, row)
+	}
+	for _, row := range adds.Rows {
+		if k := rowKey(row); !have[k] {
+			have[k] = true
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+func rowKey(row nrel.Tuple) string {
+	var b strings.Builder
+	for _, v := range row {
+		b.WriteString(v.Render())
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// pathSet accumulates the rooted label paths a batch affects.
+type pathSet struct {
+	// nodes are the paths of created/removed/renamed/retexted nodes: a
+	// pattern node binding (or newly failing to bind) one of them is what
+	// changes an extent row.
+	nodes map[string][]string
+	// ancestors are the paths of nodes whose content subtree changed; they
+	// matter only to pattern nodes storing the C attribute.
+	ancestors map[string][]string
+}
+
+func newPathSet() *pathSet {
+	return &pathSet{nodes: map[string][]string{}, ancestors: map[string][]string{}}
+}
+
+func pathKey(p []string) string { return strings.Join(p, "\x1f") }
+
+func (ps *pathSet) addNode(p []string) {
+	ps.nodes[pathKey(p)] = append([]string(nil), p...)
+}
+
+func (ps *pathSet) addAncestors(p []string) {
+	for i := 1; i <= len(p); i++ {
+		ps.ancestors[pathKey(p[:i])] = append([]string(nil), p[:i]...)
+	}
+}
+
+// labelPath returns the rooted label path of a live document node.
+func labelPath(n *xmltree.Node) []string {
+	var rev []string
+	for cur := n; cur != nil; cur = cur.Parent {
+		rev = append(rev, cur.Label)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// addSubtreePaths records the paths of every node of a live subtree.
+func (ps *pathSet) addSubtreePaths(root *xmltree.Node) {
+	base := labelPath(root)
+	ps.addNode(base)
+	var walk func(prefix []string, n *xmltree.Node)
+	walk = func(prefix []string, n *xmltree.Node) {
+		for _, c := range n.Children {
+			p := append(append([]string(nil), prefix...), c.Label)
+			ps.addNode(p)
+			walk(p, c)
+		}
+	}
+	walk(base, root)
+}
+
+// collect records the paths update u affects, evaluated against the
+// pre-update document.
+func (ps *pathSet) collect(doc *xmltree.Document, u xmltree.Update) error {
+	switch u.Kind {
+	case xmltree.UpdateInsert:
+		parent := doc.FindByID(u.Parent)
+		if parent == nil {
+			return fmt.Errorf("insert parent %s not found", u.Parent)
+		}
+		// The inserted nodes' paths are recorded post-apply (the caller
+		// calls addSubtreePaths on the created node); here only the content
+		// change along the insertion path is known.
+		ps.addAncestors(labelPath(parent))
+	case xmltree.UpdateDelete:
+		n := doc.FindByID(u.Target)
+		if n == nil {
+			return fmt.Errorf("delete target %s not found", u.Target)
+		}
+		ps.addSubtreePaths(n)
+		if n.Parent != nil {
+			ps.addAncestors(labelPath(n.Parent))
+		}
+	case xmltree.UpdateRename:
+		n := doc.FindByID(u.Target)
+		if n == nil {
+			return fmt.Errorf("rename target %s not found", u.Target)
+		}
+		ps.addSubtreePaths(n) // old paths; new ones are collected post-apply
+		if n.Parent != nil {
+			ps.addAncestors(labelPath(n.Parent))
+		}
+	case xmltree.UpdateSetValue:
+		n := doc.FindByID(u.Target)
+		if n == nil {
+			return fmt.Errorf("settext target %s not found", u.Target)
+		}
+		ps.addNode(labelPath(n))
+		ps.addAncestors(labelPath(n))
+	default:
+		return fmt.Errorf("unknown update kind %d", u.Kind)
+	}
+	return nil
+}
+
+// relevant reports whether the batch can affect the extent of a view with
+// the given pattern: some pattern node's root chain matches an affected
+// node path, or a C-storing pattern node's chain matches a path whose
+// content changed. Renames and the post-apply insert hook also feed the
+// node-path set, so both the old and new shape of a changed region are
+// tested.
+func (ps *pathSet) relevant(p *pattern.Pattern) bool {
+	for _, pn := range p.Nodes() {
+		chain := chainOf(pn)
+		for _, path := range ps.nodes {
+			if chainMatchesPath(chain, path) {
+				return true
+			}
+		}
+		if pn.Attrs.Has(pattern.AttrContent) {
+			for _, path := range ps.ancestors {
+				if chainMatchesPath(chain, path) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// chainStep is one edge of a pattern node's root chain.
+type chainStep struct {
+	label      string
+	descendant bool
+}
+
+func chainOf(n *pattern.Node) []chainStep {
+	var rev []chainStep
+	for cur := n; cur != nil; cur = cur.Parent {
+		rev = append(rev, chainStep{label: cur.Label, descendant: cur.Parent != nil && cur.Axis == pattern.Descendant})
+	}
+	out := make([]chainStep, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}
+
+func stepMatches(s chainStep, label string) bool {
+	return s.label == pattern.Wildcard || s.label == label
+}
+
+// chainMatchesPath reports whether the chain can embed into the rooted
+// label path with its last step bound to the path's last label. Value
+// predicates and optional markers are ignored: the test over-approximates,
+// which is the sound direction for a relevance filter.
+func chainMatchesPath(chain []chainStep, path []string) bool {
+	if len(path) == 0 || !stepMatches(chain[0], path[0]) {
+		return false
+	}
+	cur := map[int]bool{0: true}
+	for _, s := range chain[1:] {
+		next := map[int]bool{}
+		for p := range cur {
+			if s.descendant {
+				for q := p + 1; q < len(path); q++ {
+					if stepMatches(s, path[q]) {
+						next[q] = true
+					}
+				}
+			} else if q := p + 1; q < len(path) && stepMatches(s, path[q]) {
+				next[q] = true
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = next
+	}
+	return cur[len(path)-1]
+}

@@ -1,9 +1,9 @@
-// Package nodeid implements Dewey-style structural node identifiers.
+// Package nodeid implements Dewey-style structural node identifiers with
+// ORDPATH-like careting for order-preserving insertion.
 //
-// A Dewey ID encodes the path of child ordinals from the document root to a
-// node: the root is [1], its first child [1 1], the third child of that
-// child [1 1 3], and so on. Dewey IDs have the two "structural ID"
-// properties the paper relies on (Section 1 and Section 4.6):
+// A Dewey ID encodes the path of level ordinals from the document root to a
+// node. Dewey IDs have the two "structural ID" properties the paper relies
+// on (Section 1 and Section 4.6):
 //
 //   - the parent/ancestor relationship between two nodes is decidable by
 //     comparing their IDs alone (prefix test), enabling structural joins;
@@ -12,6 +12,19 @@
 //
 // IDs also order nodes in document order (lexicographic comparison), which
 // the stack-based structural join in internal/algebra depends on.
+//
+// # Careting
+//
+// To keep those properties under document updates, components follow the
+// ORDPATH convention (O'Neil et al., SIGMOD 2004): an odd component
+// terminates a level, while an even component (0 included) is a caret that
+// extends the current level with the following components. Children are
+// born with odd ordinals 1, 3, 5, …; inserting a sibling between 1.3 and
+// 1.5 allocates 1.4.1 — one level deep, ordered between its neighbours —
+// without renumbering any existing node. Every well-formed node ID
+// therefore ends in an odd component, a proper prefix ending in an odd
+// component is exactly an ancestor, and lexicographic order remains
+// document order.
 package nodeid
 
 import (
@@ -37,34 +50,70 @@ func Root() ID { return ID{1} }
 // IsNull reports whether the ID is the null identifier.
 func (id ID) IsNull() bool { return len(id) == 0 }
 
-// Depth returns the depth of the node; the root has depth 1.
-func (id ID) Depth() int { return len(id) }
+// IsWellFormed reports whether the ID is a well-formed node identifier:
+// non-null and ending in an odd (level-terminating) component.
+func (id ID) IsWellFormed() bool {
+	return len(id) > 0 && id[len(id)-1]%2 == 1
+}
 
-// Child returns the ID of the ord-th child (1-based) of the node.
+// Depth returns the depth of the node — the number of levels, i.e. of odd
+// components; the root has depth 1. Caret (even) components extend the
+// level ended by the next odd component and do not add depth.
+func (id ID) Depth() int {
+	d := 0
+	for _, c := range id {
+		if c%2 == 1 {
+			d++
+		}
+	}
+	return d
+}
+
+// Child returns the ID of the ord-th child (1-based birth position) of the
+// node: ordinal k is encoded as the odd component 2k-1, leaving the even
+// components free for carets.
 func (id ID) Child(ord uint32) ID {
 	c := make(ID, len(id)+1)
 	copy(c, id)
-	c[len(id)] = ord
+	c[len(id)] = 2*ord - 1
 	return c
 }
 
 // Parent returns the ID of the node's parent, or the null ID for the root
-// (and for the null ID). This is the navfID primitive of Section 4.6.
+// (and for the null ID). This is the navfID primitive of Section 4.6. The
+// whole last level is stripped: its terminating odd component and any caret
+// components gluing to it.
 func (id ID) Parent() ID {
-	if len(id) <= 1 {
+	i := len(id) - 1
+	if i < 0 {
 		return nil
 	}
-	return id[:len(id)-1].Clone()
+	// Skip the terminating component, then any carets before it.
+	for i--; i >= 0 && id[i]%2 == 0; i-- {
+	}
+	if i < 0 {
+		return nil
+	}
+	return id[:i+1].Clone()
 }
 
-// AncestorAtDepth returns the prefix of the ID at the given depth, or the
-// null ID if depth is out of range. AncestorAtDepth(id.Depth()) is the ID
-// itself.
+// AncestorAtDepth returns the prefix of the ID covering the first depth
+// levels, or the null ID if depth is out of range. AncestorAtDepth(
+// id.Depth()) is the ID itself.
 func (id ID) AncestorAtDepth(depth int) ID {
-	if depth < 1 || depth > len(id) {
+	if depth < 1 {
 		return nil
 	}
-	return id[:depth].Clone()
+	seen := 0
+	for i, c := range id {
+		if c%2 == 1 {
+			seen++
+			if seen == depth {
+				return id[:i+1].Clone()
+			}
+		}
+	}
+	return nil
 }
 
 // Clone returns an independent copy of the ID.
@@ -90,7 +139,9 @@ func (id ID) Equal(other ID) bool {
 	return true
 }
 
-// IsAncestorOf reports whether id is a proper ancestor of other.
+// IsAncestorOf reports whether id is a proper ancestor of other. For
+// well-formed IDs (odd last component) the proper-prefix test is exact:
+// a prefix ending in an odd component always falls on a level boundary.
 func (id ID) IsAncestorOf(other ID) bool {
 	if len(id) == 0 || len(id) >= len(other) {
 		return false
@@ -103,9 +154,19 @@ func (id ID) IsAncestorOf(other ID) bool {
 	return true
 }
 
-// IsParentOf reports whether id is the parent of other.
+// IsParentOf reports whether id is the parent of other: an ancestor whose
+// remainder is exactly one level.
 func (id ID) IsParentOf(other ID) bool {
-	return len(other) == len(id)+1 && id.IsAncestorOf(other)
+	if !id.IsAncestorOf(other) {
+		return false
+	}
+	levels := 0
+	for _, c := range other[len(id):] {
+		if c%2 == 1 {
+			levels++
+		}
+	}
+	return levels == 1
 }
 
 // Compare orders IDs in document order: -1 if id precedes other, 0 if they
@@ -148,8 +209,10 @@ func (id ID) String() string {
 	return b.String()
 }
 
-// Parse parses a dotted Dewey ID such as "1.3.2". It rejects empty input
-// and non-positive components.
+// Parse parses a dotted Dewey ID such as "1.3.2". It rejects empty
+// components and IDs that are not well-formed node identifiers (the last
+// component must be odd; caret components, 0 included, may only appear
+// before it).
 func Parse(s string) (ID, error) {
 	if s == "" || s == "⊥" {
 		return nil, nil
@@ -161,10 +224,10 @@ func Parse(s string) (ID, error) {
 		if err != nil {
 			return nil, fmt.Errorf("nodeid: invalid component %q in %q: %v", p, s, err)
 		}
-		if v == 0 {
-			return nil, fmt.Errorf("nodeid: component must be positive in %q", s)
-		}
 		id = append(id, uint32(v))
+	}
+	if !id.IsWellFormed() {
+		return nil, fmt.Errorf("nodeid: %q does not end in an odd (level-terminating) component", s)
 	}
 	return id, nil
 }
@@ -178,7 +241,114 @@ func (id ID) VerticalDistance(other ID) (dist int, ok bool) {
 		return 0, true
 	}
 	if id.IsAncestorOf(other) {
-		return len(other) - len(id), true
+		return other.Depth() - id.Depth(), true
 	}
 	return 0, false
+}
+
+// SiblingBetween allocates a fresh child ID under parent, ordered strictly
+// between the adjacent siblings left and right (either or both may be nil:
+// nil left means insert before the first child, nil right means append
+// after the last). No existing ID changes — this is the Dewey-order-
+// preserving allocation used by subtree insertion. left and right must be
+// children of parent, with left < right when both are given.
+func SiblingBetween(parent, left, right ID) (ID, error) {
+	check := func(name string, sib ID) ([]uint32, error) {
+		if !parent.IsParentOf(sib) {
+			return nil, fmt.Errorf("nodeid: %s sibling %s is not a child of %s", name, sib, parent)
+		}
+		return sib[len(parent):], nil
+	}
+	var level []uint32
+	switch {
+	case left == nil && right == nil:
+		level = []uint32{1}
+	case left == nil:
+		r, err := check("right", right)
+		if err != nil {
+			return nil, err
+		}
+		level = levelBefore(r)
+	case right == nil:
+		l, err := check("left", left)
+		if err != nil {
+			return nil, err
+		}
+		level = levelAfter(l)
+	default:
+		l, err := check("left", left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := check("right", right)
+		if err != nil {
+			return nil, err
+		}
+		if left.Compare(right) >= 0 {
+			return nil, fmt.Errorf("nodeid: siblings out of order (%s >= %s)", left, right)
+		}
+		level = levelBetween(l, r)
+	}
+	out := make(ID, 0, len(parent)+len(level))
+	out = append(out, parent...)
+	out = append(out, level...)
+	return out, nil
+}
+
+// A level is a component sequence of the form even* odd: zero or more
+// caret components followed by one terminating odd component. The helpers
+// below construct levels ordered around existing ones; all results keep
+// that form, so concatenating parent+level always yields a well-formed ID.
+
+// levelBefore returns a level strictly below s in lexicographic order.
+func levelBefore(s []uint32) []uint32 {
+	switch {
+	case s[0] == 0:
+		// Can't go below a 0 caret at this position; recurse past it.
+		return append([]uint32{0}, levelBefore(s[1:])...)
+	case s[0]%2 == 0:
+		// Even ≥ 2: the odd value just below it terminates a level.
+		return []uint32{s[0] - 1}
+	case s[0] >= 3:
+		return []uint32{s[0] - 2}
+	default: // s == [1]
+		return []uint32{0, 1}
+	}
+}
+
+// levelAfter returns a level strictly above s.
+func levelAfter(s []uint32) []uint32 {
+	if s[0]%2 == 1 {
+		return []uint32{s[0] + 2}
+	}
+	return []uint32{s[0] + 1}
+}
+
+// levelBetween returns a level strictly between l and r (l < r). Distinct
+// levels are never prefixes of one another (each contains exactly one odd
+// component, its last), so they differ at some position.
+func levelBetween(l, r []uint32) []uint32 {
+	i := 0
+	for ; i < len(l) && i < len(r) && l[i] == r[i]; i++ {
+	}
+	if r[i]-l[i] >= 2 {
+		// Room for a component strictly between the two.
+		x := l[i] + 1
+		out := append(append([]uint32{}, l[:i]...), x)
+		if x%2 == 0 {
+			out = append(out, 1)
+		}
+		return out
+	}
+	// Adjacent components: no integer fits at position i.
+	if i < len(l)-1 {
+		// l extends beyond i, so bumping its terminating odd component into
+		// a caret stays below r (they still differ at i).
+		out := append([]uint32{}, l[:len(l)-1]...)
+		return append(out, l[len(l)-1]+1, 1)
+	}
+	// l ends at i; r[i] = l[i]+1 is even, so r extends further. Follow r
+	// and drop just below its remaining components.
+	out := append([]uint32{}, r[:i+1]...)
+	return append(out, levelBefore(r[i+1:])...)
 }

@@ -13,12 +13,12 @@ func TestRootAndChildren(t *testing.T) {
 		t.Fatalf("Root() = %q, want %q", got, "1")
 	}
 	c := r.Child(3)
-	if got := c.String(); got != "1.3" {
-		t.Fatalf("Child(3) = %q, want %q", got, "1.3")
+	if got := c.String(); got != "1.5" {
+		t.Fatalf("Child(3) = %q, want %q (third birth ordinal)", got, "1.5")
 	}
 	gc := c.Child(2)
-	if got := gc.String(); got != "1.3.2" {
-		t.Fatalf("grandchild = %q, want %q", got, "1.3.2")
+	if got := gc.String(); got != "1.5.3" {
+		t.Fatalf("grandchild = %q, want %q", got, "1.5.3")
 	}
 	if gc.Depth() != 3 {
 		t.Fatalf("Depth = %d, want 3", gc.Depth())
@@ -36,6 +36,30 @@ func TestParentDerivation(t *testing.T) {
 	}
 	if got := ID(nil).Parent(); !got.IsNull() {
 		t.Fatalf("Parent of null = %v, want null", got)
+	}
+	// A caret level strips as one unit: 1.4.1 is a child of 1, not of 1.4.
+	if got := New(1, 4, 1).Parent().String(); got != "1" {
+		t.Fatalf("Parent(1.4.1) = %q, want 1", got)
+	}
+	if got := New(1, 3, 2, 0, 5).Parent().String(); got != "1.3" {
+		t.Fatalf("Parent(1.3.2.0.5) = %q, want 1.3", got)
+	}
+}
+
+func TestCaretDepth(t *testing.T) {
+	cases := []struct {
+		id   ID
+		want int
+	}{
+		{New(1), 1},
+		{New(1, 4, 1), 2},
+		{New(1, 3, 2, 0, 5), 3},
+		{New(1, 0, 1), 2},
+	}
+	for _, c := range cases {
+		if got := c.id.Depth(); got != c.want {
+			t.Errorf("Depth(%s) = %d, want %d", c.id, got, c.want)
+		}
 	}
 }
 
@@ -58,22 +82,27 @@ func TestAncestorAtDepth(t *testing.T) {
 	if got := id.AncestorAtDepth(5); !got.IsNull() {
 		t.Errorf("AncestorAtDepth(5) = %v, want null", got)
 	}
+	// Caret components stay glued to their level.
+	caret := New(1, 4, 1, 3)
+	if got := caret.AncestorAtDepth(2).String(); got != "1.4.1" {
+		t.Errorf("AncestorAtDepth(2) of 1.4.1.3 = %q, want 1.4.1", got)
+	}
 }
 
 func TestStructuralRelationships(t *testing.T) {
 	a := New(1, 3)
-	b := New(1, 3, 2)
-	c := New(1, 3, 2, 7)
-	d := New(1, 4)
+	b := New(1, 3, 5)
+	c := New(1, 3, 5, 7)
+	d := New(1, 5)
 
 	if !a.IsParentOf(b) {
-		t.Error("1.3 should be parent of 1.3.2")
+		t.Error("1.3 should be parent of 1.3.5")
 	}
 	if a.IsParentOf(c) {
-		t.Error("1.3 should not be parent of 1.3.2.7")
+		t.Error("1.3 should not be parent of 1.3.5.7")
 	}
 	if !a.IsAncestorOf(c) {
-		t.Error("1.3 should be ancestor of 1.3.2.7")
+		t.Error("1.3 should be ancestor of 1.3.5.7")
 	}
 	if a.IsAncestorOf(a) {
 		t.Error("ancestor must be proper")
@@ -84,19 +113,27 @@ func TestStructuralRelationships(t *testing.T) {
 	if b.IsAncestorOf(a) {
 		t.Error("descendant is not ancestor")
 	}
+	// Caret children: 1.3 is the parent of 1.3.4.1 (a careted level).
+	if !a.IsParentOf(New(1, 3, 4, 1)) {
+		t.Error("1.3 should be parent of careted child 1.3.4.1")
+	}
+	if a.IsParentOf(New(1, 3, 4, 1, 3)) {
+		t.Error("1.3 is grandparent, not parent, of 1.3.4.1.3")
+	}
 }
 
 func TestDocumentOrder(t *testing.T) {
 	ids := []ID{
 		New(1, 3, 2, 7),
 		New(1),
-		New(1, 4),
+		New(1, 4, 1),
 		New(1, 3),
-		New(1, 3, 2),
-		New(1, 3, 10),
+		New(1, 3, 3),
+		New(1, 3, 11),
+		New(1, 5),
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i].Compare(ids[j]) < 0 })
-	want := []string{"1", "1.3", "1.3.2", "1.3.2.7", "1.3.10", "1.4"}
+	want := []string{"1", "1.3", "1.3.2.7", "1.3.3", "1.3.11", "1.4.1", "1.5"}
 	for i, w := range want {
 		if got := ids[i].String(); got != w {
 			t.Fatalf("sorted[%d] = %q, want %q (full %v)", i, got, w, ids)
@@ -105,7 +142,7 @@ func TestDocumentOrder(t *testing.T) {
 }
 
 func TestParseRoundTrip(t *testing.T) {
-	for _, s := range []string{"1", "1.2.3", "1.100.42"} {
+	for _, s := range []string{"1", "1.2.3", "1.100.43", "1.4.0.1"} {
 		id, err := Parse(s)
 		if err != nil {
 			t.Fatalf("Parse(%q): %v", s, err)
@@ -114,7 +151,7 @@ func TestParseRoundTrip(t *testing.T) {
 			t.Fatalf("round trip %q -> %q", s, id.String())
 		}
 	}
-	for _, s := range []string{"a", "1.0", "1..2", "1.-3"} {
+	for _, s := range []string{"a", "1.0", "1.2", "1..2", "1.-3"} {
 		if _, err := Parse(s); err == nil {
 			t.Errorf("Parse(%q) succeeded, want error", s)
 		}
@@ -125,8 +162,8 @@ func TestParseRoundTrip(t *testing.T) {
 }
 
 func TestVerticalDistance(t *testing.T) {
-	a := New(1, 2)
-	b := New(1, 2, 4, 9)
+	a := New(1, 3)
+	b := New(1, 3, 5, 9)
 	if d, ok := a.VerticalDistance(b); !ok || d != 2 {
 		t.Errorf("VerticalDistance = %d,%v; want 2,true", d, ok)
 	}
@@ -136,17 +173,118 @@ func TestVerticalDistance(t *testing.T) {
 	if _, ok := b.VerticalDistance(a); ok {
 		t.Error("descendant->ancestor distance should fail")
 	}
-	if _, ok := New(1, 3).VerticalDistance(b); ok {
+	if _, ok := New(1, 5).VerticalDistance(b); ok {
 		t.Error("unrelated distance should fail")
+	}
+	// Careted descendant: 1.4.1 is one level below 1.
+	if d, ok := Root().VerticalDistance(New(1, 4, 1)); !ok || d != 1 {
+		t.Errorf("VerticalDistance(1, 1.4.1) = %d,%v; want 1,true", d, ok)
+	}
+}
+
+func TestSiblingBetween(t *testing.T) {
+	parent := Root()
+	first, err := SiblingBetween(parent, nil, nil)
+	if err != nil || first.String() != "1.1" {
+		t.Fatalf("first child = %v, %v; want 1.1", first, err)
+	}
+	cases := []struct {
+		left, right string
+	}{
+		{"1.1", ""},      // append
+		{"", "1.1"},      // prepend
+		{"1.3", "1.5"},   // adjacent odd siblings
+		{"1.1", "1.3"},   // adjacent with no room
+		{"1.3", "1.4.1"}, // right is a caret child
+		{"1.4.1", "1.5"}, // left is a caret child
+		{"1.4.1", "1.4.3"},
+		{"1.4.1", "1.4.2.1"},
+		{"1.0.1", "1.1"},
+	}
+	for _, c := range cases {
+		var l, r ID
+		if c.left != "" {
+			l, _ = Parse(c.left)
+		}
+		if c.right != "" {
+			r, _ = Parse(c.right)
+		}
+		got, err := SiblingBetween(parent, l, r)
+		if err != nil {
+			t.Fatalf("SiblingBetween(%q, %q): %v", c.left, c.right, err)
+		}
+		if !got.IsWellFormed() {
+			t.Fatalf("SiblingBetween(%q, %q) = %s: not well-formed", c.left, c.right, got)
+		}
+		if !parent.IsParentOf(got) {
+			t.Fatalf("SiblingBetween(%q, %q) = %s: not a child of %s", c.left, c.right, got, parent)
+		}
+		if l != nil && l.Compare(got) >= 0 {
+			t.Fatalf("SiblingBetween(%q, %q) = %s: not after left", c.left, c.right, got)
+		}
+		if r != nil && got.Compare(r) >= 0 {
+			t.Fatalf("SiblingBetween(%q, %q) = %s: not before right", c.left, c.right, got)
+		}
+	}
+	if _, err := SiblingBetween(parent, New(1, 5), New(1, 3)); err == nil {
+		t.Error("out-of-order siblings not rejected")
+	}
+	if _, err := SiblingBetween(parent, New(1, 3, 3), nil); err == nil {
+		t.Error("non-child left sibling not rejected")
+	}
+}
+
+// Property: an arbitrary sequence of insertions at random positions keeps
+// every allocated ID well-formed, strictly ordered, a child of the parent,
+// and never disturbs earlier IDs.
+func TestSiblingBetweenInsertionStorm(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	parent := New(1, 5, 3)
+	sibs := []ID{}
+	for i := 0; i < 2000; i++ {
+		pos := r.Intn(len(sibs) + 1)
+		var left, right ID
+		if pos > 0 {
+			left = sibs[pos-1]
+		}
+		if pos < len(sibs) {
+			right = sibs[pos]
+		}
+		id, err := SiblingBetween(parent, left, right)
+		if err != nil {
+			t.Fatalf("insert %d at %d: %v", i, pos, err)
+		}
+		if !id.IsWellFormed() || !parent.IsParentOf(id) || parent.IsAncestorOf(parent) {
+			t.Fatalf("insert %d: bad ID %s", i, id)
+		}
+		sibs = append(sibs[:pos:pos], append([]ID{id}, sibs[pos:]...)...)
+		// Also descend occasionally so depths interleave with carets.
+		if i%97 == 0 {
+			child := id.Child(1)
+			if !id.IsParentOf(child) || child.Depth() != id.Depth()+1 {
+				t.Fatalf("child of careted ID %s broken: %s", id, child)
+			}
+		}
+	}
+	for i := 1; i < len(sibs); i++ {
+		if sibs[i-1].Compare(sibs[i]) >= 0 {
+			t.Fatalf("order violated at %d: %s >= %s", i, sibs[i-1], sibs[i])
+		}
+		if sibs[i-1].IsAncestorOf(sibs[i]) || sibs[i].IsAncestorOf(sibs[i-1]) {
+			t.Fatalf("siblings %s and %s claim ancestry", sibs[i-1], sibs[i])
+		}
 	}
 }
 
 func randomID(r *rand.Rand) ID {
 	depth := 1 + r.Intn(6)
-	id := make(ID, depth)
-	id[0] = 1
+	id := ID{1}
 	for i := 1; i < depth; i++ {
-		id[i] = uint32(1 + r.Intn(9))
+		// Random caret run then an odd terminator.
+		for r.Intn(4) == 0 {
+			id = append(id, uint32(r.Intn(5))*2)
+		}
+		id = append(id, uint32(r.Intn(5))*2+1)
 	}
 	return id
 }
@@ -170,12 +308,16 @@ func TestCompareProperties(t *testing.T) {
 	}
 }
 
-// Property: Parent is the unique ancestor at depth-1, and parse/print round-trips.
+// Property: Parent is the unique ancestor at depth-1, and parse/print
+// round-trips, for IDs containing caret runs.
 func TestParentProperty(t *testing.T) {
 	f := func(raw []uint8) bool {
 		id := ID{1}
 		for _, c := range raw {
-			id = append(id, uint32(c%9)+1)
+			if c%3 == 0 {
+				id = append(id, uint32(c%8)) // even caret (may be 0)
+			}
+			id = append(id, uint32(c%8)|1) // odd terminator
 		}
 		if id.Depth() > 1 {
 			p := id.Parent()

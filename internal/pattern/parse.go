@@ -66,20 +66,40 @@ func (p *patParser) skipSpace() {
 	}
 }
 
+// isLabelByte is the label alphabet of the surface syntax; label() and
+// IsValidLabel must agree on it.
+func isLabelByte(c byte) bool {
+	return c == '@' || c == '_' || c == '-' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// IsValidLabel reports whether s is expressible as a node label in the
+// surface syntax: the wildcard, or a non-empty run of label bytes. Front
+// ends (e.g. the XQuery translator) use it to reject labels that would
+// produce patterns whose canonical text does not re-parse.
+func IsValidLabel(s string) bool {
+	if s == Wildcard {
+		return true
+	}
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isLabelByte(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 func (p *patParser) label() (string, error) {
 	start := p.pos
 	if p.pos < len(p.src) && p.src[p.pos] == '*' {
 		p.pos++
 		return Wildcard, nil
 	}
-	for p.pos < len(p.src) {
-		c := p.src[p.pos]
-		if c == '@' || c == '_' || c == '-' ||
-			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
-			p.pos++
-			continue
-		}
-		break
+	for p.pos < len(p.src) && isLabelByte(p.src[p.pos]) {
+		p.pos++
 	}
 	if p.pos == start {
 		return "", fmt.Errorf("pattern: expected label at %d in %q", p.pos, p.src)

@@ -8,18 +8,29 @@
 // bounded LRU plan cache keyed by the query's canonical pattern text and
 // sharing one summary-implication cache across all queries — and executes
 // the chosen plan with the parallel algebra executor.
+//
+// The daemon also accepts typed document updates on POST /update. A batch
+// is maintained through the incremental engine (internal/maintain),
+// persisted as append-only delta segments, and bumps the store epoch; the
+// plan and summary-implication caches are dropped with the old epoch, so a
+// plan (or a cached negative verdict) computed against a stale summary can
+// never answer a later query.
 package serve
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"xmlviews/internal/algebra"
 	"xmlviews/internal/core"
+	"xmlviews/internal/maintain"
 	"xmlviews/internal/pattern"
 	"xmlviews/internal/store"
 	"xmlviews/internal/summary"
@@ -36,27 +47,52 @@ type Config struct {
 	Workers int
 	// PlanCacheSize bounds the LRU plan cache (<= 0: default 256).
 	PlanCacheSize int
+	// ReadOnly disables POST /update.
+	ReadOnly bool
+	// MaxUpdateBytes bounds an update request body (<= 0: default 8 MiB).
+	MaxUpdateBytes int64
 }
 
 // Server answers queries over one store directory. It is safe for
-// concurrent use.
+// concurrent use; updates serialize among themselves and against the
+// epoch-keyed caches.
 type Server struct {
 	cfg     Config
 	cat     *store.Catalog
-	sum     *summary.Summary
 	views   []*core.View
 	st      *view.Store
-	subsume *core.SubsumeCache
-	plans   *planCache
 	started time.Time
 
-	queries      atomic.Int64
-	errors       atomic.Int64
-	planHits     atomic.Int64
-	planMisses   atomic.Int64
-	rowsServed   atomic.Int64
-	rewriteNanos atomic.Int64
-	execNanos    atomic.Int64
+	// mu guards the epoch-scoped state: the summary (updates can change
+	// it) and the plan/subsume caches, which are swapped wholesale when
+	// the epoch advances. An update holds the write lock across the whole
+	// apply-and-swap, so a query's snapshot (caches + frozen extents) is
+	// always internally consistent.
+	mu      sync.RWMutex
+	sum     *summary.Summary
+	subsume *core.SubsumeCache
+	plans   *planCache
+
+	// updMu serializes update batches end-to-end (memory apply + disk
+	// persist), so delta chains append in epoch order. degraded is set
+	// when a batch was applied in memory but could not be persisted;
+	// further updates are refused so the directory's delta chains never
+	// skip an epoch.
+	updMu    sync.Mutex
+	degraded atomic.Bool
+
+	queries       atomic.Int64
+	errors        atomic.Int64
+	planHits      atomic.Int64
+	planMisses    atomic.Int64
+	rowsServed    atomic.Int64
+	rewriteNanos  atomic.Int64
+	execNanos     atomic.Int64
+	updates       atomic.Int64
+	tuplesAdded   atomic.Int64
+	tuplesDeleted atomic.Int64
+	invalidations atomic.Int64
+	maintainNanos atomic.Int64
 }
 
 // New opens the store directory and builds a ready-to-serve Server.
@@ -69,13 +105,9 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: catalog summary does not parse: %w", err)
 	}
-	views := make([]*core.View, 0, len(cat.Views))
-	for _, e := range cat.Views {
-		p, err := pattern.Parse(e.Pattern)
-		if err != nil {
-			return nil, fmt.Errorf("serve: catalog view %q pattern does not parse: %w", e.Name, err)
-		}
-		views = append(views, &core.View{Name: e.Name, Pattern: p, DerivableParentIDs: true})
+	views, err := view.ViewsFromCatalog(cat)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
 	}
 	st, err := view.OpenStoreWithCatalog(cfg.Dir, cat, views)
 	if err != nil {
@@ -100,9 +132,27 @@ func (s *Server) Views() int { return len(s.views) }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	return mux
+}
+
+// epochState is a consistent snapshot of one epoch: the summary, the
+// caches keyed to it, and the store's extents frozen at it.
+type epochState struct {
+	sum     *summary.Summary
+	subsume *core.SubsumeCache
+	plans   *planCache
+	st      *view.Store
+	epoch   int64
+}
+
+func (s *Server) snapshot() epochState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := s.st.Snapshot()
+	return epochState{sum: s.sum, subsume: s.subsume, plans: s.plans, st: st, epoch: st.Epoch()}
 }
 
 // QueryResponse is the JSON answer to /query.
@@ -114,6 +164,8 @@ type QueryResponse struct {
 	// PlanCached reports a plan-cache hit (the rewriting search was
 	// skipped).
 	PlanCached bool `json:"plan_cached"`
+	// Epoch is the store epoch the answer reflects.
+	Epoch int64 `json:"epoch"`
 	// Columns and Rows are the result: one rendered string per value.
 	Columns []string   `json:"columns"`
 	Rows    [][]string `json:"rows"`
@@ -136,6 +188,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "bad form: %v", err)
 		return
 	}
+	es := s.snapshot()
 	qSrc, xqSrc := r.Form.Get("q"), r.Form.Get("xq")
 	var q *pattern.Pattern
 	var err error
@@ -146,7 +199,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case qSrc != "":
 		q, err = pattern.Parse(qSrc)
 	case xqSrc != "":
-		q, err = xquery.Translate(xqSrc, s.sum.Node(summary.RootID).Label)
+		q, err = xquery.Translate(xqSrc, es.sum.Node(summary.RootID).Label)
 	default:
 		s.fail(w, http.StatusBadRequest, "missing query: pass q (tree pattern) or xq (XQuery)")
 		return
@@ -159,19 +212,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.queries.Add(1)
 	key := q.String()
 	rewriteStart := time.Now()
-	verdict, hit := s.plans.get(key)
+	verdict, hit := es.plans.get(key)
 	if hit {
 		s.planHits.Add(1)
 	} else {
 		s.planMisses.Add(1)
-		verdict.plan, err = s.rewrite(q)
+		verdict.plan, err = s.rewrite(q, es)
 		if errors.Is(err, core.ErrUnsatisfiable) {
 			verdict.unsatisfiable = true
 		} else if err != nil {
 			s.fail(w, http.StatusInternalServerError, "rewrite: %v", err)
 			return
 		}
-		s.plans.put(key, verdict)
+		es.plans.put(key, verdict)
 	}
 	rewriteDur := time.Since(rewriteStart)
 	s.rewriteNanos.Add(rewriteDur.Nanoseconds())
@@ -186,7 +239,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	execStart := time.Now()
-	out, err := algebra.ExecuteWith(plan, s.st, algebra.Options{Workers: s.workers()})
+	out, err := algebra.ExecuteWith(plan, es.st, algebra.Options{Workers: s.workers()})
 	execDur := time.Since(execStart)
 	s.execNanos.Add(execDur.Nanoseconds())
 	if err != nil {
@@ -207,6 +260,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Query:         key,
 		Plan:          plan.String(),
 		PlanCached:    hit,
+		Epoch:         es.epoch,
 		Columns:       rel.Cols,
 		Rows:          rows,
 		RewriteMicros: rewriteDur.Microseconds(),
@@ -214,14 +268,135 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// UpdateResponse is the JSON answer to /update.
+type UpdateResponse struct {
+	// Epoch is the store epoch after the batch.
+	Epoch int64 `json:"epoch"`
+	// Applied is the number of updates in the batch.
+	Applied int `json:"applied"`
+	// Changed lists per-view delta sizes; Skipped counts views the
+	// relevance mapping proved unaffected.
+	Changed []view.ChangedView `json:"changed"`
+	Skipped int                `json:"skipped"`
+	// MaintainMicros is the end-to-end maintenance latency (apply +
+	// persist).
+	MaintainMicros int64 `json:"maintain_us"`
+}
+
+const defaultMaxUpdateBytes = 8 << 20
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.cfg.ReadOnly {
+		s.fail(w, http.StatusForbidden, "server is read-only")
+		return
+	}
+	limit := s.cfg.MaxUpdateBytes
+	if limit <= 0 {
+		limit = defaultMaxUpdateBytes
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if int64(len(body)) > limit {
+		s.fail(w, http.StatusRequestEntityTooLarge, "update batch exceeds %d bytes", limit)
+		return
+	}
+	updates, err := maintain.ParseUpdates(body)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(updates) == 0 {
+		s.fail(w, http.StatusBadRequest, "empty update batch")
+		return
+	}
+
+	if s.degraded.Load() {
+		s.fail(w, http.StatusServiceUnavailable, "updates disabled: an earlier batch was applied in memory but not persisted; restart the server against the store directory")
+		return
+	}
+
+	start := time.Now()
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+	if s.st.Document() == nil {
+		if err := s.loadDocument(); err != nil {
+			s.fail(w, http.StatusConflict, "store is not updatable: %v", err)
+			return
+		}
+	}
+	// Hold the epoch lock across apply + cache swap, so no query can
+	// observe post-batch extents with pre-batch caches (or vice versa).
+	s.mu.Lock()
+	res, err := view.ApplyAndPersist(s.cfg.Dir, s.cat, s.st, updates)
+	var perr *view.PersistError
+	if err != nil && !errors.As(err, &perr) {
+		// The batch did not apply; memory and directory are unchanged.
+		s.mu.Unlock()
+		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	// The batch applied in memory: advance the epoch-scoped caches —
+	// plans and containment verdicts computed under the old summary must
+	// not survive — whether or not the persist succeeded.
+	s.sum = res.Summary
+	s.subsume = core.NewSubsumeCache(0)
+	s.plans = newPlanCache(s.cfg.PlanCacheSize)
+	s.mu.Unlock()
+	s.invalidations.Add(1)
+	s.updates.Add(1)
+	for _, c := range res.Changed {
+		s.tuplesAdded.Add(int64(c.Adds))
+		s.tuplesDeleted.Add(int64(c.Dels))
+	}
+	dur := time.Since(start)
+	s.maintainNanos.Add(dur.Nanoseconds())
+	if perr != nil {
+		s.degraded.Store(true)
+		s.fail(w, http.StatusInternalServerError,
+			"%v; queries keep serving the applied batch from memory, further updates are disabled", perr)
+		return
+	}
+	if res.Changed == nil {
+		res.Changed = []view.ChangedView{}
+	}
+	writeJSON(w, http.StatusOK, &UpdateResponse{
+		Epoch:          res.Epoch,
+		Applied:        len(updates),
+		Changed:        res.Changed,
+		Skipped:        res.Skipped,
+		MaintainMicros: dur.Microseconds(),
+	})
+}
+
+// loadDocument attaches the persisted source document to the open store;
+// callers hold updMu.
+func (s *Server) loadDocument() error {
+	if s.cat.DocSegment == "" {
+		return fmt.Errorf("no document segment in catalog (store built before updates existed); rebuild with xvstore build")
+	}
+	doc, err := store.ReadDocumentFile(filepath.Join(s.cfg.Dir, s.cat.DocSegment))
+	if err != nil {
+		return err
+	}
+	s.st.SetDocument(doc)
+	return nil
+}
+
 // rewrite runs the search and returns the first equivalent plan, or nil
 // when none exists.
-func (s *Server) rewrite(q *pattern.Pattern) (*core.Plan, error) {
+func (s *Server) rewrite(q *pattern.Pattern, es epochState) (*core.Plan, error) {
 	opts := core.DefaultRewriteOptions()
 	opts.Workers = s.workers()
-	opts.Subsume = s.subsume
+	opts.Subsume = es.subsume
 	opts.FirstOnly = true
-	res, err := core.Rewrite(q, s.views, s.sum, opts)
+	res, err := core.Rewrite(q, s.views, es.sum, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -242,13 +417,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
 		"views":  len(s.views),
+		"epoch":  s.st.Epoch(),
 	})
 }
 
 // Stats is the JSON body of /stats.
 type Stats struct {
-	UptimeSeconds   float64 `json:"uptime_seconds"`
-	Views           int     `json:"views"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Views         int     `json:"views"`
+	Epoch         int64   `json:"epoch"`
+	// Degraded reports that an update batch was applied in memory but not
+	// persisted; /update is disabled until restart.
+	Degraded        bool    `json:"degraded"`
 	Queries         int64   `json:"queries"`
 	Errors          int64   `json:"errors"`
 	RowsServed      int64   `json:"rows_served"`
@@ -259,6 +439,13 @@ type Stats struct {
 	SubsumeEntries  int     `json:"subsume_cache_entries"`
 	RewriteMillis   int64   `json:"rewrite_ms_total"`
 	ExecMillis      int64   `json:"exec_ms_total"`
+	// Update-path counters. CacheInvalidations counts epoch advances that
+	// dropped the plan and subsume caches.
+	UpdatesApplied     int64 `json:"updates_applied"`
+	TuplesAdded        int64 `json:"tuples_added"`
+	TuplesDeleted      int64 `json:"tuples_deleted"`
+	CacheInvalidations int64 `json:"cache_invalidations"`
+	MaintainMillis     int64 `json:"maintain_ms_total"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -267,19 +454,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if hits+misses > 0 {
 		rate = float64(hits) / float64(hits+misses)
 	}
+	es := s.snapshot()
 	writeJSON(w, http.StatusOK, &Stats{
-		UptimeSeconds:   time.Since(s.started).Seconds(),
-		Views:           len(s.views),
-		Queries:         s.queries.Load(),
-		Errors:          s.errors.Load(),
-		RowsServed:      s.rowsServed.Load(),
-		PlanCacheHits:   hits,
-		PlanCacheMisses: misses,
-		PlanCacheSize:   s.plans.len(),
-		PlanHitRate:     rate,
-		SubsumeEntries:  s.subsume.Len(),
-		RewriteMillis:   s.rewriteNanos.Load() / 1e6,
-		ExecMillis:      s.execNanos.Load() / 1e6,
+		UptimeSeconds:      time.Since(s.started).Seconds(),
+		Views:              len(s.views),
+		Epoch:              es.epoch,
+		Degraded:           s.degraded.Load(),
+		Queries:            s.queries.Load(),
+		Errors:             s.errors.Load(),
+		RowsServed:         s.rowsServed.Load(),
+		PlanCacheHits:      hits,
+		PlanCacheMisses:    misses,
+		PlanCacheSize:      es.plans.len(),
+		PlanHitRate:        rate,
+		SubsumeEntries:     es.subsume.Len(),
+		RewriteMillis:      s.rewriteNanos.Load() / 1e6,
+		ExecMillis:         s.execNanos.Load() / 1e6,
+		UpdatesApplied:     s.updates.Load(),
+		TuplesAdded:        s.tuplesAdded.Load(),
+		TuplesDeleted:      s.tuplesDeleted.Load(),
+		CacheInvalidations: s.invalidations.Load(),
+		MaintainMillis:     s.maintainNanos.Load() / 1e6,
 	})
 }
 

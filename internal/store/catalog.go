@@ -13,8 +13,10 @@ import (
 // directory.
 const ManifestName = "catalog.json"
 
-// CatalogVersion is the manifest format version.
-const CatalogVersion = 1
+// CatalogVersion is the manifest format version. Version 2 brings the
+// maintenance fields (epoch, delta chains, document segment) and the
+// caret Dewey ID semantics; version-1 stores must be rebuilt.
+const CatalogVersion = 2
 
 // Entry describes one stored view extent.
 type Entry struct {
@@ -24,12 +26,31 @@ type Entry struct {
 	Pattern string `json:"pattern"`
 	// Columns is the extent's flat column schema (s<k>.<attr> names).
 	Columns []string `json:"columns"`
-	// Rows is the extent's row count.
+	// Rows is the extent's current row count, after replaying Deltas over
+	// the base segment.
 	Rows int `json:"rows"`
-	// Bytes is the segment file's size.
+	// Bytes is the base segment file's size.
 	Bytes int64 `json:"bytes"`
-	// Segment is the segment file name, relative to the store directory.
+	// Segment is the base segment file name, relative to the store
+	// directory.
 	Segment string `json:"segment"`
+	// Deltas is the append-only chain of delta segments to replay over the
+	// base segment, oldest first. Compaction folds them back into Segment
+	// and clears the chain.
+	Deltas []DeltaRef `json:"deltas,omitempty"`
+}
+
+// DeltaRef names one delta segment of an entry's chain.
+type DeltaRef struct {
+	// Segment is the delta file name, relative to the store directory.
+	Segment string `json:"segment"`
+	// Adds and Dels are the tuple counts of the two halves.
+	Adds int `json:"adds"`
+	Dels int `json:"dels"`
+	// Bytes is the delta file's size.
+	Bytes int64 `json:"bytes"`
+	// Epoch is the store epoch the batch produced.
+	Epoch int64 `json:"epoch"`
 }
 
 // Catalog is the manifest of a store directory: the summary the views were
@@ -46,6 +67,13 @@ type Catalog struct {
 	// manifest provenance.
 	SummaryHash string  `json:"summary_hash"`
 	Views       []Entry `json:"views"`
+	// Epoch is the store's monotone maintenance epoch: 0 at build time,
+	// incremented by every applied update batch. Serving layers key cached
+	// plans to it so a stale plan can never outlive an update.
+	Epoch int64 `json:"epoch,omitempty"`
+	// DocSegment names the persisted source document segment (see
+	// EncodeDocument). A store without one cannot apply updates.
+	DocSegment string `json:"doc_segment,omitempty"`
 }
 
 // Entry returns the catalog entry for the named view, or nil.
@@ -91,6 +119,9 @@ func OpenCatalog(dir string) (*Catalog, error) {
 	if got := SummaryHash(c.Summary); got != c.SummaryHash {
 		return nil, fmt.Errorf("store: catalog summary hash mismatch (manifest says %s, computed %s)", c.SummaryHash, got)
 	}
+	if c.Epoch < 0 {
+		return nil, fmt.Errorf("store: negative catalog epoch %d", c.Epoch)
+	}
 	seen := map[string]bool{}
 	for _, e := range c.Views {
 		if e.Name == "" || e.Segment == "" {
@@ -100,6 +131,14 @@ func OpenCatalog(dir string) (*Catalog, error) {
 			return nil, fmt.Errorf("store: duplicate catalog entry %q", e.Name)
 		}
 		seen[e.Name] = true
+		for _, d := range e.Deltas {
+			if d.Segment == "" {
+				return nil, fmt.Errorf("store: catalog entry %q has a delta without a segment", e.Name)
+			}
+			if d.Epoch < 1 || d.Epoch > c.Epoch {
+				return nil, fmt.Errorf("store: catalog entry %q delta epoch %d outside (0, %d]", e.Name, d.Epoch, c.Epoch)
+			}
+		}
 	}
 	return &c, nil
 }

@@ -25,10 +25,13 @@ import (
 )
 
 // Magic identifies a segment file; Version is the format version encoded
-// after it. Decoders reject other versions.
+// after it. Decoders reject other versions. Version 2 marks the caret
+// (ORDPATH-style) reinterpretation of Dewey components — odd components
+// terminate levels — under which version-1 segments' sequential ordinals
+// would be silently misread, so they are refused instead.
 const (
 	Magic   = "XVSG"
-	Version = 1
+	Version = 2
 )
 
 // EncodeRelation serializes a relation into the segment byte format

@@ -1,0 +1,146 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"xmlviews/internal/nrel"
+	"xmlviews/internal/xmltree"
+)
+
+// DeltaMagic identifies a delta segment file: an append-only record of one
+// maintenance batch's tuple changes to one view extent. DocMagic
+// identifies the persisted source document that makes a store updatable.
+const (
+	DeltaMagic   = "XVDL"
+	DeltaVersion = 1
+	DocMagic     = "XVDC"
+	DocVersion   = 1
+)
+
+// EncodeDelta serializes an (adds, dels) pair of same-schema relations.
+// Each half reuses the full segment relation encoding (header and column
+// blocks CRC-checked), length-prefixed so truncation is detected.
+func EncodeDelta(adds, dels *nrel.Relation) []byte {
+	var out []byte
+	out = append(out, DeltaMagic...)
+	out = binary.LittleEndian.AppendUint16(out, DeltaVersion)
+	for _, r := range []*nrel.Relation{adds, dels} {
+		blob := EncodeRelation(r)
+		out = binary.AppendUvarint(out, uint64(len(blob)))
+		out = append(out, blob...)
+	}
+	return out
+}
+
+// DecodeDelta parses delta segment bytes.
+func DecodeDelta(data []byte) (adds, dels *nrel.Relation, err error) {
+	rd := &reader{data: data}
+	if string(rd.bytes(len(DeltaMagic))) != DeltaMagic {
+		if rd.err != nil {
+			return nil, nil, rd.err
+		}
+		return nil, nil, fmt.Errorf("store: bad magic (not a delta segment)")
+	}
+	if ver := rd.u16(); rd.err == nil && ver != DeltaVersion {
+		return nil, nil, fmt.Errorf("store: unsupported delta version %d (want %d)", ver, DeltaVersion)
+	}
+	halves := make([]*nrel.Relation, 2)
+	for i := range halves {
+		n := rd.length()
+		blob := rd.bytes(n)
+		if rd.err != nil {
+			return nil, nil, rd.err
+		}
+		halves[i], err = DecodeRelation(blob)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: delta half %d: %w", i, err)
+		}
+	}
+	if rd.pos != len(rd.data) {
+		return nil, nil, fmt.Errorf("store: %d trailing bytes after delta", len(rd.data)-rd.pos)
+	}
+	return halves[0], halves[1], nil
+}
+
+// WriteDeltaFile atomically writes a delta segment and returns its size.
+func WriteDeltaFile(path string, adds, dels *nrel.Relation) (int64, error) {
+	data := EncodeDelta(adds, dels)
+	if err := writeFileAtomic(path, data); err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}
+
+// ReadDeltaFile loads and verifies a delta segment.
+func ReadDeltaFile(path string) (adds, dels *nrel.Relation, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	adds, dels, err = DecodeDelta(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return adds, dels, nil
+}
+
+// EncodeDocument serializes a whole document with the segment tree codec
+// (labels and values dictionary-compressed, conforming Dewey IDs derived
+// rather than stored), wrapped in a CRC-checked block.
+func EncodeDocument(doc *xmltree.Document) []byte {
+	var out []byte
+	out = append(out, DocMagic...)
+	out = binary.LittleEndian.AppendUint16(out, DocVersion)
+	var payload []byte
+	payload = appendString(payload, doc.Name)
+	payload = encodeTree(payload, doc.Root)
+	return appendBlock(out, payload)
+}
+
+// DecodeDocument parses document bytes produced by EncodeDocument.
+func DecodeDocument(data []byte) (*xmltree.Document, error) {
+	rd := &reader{data: data}
+	if string(rd.bytes(len(DocMagic))) != DocMagic {
+		if rd.err != nil {
+			return nil, rd.err
+		}
+		return nil, fmt.Errorf("store: bad magic (not a document segment)")
+	}
+	if ver := rd.u16(); rd.err == nil && ver != DocVersion {
+		return nil, fmt.Errorf("store: unsupported document version %d (want %d)", ver, DocVersion)
+	}
+	blk := rd.block()
+	name := blk.string()
+	root, err := decodeTree(blk)
+	if err != nil {
+		return nil, err
+	}
+	if root == nil {
+		return nil, fmt.Errorf("store: document segment with no root")
+	}
+	return &xmltree.Document{Root: root, Name: name}, nil
+}
+
+// WriteDocumentFile atomically persists the document segment.
+func WriteDocumentFile(path string, doc *xmltree.Document) (int64, error) {
+	data := EncodeDocument(doc)
+	if err := writeFileAtomic(path, data); err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}
+
+// ReadDocumentFile loads and verifies a document segment.
+func ReadDocumentFile(path string) (*xmltree.Document, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	doc, err := DecodeDocument(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}

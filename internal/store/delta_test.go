@@ -1,0 +1,117 @@
+package store
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"xmlviews/internal/nodeid"
+	"xmlviews/internal/nrel"
+	"xmlviews/internal/xmltree"
+)
+
+func smallRel(vals ...string) *nrel.Relation {
+	r := nrel.NewRelation("s0.id", "s0.v")
+	for i, v := range vals {
+		val := nrel.Null()
+		if v != "" {
+			val = nrel.String(v)
+		}
+		r.Append(nrel.Tuple{nrel.ID(nodeid.New(1, uint32(2*i+1))), val})
+	}
+	return r
+}
+
+func TestDeltaFileRoundTrip(t *testing.T) {
+	adds, dels := smallRel("a", "b", ""), smallRel("c")
+	path := filepath.Join(t.TempDir(), "d.xvs")
+	if _, err := WriteDeltaFile(path, adds, dels); err != nil {
+		t.Fatal(err)
+	}
+	gotAdds, gotDels, err := ReadDeltaFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotAdds.EqualAsSet(adds) || !gotDels.EqualAsSet(dels) {
+		t.Fatalf("round trip changed deltas:\n%s\n%s", gotAdds, gotDels)
+	}
+}
+
+func TestDeltaDecodeRejectsCorruption(t *testing.T) {
+	data := EncodeDelta(smallRel("a", "b"), smallRel())
+	if _, _, err := DecodeDelta([]byte("XVSG....")); err == nil {
+		t.Error("segment magic accepted as delta")
+	}
+	for _, n := range []int{0, 3, 5, len(data) / 2, len(data) - 1} {
+		if _, _, err := DecodeDelta(data[:n]); err == nil {
+			t.Errorf("truncation to %d bytes not detected", n)
+		}
+	}
+	if _, _, err := DecodeDelta(append(data, 0)); err == nil {
+		t.Error("trailing bytes not detected")
+	}
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		mut := append([]byte(nil), data...)
+		mut[r.Intn(len(mut))] ^= 1 << uint(r.Intn(8))
+		a, d, err := DecodeDelta(mut)
+		if err == nil {
+			// A flipped bit may land in redundant varint space and still
+			// decode; it must at least decode to *some* relation pair.
+			if a == nil || d == nil {
+				t.Fatalf("flip %d: nil relations without error", i)
+			}
+		}
+	}
+}
+
+func TestDocumentFileRoundTrip(t *testing.T) {
+	doc := xmltree.MustParseParen(`site(item(name "pen" price "3") item(@id "7" name "ink"))`)
+	doc.Name = "test.xml"
+	// Give it a careted ID mix by applying updates first.
+	if _, err := doc.InsertSubtree(doc.Root.ID, doc.Root.Children[1].ID, xmltree.MustParseParen(`item(name "mid")`)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "doc.xvt")
+	if _, err := WriteDocumentFile(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDocumentFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != doc.Name {
+		t.Fatalf("name = %q, want %q", got.Name, doc.Name)
+	}
+	if got.Root.String() != doc.Root.String() {
+		t.Fatalf("tree changed:\n%s\n%s", got.Root, doc.Root)
+	}
+	// IDs (including careted ones) and parent pointers must survive.
+	want := doc.Nodes()
+	have := got.Nodes()
+	if len(want) != len(have) {
+		t.Fatalf("node count %d != %d", len(have), len(want))
+	}
+	for i := range want {
+		if !want[i].ID.Equal(have[i].ID) {
+			t.Fatalf("node %d ID %s != %s", i, have[i].ID, want[i].ID)
+		}
+		if (have[i].Parent == nil) != (want[i].Parent == nil) {
+			t.Fatalf("node %d parent pointer mismatch", i)
+		}
+	}
+}
+
+func TestDocumentDecodeRejectsCorruption(t *testing.T) {
+	data := EncodeDocument(xmltree.MustParseParen(`a(b "1" c(d))`))
+	for _, n := range []int{0, 3, 5, len(data) / 2, len(data) - 1} {
+		if _, err := DecodeDocument(data[:n]); err == nil {
+			t.Errorf("truncation to %d bytes not detected", n)
+		}
+	}
+	mut := append([]byte(nil), data...)
+	mut[len(mut)-2] ^= 0xff
+	if _, err := DecodeDocument(mut); err == nil {
+		t.Error("payload corruption not detected (CRC should catch it)")
+	}
+}

@@ -174,8 +174,8 @@ func TestCodecContentKeepsIDs(t *testing.T) {
 	if root.ID.String() != "1.1" {
 		t.Fatalf("subtree root ID: got %s want 1.1", root.ID)
 	}
-	if root.Children[1].ID.String() != "1.1.2" {
-		t.Fatalf("child ID: got %s want 1.1.2", root.Children[1].ID)
+	if root.Children[1].ID.String() != "1.1.3" {
+		t.Fatalf("child ID: got %s want 1.1.3", root.Children[1].ID)
 	}
 }
 

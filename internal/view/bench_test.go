@@ -1,13 +1,16 @@
 package view_test
 
 import (
+	"fmt"
 	"path/filepath"
 	"testing"
 
 	"xmlviews/internal/core"
 	"xmlviews/internal/datagen"
+	"xmlviews/internal/nodeid"
 	"xmlviews/internal/nrel"
 	"xmlviews/internal/store"
+	"xmlviews/internal/summary"
 	"xmlviews/internal/view"
 	"xmlviews/internal/xmltree"
 )
@@ -81,6 +84,51 @@ func BenchmarkSegmentScan(b *testing.B) {
 			if n := view.MaterializeFlat(v, doc).Len(); n != want {
 				b.Fatalf("materialized %d rows, want %d", n, want)
 			}
+		}
+	})
+}
+
+// BenchmarkMaintainUpdate compares maintaining a store through one
+// settext batch (relevance mapping + scoped recomputation + summary
+// rebuild) against what a refresh costs without the engine: rebuilding
+// the summary and re-materializing every extent. The irrelevance filter
+// is what scales: of the eight views only the price view is re-evaluated.
+func BenchmarkMaintainUpdate(b *testing.B) {
+	doc, views := benchDocAndViews()
+	views = append(views,
+		mkView("vmail", `site(//mail[id](/from[v]))`),
+		mkView("vcat", `site(/categories(/category[id](/name[v])))`),
+		mkView("vbidder", `site(//bidder[id](/increase[v]))`),
+		mkView("vseller", `site(//seller[id,v])`),
+		mkView("vkeyword", `site(//keyword[id,v])`),
+	)
+	st := view.NewStore(doc, views)
+	var target nodeid.ID
+	doc.Root.Walk(func(n *xmltree.Node) bool {
+		if target == nil && n.Label == "price" {
+			target = n.ID
+		}
+		return target == nil
+	})
+	if target == nil {
+		b.Fatal("no price node")
+	}
+	b.Run("maintain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, err := st.ApplyUpdates([]xmltree.Update{
+				{Kind: xmltree.UpdateSetValue, Target: target, Value: fmt.Sprintf("%d.00", i)},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			summary.Build(doc)
+			view.NewStore(doc, views)
 		}
 	})
 }

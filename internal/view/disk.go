@@ -6,24 +6,33 @@ import (
 	"path/filepath"
 
 	"xmlviews/internal/core"
+	"xmlviews/internal/maintain"
 	"xmlviews/internal/nrel"
+	"xmlviews/internal/pattern"
 	"xmlviews/internal/store"
 	"xmlviews/internal/summary"
 	"xmlviews/internal/xmltree"
 )
+
+// DocSegmentName is the file the source document is persisted under,
+// making the store updatable (see UpdateStore).
+const DocSegmentName = "document.xvt"
 
 // BuildStore materializes every view over the document once and persists
 // the extents as columnar segments plus a catalog manifest in dir (created
 // if needed). Later runs serve the views with OpenStore, never touching
 // the document again. The document's summary is built (annotating the
 // document, as pattern evaluation requires) and recorded in the catalog in
-// parseable notation.
+// parseable notation. The document itself is persisted too (compressed by
+// the segment tree codec), so the store can be maintained through updates
+// later; the store opens and serves without ever reading it back unless
+// updates arrive.
 func BuildStore(dir string, doc *xmltree.Document, views []*core.View) (*store.Catalog, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	s := summary.Build(doc)
-	cat := &store.Catalog{Document: doc.Name, Summary: s.String()}
+	cat := &store.Catalog{Document: doc.Name, Summary: s.String(), DocSegment: DocSegmentName}
 	for i, v := range views {
 		if cat.Entry(v.Name) != nil {
 			return nil, fmt.Errorf("view: duplicate view name %q", v.Name)
@@ -42,6 +51,9 @@ func BuildStore(dir string, doc *xmltree.Document, views []*core.View) (*store.C
 			Bytes:   n,
 			Segment: seg,
 		})
+	}
+	if _, err := store.WriteDocumentFile(filepath.Join(dir, DocSegmentName), doc); err != nil {
+		return nil, fmt.Errorf("view: persisting document: %w", err)
 	}
 	if err := store.WriteCatalog(dir, cat); err != nil {
 		return nil, err
@@ -64,8 +76,10 @@ func OpenStore(dir string, views []*core.View) (*Store, error) {
 
 // OpenStoreWithCatalog is OpenStore for callers that already hold the
 // directory's catalog (e.g. a serving daemon that also needs the summary).
+// Each extent is its base segment with the entry's delta chain replayed
+// over it, oldest first.
 func OpenStoreWithCatalog(dir string, cat *store.Catalog, views []*core.View) (*Store, error) {
-	st := &Store{rels: map[string]*nrel.Relation{}, prepared: map[string]*nrel.Relation{}}
+	st := &Store{views: views, epoch: cat.Epoch, rels: map[string]*nrel.Relation{}, prepared: map[string]*nrel.Relation{}}
 	for _, v := range views {
 		e := cat.Entry(v.Name)
 		if e == nil {
@@ -78,10 +92,36 @@ func OpenStoreWithCatalog(dir string, cat *store.Catalog, views []*core.View) (*
 		if err != nil {
 			return nil, err
 		}
+		for _, d := range e.Deltas {
+			adds, dels, err := store.ReadDeltaFile(filepath.Join(dir, d.Segment))
+			if err != nil {
+				return nil, err
+			}
+			if adds.Len() != d.Adds || dels.Len() != d.Dels {
+				return nil, fmt.Errorf("view: delta %s has %d/%d tuples, catalog says %d/%d",
+					d.Segment, adds.Len(), dels.Len(), d.Adds, d.Dels)
+			}
+			rel = maintain.FoldDelta(rel, adds, dels)
+		}
 		if rel.Len() != e.Rows {
-			return nil, fmt.Errorf("view: segment %s has %d rows, catalog says %d", e.Segment, rel.Len(), e.Rows)
+			return nil, fmt.Errorf("view: extent %q has %d rows after %d delta(s), catalog says %d",
+				v.Name, rel.Len(), len(e.Deltas), e.Rows)
 		}
 		st.rels[v.Name] = rel
 	}
 	return st, nil
+}
+
+// ViewsFromCatalog reconstructs view definitions from a catalog's recorded
+// pattern texts (with derivable parent IDs: extents store Dewey IDs).
+func ViewsFromCatalog(cat *store.Catalog) ([]*core.View, error) {
+	views := make([]*core.View, 0, len(cat.Views))
+	for _, e := range cat.Views {
+		p, err := pattern.Parse(e.Pattern)
+		if err != nil {
+			return nil, fmt.Errorf("view: catalog view %q pattern does not parse: %w", e.Name, err)
+		}
+		views = append(views, &core.View{Name: e.Name, Pattern: p, DerivableParentIDs: true})
+	}
+	return views, nil
 }

@@ -1,0 +1,204 @@
+package view
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"xmlviews/internal/maintain"
+	"xmlviews/internal/store"
+	"xmlviews/internal/summary"
+	"xmlviews/internal/xmltree"
+)
+
+// ChangedView summarizes one view's delta in an applied batch.
+type ChangedView struct {
+	Name string `json:"name"`
+	Adds int    `json:"adds"`
+	Dels int    `json:"dels"`
+	Rows int    `json:"rows"`
+}
+
+// UpdateResult reports what an applied (and persisted) batch did.
+type UpdateResult struct {
+	// Epoch is the store epoch after the batch.
+	Epoch int64 `json:"epoch"`
+	// Changed lists the views whose extents changed, with delta sizes.
+	Changed []ChangedView `json:"changed"`
+	// Skipped counts the views the relevance mapping proved unaffected.
+	Skipped int `json:"skipped"`
+	// Summary is the rebuilt path summary of the updated document (for
+	// the serving layer's epoch-scoped caches; not serialized).
+	Summary *summary.Summary `json:"-"`
+}
+
+// PersistError reports that a batch was applied to the in-memory store
+// but could not be fully persisted: memory is ahead of the directory.
+// The caller must not apply further batches against the directory (the
+// serving layer degrades /update until restart), since a later persisted
+// batch would leave a hole in the delta chains that makes the store
+// refuse to reopen.
+type PersistError struct{ Err error }
+
+func (e *PersistError) Error() string {
+	return "view: batch applied in memory but not persisted: " + e.Err.Error()
+}
+func (e *PersistError) Unwrap() error { return e.Err }
+
+// ApplyAndPersist runs one update batch against an open store and appends
+// the resulting delta segments to its directory: one delta file per
+// changed view, the re-encoded document, and the catalog (new epoch,
+// rebuilt summary, updated row counts) — the catalog write last and the
+// catalog object mutated only after every file write succeeded, so a
+// crash or I/O failure mid-persist leaves both the catalog object and
+// the directory's manifest on the pre-batch state, with only
+// unreferenced files behind. The store must carry its document
+// (SetDocument after OpenStore, or use UpdateStore).
+//
+// An apply failure leaves everything untouched. A persist failure is
+// returned as *PersistError together with the batch result: the
+// in-memory store has advanced and the directory has not.
+//
+// Callers persisting to the same directory must serialize their calls;
+// the serving layer and CLI both do.
+func ApplyAndPersist(dir string, cat *store.Catalog, st *Store, updates []xmltree.Update) (*UpdateResult, error) {
+	batch, err := st.ApplyUpdates(updates)
+	if err != nil {
+		return nil, err
+	}
+	epoch := st.Epoch()
+	res := &UpdateResult{Epoch: epoch, Skipped: len(batch.Skipped), Summary: batch.Summary}
+	// Stage: write every delta file before touching the catalog object.
+	type staged struct {
+		entry *store.Entry
+		ref   store.DeltaRef
+		rows  int
+	}
+	var stage []staged
+	for _, d := range batch.Deltas {
+		e := cat.Entry(d.View.Name)
+		if e == nil {
+			return res, &PersistError{fmt.Errorf("changed view %q not in catalog", d.View.Name)}
+		}
+		base := strings.TrimSuffix(e.Segment, ".xvs")
+		seg := fmt.Sprintf("%s.d%04d.xvs", base, epoch)
+		n, err := store.WriteDeltaFile(filepath.Join(dir, seg), d.Adds, d.Dels)
+		if err != nil {
+			return res, &PersistError{fmt.Errorf("writing delta for %q: %w", d.View.Name, err)}
+		}
+		stage = append(stage, staged{entry: e, rows: d.New.Len(),
+			ref: store.DeltaRef{Segment: seg, Adds: d.Adds.Len(), Dels: d.Dels.Len(), Bytes: n, Epoch: epoch}})
+		res.Changed = append(res.Changed, ChangedView{
+			Name: d.View.Name, Adds: d.Adds.Len(), Dels: d.Dels.Len(), Rows: d.New.Len(),
+		})
+	}
+	docSeg := cat.DocSegment
+	if docSeg == "" {
+		docSeg = DocSegmentName
+	}
+	if _, err := store.WriteDocumentFile(filepath.Join(dir, docSeg), st.Document()); err != nil {
+		return res, &PersistError{fmt.Errorf("persisting document: %w", err)}
+	}
+	// Commit: all files durable; mutate the catalog and write it.
+	for _, s := range stage {
+		s.entry.Deltas = append(s.entry.Deltas, s.ref)
+		s.entry.Rows = s.rows
+	}
+	cat.DocSegment = docSeg
+	cat.Summary = batch.Summary.String()
+	cat.Epoch = epoch
+	if err := store.WriteCatalog(dir, cat); err != nil {
+		return res, &PersistError{err}
+	}
+	return res, nil
+}
+
+// OpenUpdatableStore opens a store directory together with its persisted
+// document, ready for ApplyAndPersist.
+func OpenUpdatableStore(dir string) (*store.Catalog, *Store, error) {
+	cat, err := store.OpenCatalog(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	views, err := ViewsFromCatalog(cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := OpenStoreWithCatalog(dir, cat, views)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cat.DocSegment == "" {
+		return nil, nil, fmt.Errorf("view: store %s has no persisted document; rebuild it to make it updatable", dir)
+	}
+	doc, err := store.ReadDocumentFile(filepath.Join(dir, cat.DocSegment))
+	if err != nil {
+		return nil, nil, err
+	}
+	st.SetDocument(doc)
+	return cat, st, nil
+}
+
+// UpdateStore applies an update batch to a store directory offline: open,
+// maintain, persist. It is the engine behind `xvstore apply`.
+func UpdateStore(dir string, updates []xmltree.Update) (*UpdateResult, error) {
+	cat, st, err := OpenUpdatableStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	return ApplyAndPersist(dir, cat, st, updates)
+}
+
+// CompactStore folds every entry's delta chain back into its base segment
+// and clears the chains. Extents are unchanged (a compacted store answers
+// queries identically); the epoch is preserved. Returns the number of
+// delta segments folded.
+func CompactStore(dir string) (int, error) {
+	cat, err := store.OpenCatalog(dir)
+	if err != nil {
+		return 0, err
+	}
+	folded := 0
+	var obsolete []string
+	for i := range cat.Views {
+		e := &cat.Views[i]
+		if len(e.Deltas) == 0 {
+			continue
+		}
+		rel, err := store.ReadFile(filepath.Join(dir, e.Segment))
+		if err != nil {
+			return 0, err
+		}
+		for _, d := range e.Deltas {
+			adds, dels, err := store.ReadDeltaFile(filepath.Join(dir, d.Segment))
+			if err != nil {
+				return 0, err
+			}
+			rel = maintain.FoldDelta(rel, adds, dels)
+			obsolete = append(obsolete, d.Segment)
+			folded++
+		}
+		if rel.Len() != e.Rows {
+			return 0, fmt.Errorf("view: compaction of %q yields %d rows, catalog says %d", e.Name, rel.Len(), e.Rows)
+		}
+		n, err := store.WriteFile(filepath.Join(dir, e.Segment), rel)
+		if err != nil {
+			return 0, err
+		}
+		e.Bytes = n
+		e.Deltas = nil
+	}
+	if folded == 0 {
+		return 0, nil
+	}
+	if err := store.WriteCatalog(dir, cat); err != nil {
+		return 0, err
+	}
+	// The chain is gone from the catalog; stale files are harmless, so
+	// removal failures are not fatal.
+	for _, seg := range obsolete {
+		_ = os.Remove(filepath.Join(dir, seg))
+	}
+	return folded, nil
+}

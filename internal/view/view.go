@@ -10,9 +10,11 @@ package view
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"xmlviews/internal/core"
+	"xmlviews/internal/maintain"
 	"xmlviews/internal/nrel"
 	"xmlviews/internal/pattern"
 	"xmlviews/internal/xmltree"
@@ -84,11 +86,17 @@ func SlotCol(k int, attr string) string { return fmt.Sprintf("s%d.%s", k, attr) 
 //
 // A Store is safe for concurrent use: lazy materialization is guarded by a
 // read-write mutex with double-checked lookup, so many goroutines can
-// execute plans against one store.
+// execute plans against one store. ApplyUpdates mutates the document and
+// every affected extent under the same write lock, so each individual
+// Relation read is atomic with respect to a batch; a plan scanning
+// several views concurrently with updates should execute against a
+// Snapshot, which freezes all extents at one epoch.
 type Store struct {
-	mu   sync.RWMutex
-	doc  *xmltree.Document // nil for disk-backed stores (OpenStore)
-	rels map[string]*nrel.Relation
+	mu    sync.RWMutex
+	doc   *xmltree.Document // nil for disk-backed stores (OpenStore)
+	views []*core.View
+	epoch int64
+	rels  map[string]*nrel.Relation
 	// prepared is keyed by the view's name plus canonical pattern text, not
 	// by *core.View: the rewriter clones views on every call, and a
 	// long-running server would otherwise accumulate one cache entry per
@@ -103,7 +111,7 @@ func preparedKey(v *core.View) string { return v.Name + "\x1f" + v.Pattern.Strin
 // NewStore materializes all base views over the document. Derived
 // navigation views are materialized lazily by the executor.
 func NewStore(doc *xmltree.Document, views []*core.View) *Store {
-	st := &Store{doc: doc, rels: map[string]*nrel.Relation{}, prepared: map[string]*nrel.Relation{}}
+	st := &Store{doc: doc, views: views, rels: map[string]*nrel.Relation{}, prepared: map[string]*nrel.Relation{}}
 	for _, v := range views {
 		st.rels[v.Name] = MaterializeFlat(v, doc)
 	}
@@ -111,8 +119,104 @@ func NewStore(doc *xmltree.Document, views []*core.View) *Store {
 }
 
 // Document returns the store's backing document; nil for stores opened
-// from disk, which never touch the source document.
+// from disk that have not attached one with SetDocument.
 func (st *Store) Document() *xmltree.Document { return st.doc }
+
+// SetDocument attaches the source document to a disk-opened store, making
+// it updatable. The document must be the one the stored extents were
+// materialized from (BuildStore persists it alongside the segments).
+func (st *Store) SetDocument(doc *xmltree.Document) {
+	st.mu.Lock()
+	st.doc = doc
+	st.mu.Unlock()
+}
+
+// Epoch returns the store's maintenance epoch: the number of update
+// batches applied since the extents were built.
+func (st *Store) Epoch() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.epoch
+}
+
+// Snapshot returns a read-only store freezing every current extent at the
+// current epoch: later ApplyUpdates calls on the original replace extent
+// pointers and cannot affect the snapshot, so a multi-view plan executed
+// against it sees one consistent state. The snapshot carries no document
+// (prepared extents derive from the frozen bases) and must not be used
+// with ApplyUpdates or Put.
+func (st *Store) Snapshot() *Store {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	snap := &Store{views: st.views, epoch: st.epoch,
+		rels: make(map[string]*nrel.Relation, len(st.rels)), prepared: make(map[string]*nrel.Relation, len(st.prepared))}
+	for k, v := range st.rels {
+		snap.rels[k] = v
+	}
+	for k, v := range st.prepared {
+		snap.prepared[k] = v
+	}
+	return snap
+}
+
+// ApplyUpdates maintains the store through one typed update batch: the
+// document is mutated (atomically — a failing update rolls the whole batch
+// back), affected extents are re-derived through the maintenance engine's
+// relevance mapping, and prepared-extent caches for changed views are
+// dropped. The returned batch carries the per-view tuple deltas and the
+// rebuilt summary; the store epoch advances by one.
+//
+// Concurrent queries are safe (they serialize against the write lock), but
+// callers that also persist the batch must serialize ApplyUpdates calls
+// among themselves so delta chains append in epoch order.
+func (st *Store) ApplyUpdates(updates []xmltree.Update) (*maintain.Batch, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.doc == nil {
+		return nil, fmt.Errorf("view: store has no document attached; rebuild the store or SetDocument first")
+	}
+	batch, err := maintain.ComputeDeltas(st.doc, st.views, updates,
+		func(v *core.View) *nrel.Relation {
+			if r, ok := st.rels[v.Name]; ok {
+				return r
+			}
+			return nrel.NewRelation(flatCols(v)...)
+		}, MaterializeFlat)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range batch.Deltas {
+		st.rels[d.View.Name] = d.New
+		prefix := d.View.Name + "\x1f"
+		for k := range st.prepared {
+			if strings.HasPrefix(k, prefix) {
+				delete(st.prepared, k)
+			}
+		}
+	}
+	st.epoch++
+	return batch, nil
+}
+
+// flatCols returns the column schema MaterializeFlat would produce for an
+// empty extent of the view.
+func flatCols(v *core.View) []string {
+	pat := v.Pattern
+	slotMap := func(k int) int { return k }
+	if v.Stored != nil {
+		pat = v.Stored
+		slotMap = func(k int) int { return v.StoredSlotMap[k] }
+	}
+	flat := flattened(pat)
+	var cols []string
+	for k, rn := range flat.Returns() {
+		slot := slotMap(k)
+		for _, attr := range rn.Attrs.Names() {
+			cols = append(cols, SlotCol(slot, attr))
+		}
+	}
+	return cols
+}
 
 // Relation returns the flat extent of a view, materializing on demand.
 func (st *Store) Relation(v *core.View) *nrel.Relation {

@@ -70,3 +70,27 @@ func TestSlotCol(t *testing.T) {
 		t.Fatal("SlotCol format changed")
 	}
 }
+
+func TestSnapshotFreezesExtents(t *testing.T) {
+	doc := xmltree.MustParseParen(`a(b "1")`)
+	v := &core.View{Name: "v", Pattern: pattern.MustParse(`a(/b[v])`), DerivableParentIDs: true}
+	st := NewStore(doc, []*core.View{v})
+	snap := st.Snapshot()
+	if snap.Epoch() != 0 || snap.Document() != nil {
+		t.Fatalf("snapshot epoch %d, doc %v", snap.Epoch(), snap.Document())
+	}
+	if _, err := st.ApplyUpdates([]xmltree.Update{
+		{Kind: xmltree.UpdateInsert, Parent: doc.Root.ID, Subtree: xmltree.MustParseParen(`b "2"`)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Relation(v).Len(); got != 1 {
+		t.Fatalf("snapshot saw the update: %d rows", got)
+	}
+	if got := st.Relation(v).Len(); got != 2 {
+		t.Fatalf("live store missed the update: %d rows", got)
+	}
+	if snap.Epoch() != 0 || st.Epoch() != 1 {
+		t.Fatalf("epochs: snap %d live %d", snap.Epoch(), st.Epoch())
+	}
+}

@@ -7,6 +7,7 @@ package xmltree
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"xmlviews/internal/nodeid"
@@ -41,13 +42,25 @@ func NewDocument(rootLabel string) *Document {
 }
 
 // AddChild appends a new child with the given label and value under parent
-// and returns it. The child's Dewey ID is derived from the parent's.
+// and returns it. The child's Dewey ID is allocated after the last child's,
+// so appends keep the children in strictly increasing ID order even after
+// careted insertions or deletions reshuffled the sibling list.
 func (n *Node) AddChild(label, value string) *Node {
+	var id nodeid.ID
+	if len(n.Children) == 0 {
+		id = n.ID.Child(1)
+	} else {
+		var err error
+		id, err = nodeid.SiblingBetween(n.ID, n.Children[len(n.Children)-1].ID, nil)
+		if err != nil {
+			panic(fmt.Sprintf("xmltree: sibling allocation under %s: %v", n.ID, err))
+		}
+	}
 	c := &Node{
 		Label:  label,
 		Value:  value,
 		Parent: n,
-		ID:     n.ID.Child(uint32(len(n.Children) + 1)),
+		ID:     id,
 		PathID: -1,
 	}
 	n.Children = append(n.Children, c)
@@ -148,17 +161,26 @@ func (n *Node) write(b *strings.Builder) {
 }
 
 // FindByID returns the node with the given Dewey ID, or nil. It descends
-// using the ID components, so it is O(depth) with small fanout scans.
+// level by level, binary-searching each child list (children are kept in
+// strictly increasing ID order), so it is O(depth · log fanout).
 func (d *Document) FindByID(id nodeid.ID) *Node {
-	if id.IsNull() || id[0] != 1 {
+	if id.IsNull() || !id.IsWellFormed() || d.Root == nil || !d.Root.ID.Equal(id.AncestorAtDepth(1)) {
 		return nil
 	}
 	cur := d.Root
-	for _, ord := range id[1:] {
-		if int(ord) > len(cur.Children) || ord == 0 {
+	for !cur.ID.Equal(id) {
+		// The covering child, if any, is the last one with ID <= id.
+		i := sort.Search(len(cur.Children), func(i int) bool {
+			return cur.Children[i].ID.Compare(id) > 0
+		})
+		if i == 0 {
 			return nil
 		}
-		cur = cur.Children[ord-1]
+		c := cur.Children[i-1]
+		if !c.ID.Equal(id) && !c.ID.IsAncestorOf(id) {
+			return nil
+		}
+		cur = c
 	}
 	return cur
 }

@@ -15,11 +15,11 @@ func TestAddChildAssignsIDs(t *testing.T) {
 	if got := b.ID.String(); got != "1.1" {
 		t.Errorf("b.ID = %s, want 1.1", got)
 	}
-	if got := c.ID.String(); got != "1.2" {
-		t.Errorf("c.ID = %s, want 1.2", got)
+	if got := c.ID.String(); got != "1.3" {
+		t.Errorf("c.ID = %s, want 1.3", got)
 	}
-	if got := e.ID.String(); got != "1.2.1" {
-		t.Errorf("e.ID = %s, want 1.2.1", got)
+	if got := e.ID.String(); got != "1.3.1" {
+		t.Errorf("e.ID = %s, want 1.3.1", got)
 	}
 	if e.Parent != c || c.Parent != d.Root {
 		t.Error("parent pointers wrong")

@@ -1,0 +1,169 @@
+package xmltree
+
+import (
+	"fmt"
+
+	"xmlviews/internal/nodeid"
+)
+
+// UpdateKind enumerates the typed document updates the maintenance engine
+// understands.
+type UpdateKind int
+
+const (
+	// UpdateInsert inserts a copy of a subtree as a new child of Parent,
+	// ordered before the existing child Before (appended when Before is
+	// null). The inserted nodes receive fresh caret-allocated Dewey IDs;
+	// no existing ID changes.
+	UpdateInsert UpdateKind = iota
+	// UpdateDelete removes the subtree rooted at Target.
+	UpdateDelete
+	// UpdateRename relabels the node Target to Label.
+	UpdateRename
+	// UpdateSetValue replaces the atomic value of Target with Value.
+	UpdateSetValue
+)
+
+// String returns the surface name of the update kind (the JSON "op").
+func (k UpdateKind) String() string {
+	switch k {
+	case UpdateInsert:
+		return "insert"
+	case UpdateDelete:
+		return "delete"
+	case UpdateRename:
+		return "rename"
+	case UpdateSetValue:
+		return "settext"
+	}
+	return fmt.Sprintf("UpdateKind(%d)", int(k))
+}
+
+// Update is one entry of the typed update log.
+type Update struct {
+	Kind UpdateKind
+
+	// Insert fields.
+	Parent  nodeid.ID
+	Before  nodeid.ID // null = append after the last child
+	Subtree *Document // structure to copy; its IDs are ignored
+
+	// Delete / Rename / SetValue fields.
+	Target nodeid.ID
+	Label  string // rename
+	Value  string // settext
+}
+
+// ApplyUpdate applies one update to the document and returns the node the
+// update created or modified (the deleted subtree's root for deletions,
+// already detached). The document is modified in place; on error it is
+// unchanged.
+func (d *Document) ApplyUpdate(u Update) (*Node, error) {
+	switch u.Kind {
+	case UpdateInsert:
+		return d.InsertSubtree(u.Parent, u.Before, u.Subtree)
+	case UpdateDelete:
+		return d.DeleteSubtree(u.Target)
+	case UpdateRename:
+		return d.RenameNode(u.Target, u.Label)
+	case UpdateSetValue:
+		return d.SetNodeValue(u.Target, u.Value)
+	}
+	return nil, fmt.Errorf("xmltree: unknown update kind %d", u.Kind)
+}
+
+// InsertSubtree inserts a copy of sub as a child of the node with ID
+// parentID, positioned before the existing child with ID beforeID (or as
+// the last child when beforeID is null). The new subtree's IDs are
+// allocated with nodeid.SiblingBetween, so no existing node is renumbered
+// and children stay in document order. Returns the inserted root.
+func (d *Document) InsertSubtree(parentID, beforeID nodeid.ID, sub *Document) (*Node, error) {
+	if sub == nil || sub.Root == nil {
+		return nil, fmt.Errorf("xmltree: insert with empty subtree")
+	}
+	parent := d.FindByID(parentID)
+	if parent == nil {
+		return nil, fmt.Errorf("xmltree: insert parent %s not found", parentID)
+	}
+	pos := len(parent.Children)
+	if !beforeID.IsNull() {
+		pos = -1
+		for i, c := range parent.Children {
+			if c.ID.Equal(beforeID) {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			return nil, fmt.Errorf("xmltree: insert position %s is not a child of %s", beforeID, parentID)
+		}
+	}
+	var left, right nodeid.ID
+	if pos > 0 {
+		left = parent.Children[pos-1].ID
+	}
+	if pos < len(parent.Children) {
+		right = parent.Children[pos].ID
+	}
+	id, err := nodeid.SiblingBetween(parent.ID, left, right)
+	if err != nil {
+		return nil, fmt.Errorf("xmltree: %v", err)
+	}
+	root := &Node{Label: sub.Root.Label, Value: sub.Root.Value, Parent: parent, ID: id, PathID: -1}
+	var copyInto func(src, dst *Node)
+	copyInto = func(src, dst *Node) {
+		for _, c := range src.Children {
+			nc := dst.AddChild(c.Label, c.Value)
+			copyInto(c, nc)
+		}
+	}
+	copyInto(sub.Root, root)
+	parent.Children = append(parent.Children, nil)
+	copy(parent.Children[pos+1:], parent.Children[pos:])
+	parent.Children[pos] = root
+	return root, nil
+}
+
+// DeleteSubtree removes the subtree rooted at the node with the given ID
+// and returns its detached root. The document root cannot be deleted.
+func (d *Document) DeleteSubtree(id nodeid.ID) (*Node, error) {
+	n := d.FindByID(id)
+	if n == nil {
+		return nil, fmt.Errorf("xmltree: delete target %s not found", id)
+	}
+	if n.Parent == nil {
+		return nil, fmt.Errorf("xmltree: cannot delete the document root")
+	}
+	sibs := n.Parent.Children
+	for i, c := range sibs {
+		if c == n {
+			n.Parent.Children = append(sibs[:i:i], sibs[i+1:]...)
+			n.Parent = nil
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("xmltree: node %s missing from its parent's child list", id)
+}
+
+// RenameNode relabels the node with the given ID.
+func (d *Document) RenameNode(id nodeid.ID, label string) (*Node, error) {
+	if label == "" {
+		return nil, fmt.Errorf("xmltree: rename to empty label")
+	}
+	n := d.FindByID(id)
+	if n == nil {
+		return nil, fmt.Errorf("xmltree: rename target %s not found", id)
+	}
+	n.Label = label
+	return n, nil
+}
+
+// SetNodeValue replaces the atomic value of the node with the given ID.
+func (d *Document) SetNodeValue(id nodeid.ID, value string) (*Node, error) {
+	n := d.FindByID(id)
+	if n == nil {
+		return nil, fmt.Errorf("xmltree: settext target %s not found", id)
+	}
+	n.Value = value
+	return n, nil
+}

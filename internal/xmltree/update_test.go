@@ -1,0 +1,204 @@
+package xmltree
+
+import (
+	"math/rand"
+	"testing"
+
+	"xmlviews/internal/nodeid"
+)
+
+func TestInsertSubtreePreservesIDs(t *testing.T) {
+	doc := MustParseParen(`a(b "1" c "2")`)
+	b, c := doc.Root.Children[0], doc.Root.Children[1]
+	bID, cID := b.ID.Clone(), c.ID.Clone()
+
+	// Insert between b and c.
+	mid, err := doc.InsertSubtree(doc.Root.ID, c.ID, MustParseParen(`m(x "7")`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.ID.Equal(bID) || !c.ID.Equal(cID) {
+		t.Fatalf("existing IDs changed: b=%s c=%s", b.ID, c.ID)
+	}
+	if !(bID.Compare(mid.ID) < 0 && mid.ID.Compare(cID) < 0) {
+		t.Fatalf("inserted ID %s not between %s and %s", mid.ID, bID, cID)
+	}
+	if !doc.Root.ID.IsParentOf(mid.ID) {
+		t.Fatalf("inserted node %s not a child of root", mid.ID)
+	}
+	if mid.Children[0].Label != "x" || mid.Children[0].Value != "7" {
+		t.Fatalf("subtree copy wrong: %s", mid)
+	}
+	if !mid.ID.IsParentOf(mid.Children[0].ID) {
+		t.Fatalf("inserted child %s not under inserted root %s", mid.Children[0].ID, mid.ID)
+	}
+	if got := doc.Root.String(); got != `a(b "1" m(x "7") c "2")` {
+		t.Fatalf("tree = %s", got)
+	}
+	// Prepend and append.
+	first, err := doc.InsertSubtree(doc.Root.ID, b.ID, MustParseParen(`p`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ID.Compare(b.ID) >= 0 {
+		t.Fatalf("prepended ID %s not before %s", first.ID, b.ID)
+	}
+	last, err := doc.InsertSubtree(doc.Root.ID, nil, MustParseParen(`q`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.ID.Compare(c.ID) <= 0 {
+		t.Fatalf("appended ID %s not after %s", last.ID, c.ID)
+	}
+	// Every node findable by its ID.
+	for _, n := range doc.Nodes() {
+		if doc.FindByID(n.ID) != n {
+			t.Fatalf("FindByID(%s) broken after insertions", n.ID)
+		}
+	}
+}
+
+func TestInsertSubtreeErrors(t *testing.T) {
+	doc := MustParseParen(`a(b)`)
+	if _, err := doc.InsertSubtree(nodeid.New(1, 9), nil, MustParseParen(`x`)); err == nil {
+		t.Error("missing parent not rejected")
+	}
+	if _, err := doc.InsertSubtree(doc.Root.ID, nodeid.New(1, 9), MustParseParen(`x`)); err == nil {
+		t.Error("missing before-sibling not rejected")
+	}
+	if _, err := doc.InsertSubtree(doc.Root.ID, nil, nil); err == nil {
+		t.Error("nil subtree not rejected")
+	}
+}
+
+func TestDeleteSubtree(t *testing.T) {
+	doc := MustParseParen(`a(b(x) c d)`)
+	c := doc.Root.Children[1]
+	gone, err := doc.DeleteSubtree(c.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gone.Label != "c" || gone.Parent != nil {
+		t.Fatalf("deleted root = %v", gone)
+	}
+	if got := doc.Root.String(); got != `a(b(x) d)` {
+		t.Fatalf("tree = %s", got)
+	}
+	if doc.FindByID(c.ID) != nil {
+		t.Error("deleted node still findable")
+	}
+	if _, err := doc.DeleteSubtree(doc.Root.ID); err == nil {
+		t.Error("root deletion not rejected")
+	}
+	if _, err := doc.DeleteSubtree(c.ID); err == nil {
+		t.Error("double deletion not rejected")
+	}
+}
+
+func TestRenameAndSetValue(t *testing.T) {
+	doc := MustParseParen(`a(b "1")`)
+	b := doc.Root.Children[0]
+	if _, err := doc.RenameNode(b.ID, "z"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.SetNodeValue(b.ID, "9"); err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Root.String(); got != `a(z "9")` {
+		t.Fatalf("tree = %s", got)
+	}
+	if _, err := doc.RenameNode(b.ID, ""); err == nil {
+		t.Error("empty label not rejected")
+	}
+	if _, err := doc.RenameNode(nodeid.New(1, 9), "x"); err == nil {
+		t.Error("missing rename target not rejected")
+	}
+	if _, err := doc.SetNodeValue(nodeid.New(1, 9), "x"); err == nil {
+		t.Error("missing settext target not rejected")
+	}
+}
+
+func TestApplyUpdateDispatch(t *testing.T) {
+	doc := MustParseParen(`a(b)`)
+	b := doc.Root.Children[0]
+	ups := []Update{
+		{Kind: UpdateInsert, Parent: b.ID, Subtree: MustParseParen(`c "1"`)},
+		{Kind: UpdateRename, Target: b.ID, Label: "bb"},
+		{Kind: UpdateSetValue, Target: b.ID, Value: "v"},
+	}
+	for _, u := range ups {
+		if _, err := doc.ApplyUpdate(u); err != nil {
+			t.Fatalf("%s: %v", u.Kind, err)
+		}
+	}
+	if got := doc.Root.String(); got != `a(bb "v"(c "1"))` {
+		t.Fatalf("tree = %s", got)
+	}
+	if _, err := doc.ApplyUpdate(Update{Kind: UpdateDelete, Target: b.ID}); err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Root.String(); got != "a" {
+		t.Fatalf("tree = %s", got)
+	}
+	if _, err := doc.ApplyUpdate(Update{Kind: UpdateKind(99)}); err == nil {
+		t.Error("unknown update kind not rejected")
+	}
+}
+
+// Property: random update storms keep the invariants the rest of the
+// system relies on — children in strictly increasing ID order, parent IDs
+// derivable by truncation, FindByID total over live nodes.
+func TestUpdateStormInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	doc := MustParseParen(`a(b(c "1") d)`)
+	labels := []string{"x", "y", "z"}
+	for i := 0; i < 800; i++ {
+		nodes := doc.Nodes()
+		n := nodes[r.Intn(len(nodes))]
+		switch r.Intn(4) {
+		case 0: // insert at a random position under n
+			var before nodeid.ID
+			if len(n.Children) > 0 && r.Intn(2) == 0 {
+				before = n.Children[r.Intn(len(n.Children))].ID
+			}
+			sub := NewDocument(labels[r.Intn(len(labels))])
+			if r.Intn(2) == 0 {
+				sub.Root.AddChild(labels[r.Intn(len(labels))], "v")
+			}
+			if _, err := doc.InsertSubtree(n.ID, before, sub); err != nil {
+				t.Fatalf("insert %d: %v", i, err)
+			}
+		case 1:
+			if n.Parent == nil {
+				continue
+			}
+			if _, err := doc.DeleteSubtree(n.ID); err != nil {
+				t.Fatalf("delete %d: %v", i, err)
+			}
+		case 2:
+			if _, err := doc.RenameNode(n.ID, labels[r.Intn(len(labels))]); err != nil {
+				t.Fatalf("rename %d: %v", i, err)
+			}
+		default:
+			if _, err := doc.SetNodeValue(n.ID, "w"); err != nil {
+				t.Fatalf("settext %d: %v", i, err)
+			}
+		}
+	}
+	var prev nodeid.ID
+	for _, n := range doc.Nodes() {
+		if !n.ID.IsWellFormed() {
+			t.Fatalf("ill-formed ID %s", n.ID)
+		}
+		if prev != nil && prev.Compare(n.ID) >= 0 {
+			t.Fatalf("document order broken: %s >= %s", prev, n.ID)
+		}
+		prev = n.ID
+		if n.Parent != nil && !n.ID.Parent().Equal(n.Parent.ID) {
+			t.Fatalf("parent of %s derives to %s, want %s", n.ID, n.ID.Parent(), n.Parent.ID)
+		}
+		if doc.FindByID(n.ID) != n {
+			t.Fatalf("FindByID(%s) broken", n.ID)
+		}
+	}
+}

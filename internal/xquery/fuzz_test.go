@@ -1,0 +1,43 @@
+package xquery
+
+import (
+	"testing"
+
+	"xmlviews/internal/pattern"
+)
+
+// FuzzXQueryParse asserts two properties over arbitrary input: the
+// translator never panics, and every successfully translated query yields
+// a pattern whose canonical text re-parses to the same pattern (the
+// round-trip the plan cache and the store catalog both rely on).
+func FuzzXQueryParse(f *testing.F) {
+	seeds := []string{
+		`for $x in doc("d")//item return {$x/name/text()}`,
+		`for $x in doc("XMark.xml")//item[//mail] return <res> {$x/name} {for $y in $x//listitem return <key> {$y//keyword} </key>} </res>`,
+		`for $x in doc("d")//open_auction where $x/initial > 40 return {$x/current/text()}`,
+		`for $x in doc("d")//item[price < 30] return {$x/name/text()}`,
+		`for $x in doc("d")//person for $y in $x/address return <r>{$y/city/text()}</r>`,
+		`for $x in doc("d")/regions/*//item return {$x/name/text()}`,
+		`for $x in doc("d")//a[`,
+		`for`,
+		``,
+		`for $x in doc("d")//a where $x/b = "x\"y" return {$x}`,
+	}
+	for _, s := range seeds {
+		f.Add(s, "site")
+	}
+	f.Fuzz(func(t *testing.T, query, rootLabel string) {
+		p, err := Translate(query, rootLabel) // must not panic
+		if err != nil {
+			return
+		}
+		src := p.String()
+		back, err := pattern.Parse(src)
+		if err != nil {
+			t.Fatalf("translated pattern %q does not re-parse: %v\nquery: %q", src, err, query)
+		}
+		if got := back.String(); got != src {
+			t.Fatalf("pattern round trip not a fixpoint: %q -> %q\nquery: %q", src, got, query)
+		}
+	})
+}

@@ -39,6 +39,9 @@ import (
 // rootLabel is the document root element (patterns are rooted; XQuery's
 // doc() does not name the root when the first step is //).
 func Translate(query, rootLabel string) (*pattern.Pattern, error) {
+	if !pattern.IsValidLabel(rootLabel) {
+		return nil, fmt.Errorf("xquery: invalid document root label %q", rootLabel)
+	}
 	p := &parser{toks: lex(query)}
 	pat := pattern.NewPattern(rootLabel)
 	if err := p.flwr(pat, pat.Root, false); err != nil {
@@ -268,6 +271,9 @@ func (p *parser) steps(pat *pattern.Pattern, base *pattern.Node) (*pattern.Node,
 			if t.kind != "ident" {
 				return nil, nil, fmt.Errorf("xquery: expected step name, found %q", t.text)
 			}
+			if !pattern.IsValidLabel(t.text) {
+				return nil, nil, fmt.Errorf("xquery: step name %q is not a valid pattern label", t.text)
+			}
 			label = t.text
 		}
 		n := pat.AddChild(cur, label, axis)
@@ -290,6 +296,9 @@ func (p *parser) predicate(pat *pattern.Pattern, ctx *pattern.Node) error {
 	cur := ctx
 	if !p.eof() && p.toks[p.pos].kind == "ident" {
 		t, _ := p.next()
+		if !pattern.IsValidLabel(t.text) {
+			return fmt.Errorf("xquery: predicate step %q is not a valid pattern label", t.text)
+		}
 		cur = pat.AddChild(cur, t.text, pattern.Child)
 	}
 	end, _, err := p.steps(pat, cur)

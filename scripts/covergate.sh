@@ -1,0 +1,24 @@
+#!/bin/sh
+# covergate.sh — fail if total statement coverage drops below the
+# checked-in floor (scripts/coverage_floor.txt).
+#
+#   go test -coverprofile=cover.out ./...
+#   scripts/covergate.sh cover.out
+set -eu
+
+profile="${1:-cover.out}"
+floor_file="$(dirname "$0")/coverage_floor.txt"
+floor="$(cat "$floor_file")"
+
+total="$(go tool cover -func="$profile" | awk '/^total:/ {gsub(/%/, "", $3); print $3}')"
+if [ -z "$total" ]; then
+    echo "covergate: no total line in $profile" >&2
+    exit 2
+fi
+
+ok="$(awk -v t="$total" -v f="$floor" 'BEGIN { print (t >= f) ? 1 : 0 }')"
+echo "total coverage ${total}% (floor ${floor}%)"
+if [ "$ok" != 1 ]; then
+    echo "covergate: coverage ${total}% is below the floor ${floor}%" >&2
+    exit 1
+fi

@@ -14,6 +14,7 @@
 //	internal/core       canonical models, containment, rewriting
 //	internal/view       view materialization (in-memory and disk-backed)
 //	internal/store      persistent columnar segments + catalog manifest
+//	internal/maintain   incremental view maintenance under updates
 //	internal/algebra    plan execution
 //	internal/xquery     XQuery-subset front end
 //	internal/serve      the xvserve HTTP query daemon
@@ -35,6 +36,7 @@ import (
 
 	"xmlviews/internal/algebra"
 	"xmlviews/internal/core"
+	"xmlviews/internal/maintain"
 	"xmlviews/internal/nrel"
 	"xmlviews/internal/pattern"
 	"xmlviews/internal/serve"
@@ -203,7 +205,7 @@ type Server = serve.Server
 func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
 
 // NewServerHandler is a convenience returning just the daemon's routes
-// (/query, /healthz, /stats).
+// (/query, /update, /healthz, /stats).
 func NewServerHandler(cfg ServeConfig) (http.Handler, error) {
 	s, err := serve.New(cfg)
 	if err != nil {
@@ -211,3 +213,37 @@ func NewServerHandler(cfg ServeConfig) (http.Handler, error) {
 	}
 	return s.Handler(), nil
 }
+
+// Update is one typed document update (insert-subtree, delete-subtree,
+// rename, settext) of the maintenance log.
+type Update = xmltree.Update
+
+// Update kinds.
+const (
+	UpdateInsert   = xmltree.UpdateInsert
+	UpdateDelete   = xmltree.UpdateDelete
+	UpdateRename   = xmltree.UpdateRename
+	UpdateSetValue = xmltree.UpdateSetValue
+)
+
+// MaintainBatch reports one applied update batch: per-view tuple deltas,
+// the views proven unaffected, and the rebuilt summary.
+type MaintainBatch = maintain.Batch
+
+// ParseUpdates decodes a JSON update batch (the /update wire format).
+func ParseUpdates(data []byte) ([]Update, error) { return maintain.ParseUpdates(data) }
+
+// StoreUpdateResult reports a persisted update batch (new epoch, per-view
+// delta sizes, skipped-view count).
+type StoreUpdateResult = view.UpdateResult
+
+// UpdateStore applies an update batch to a store directory: the extents
+// are maintained incrementally, the deltas appended as segments, and the
+// catalog epoch advanced.
+func UpdateStore(dir string, updates []Update) (*StoreUpdateResult, error) {
+	return view.UpdateStore(dir, updates)
+}
+
+// CompactStore folds every delta chain of a store directory back into its
+// base segments. Query answers are unchanged.
+func CompactStore(dir string) (int, error) { return view.CompactStore(dir) }
