@@ -11,12 +11,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 	"time"
 
 	"xmlviews/internal/algebra"
 	"xmlviews/internal/core"
+	"xmlviews/internal/cost"
 	"xmlviews/internal/pattern"
 	"xmlviews/internal/summary"
 	"xmlviews/internal/view"
@@ -47,8 +49,9 @@ func run(args []string, stdout io.Writer) error {
 	docFile := fs.String("doc", "", "XML document (summary source and execution target)")
 	sumSrc := fs.String("summary", "", "summary notation (alternative to -doc for rewriting only)")
 	qSrc := fs.String("q", "", "query pattern")
-	exec := fs.Bool("exec", false, "execute the first rewriting against -doc")
+	exec := fs.Bool("exec", false, "execute the chosen rewriting against -doc")
 	first := fs.Bool("first", false, "stop at the first rewriting")
+	showCost := fs.Bool("cost", false, "estimate each rewriting's cost and pick the cheapest")
 	var vdefs viewFlags
 	fs.Var(&vdefs, "v", "view definition name=pattern (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -112,19 +115,111 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintln(stdout, "no equivalent rewriting found")
 		return errNoRewriting
 	}
-	for i, p := range res.Rewritings {
-		fmt.Fprintf(stdout, "rewriting %d: %s\n", i+1, p)
+
+	// Without -cost the first rewriting executes (the pre-cost-model
+	// behavior); with it the cheapest plan under the statistics does.
+	chosen := res.Rewritings[0]
+	var st *view.Store
+	if doc != nil && *exec {
+		st = view.NewStore(doc, views)
+	}
+	if *showCost {
+		// With a document, the summary built from it carries exact
+		// per-path cardinalities; without -exec those are the estimates
+		// (nothing materializes). With -exec, every view some candidate
+		// rewriting scans is materialized to measure real row counts —
+		// costlier up front (losing plans' extents included), but the
+		// estimates then reflect the extents execution would see.
+		stats := cost.FromSummary(s)
+		if st != nil {
+			for _, v := range scannedBaseViews(res.Rewritings) {
+				stats.Rows[v.Name] = st.Relation(v).Len()
+			}
+		}
+		est := cost.NewEstimator(stats)
+		// Estimate each rewriting once; ChooseBest then ranks from the
+		// memoized results instead of re-running the estimator.
+		costs := make([]cost.Cost, len(res.Rewritings))
+		errs := make([]error, len(res.Rewritings))
+		byPlan := map[*core.Plan]int{}
+		for i, p := range res.Rewritings {
+			costs[i], errs[i] = est.Estimate(p)
+			byPlan[p] = i
+		}
+		var bestCost float64
+		chosen, bestCost, _ = core.ChooseBest(res, func(p *core.Plan) (float64, error) {
+			i := byPlan[p]
+			return costs[i].Total, errs[i]
+		})
+		for i, p := range res.Rewritings {
+			if errs[i] != nil {
+				fmt.Fprintf(stdout, "rewriting %d: %s (cost: %v)\n", i+1, p, errs[i])
+				continue
+			}
+			mark := ""
+			if p == chosen {
+				mark = "  <- cheapest"
+			}
+			fmt.Fprintf(stdout, "rewriting %d: %s (%s)%s\n", i+1, p, costs[i], mark)
+		}
+		if math.IsInf(bestCost, 1) {
+			// No rewriting could be estimated (the serve path reports the
+			// same condition as cost -1): fall back to the first found.
+			fmt.Fprintf(stdout, "chosen: %s (no estimate possible; first of %d alternative(s))\n", chosen, len(res.Rewritings))
+		} else {
+			fmt.Fprintf(stdout, "chosen: %s (cost %.1f of %d alternative(s))\n", chosen, bestCost, len(res.Rewritings))
+		}
+	} else {
+		for i, p := range res.Rewritings {
+			fmt.Fprintf(stdout, "rewriting %d: %s\n", i+1, p)
+		}
 	}
 	if *exec {
-		if doc == nil {
+		if st == nil {
 			return fmt.Errorf("-exec requires -doc")
 		}
-		st := view.NewStore(doc, views)
-		out, err := algebra.Execute(res.Rewritings[0], st)
+		out, err := algebra.Execute(chosen, st)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(stdout, out.Rel.Sorted())
 	}
 	return nil
+}
+
+// scannedBaseViews collects the distinct materializable views the
+// rewritings scan — base views plus the bases behind navigation views
+// (the cost model prices a navigation scan through its base extent).
+func scannedBaseViews(plans []*core.Plan) []*core.View {
+	seen := map[string]bool{}
+	var out []*core.View
+	add := func(v *core.View) {
+		if v.Nav == nil && !seen[v.Name] {
+			seen[v.Name] = true
+			out = append(out, v)
+		}
+	}
+	var walk func(p *core.Plan)
+	walk = func(p *core.Plan) {
+		switch p.Op {
+		case core.OpScan:
+			add(p.View)
+			if p.View.Nav != nil {
+				add(p.View.Nav.Base)
+			}
+		case core.OpJoin:
+			walk(p.Left)
+			walk(p.Right)
+		case core.OpUnion:
+			for _, part := range p.Parts {
+				walk(part)
+			}
+		default:
+			walk(p.Input)
+		}
+	}
+	for _, p := range plans {
+		walk(p)
+	}
+	return out
 }

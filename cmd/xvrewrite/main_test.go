@@ -68,3 +68,45 @@ func TestRunMissingFlags(t *testing.T) {
 		t.Fatal("missing flags not rejected")
 	}
 }
+
+func TestRunCost(t *testing.T) {
+	doc := writeDoc(t)
+	var out strings.Builder
+	err := run([]string{
+		"-doc", doc,
+		"-q", `site(/item[id](/name[v]))`,
+		"-v", `v1=site(/item[id](/name[v]))`,
+		"-cost", "-exec",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "cost=") {
+		t.Fatalf("no per-rewriting cost estimates:\n%s", got)
+	}
+	if !strings.Contains(got, "chosen:") {
+		t.Fatalf("no chosen plan reported:\n%s", got)
+	}
+	if !strings.Contains(got, "pen") || !strings.Contains(got, "ink") {
+		t.Fatalf("executed rows missing:\n%s", got)
+	}
+}
+
+func TestRunCostSummaryOnly(t *testing.T) {
+	// Without a document the estimator falls back to summary-based sizes
+	// (uniform without annotations); -cost must still work.
+	var out strings.Builder
+	err := run([]string{
+		"-summary", `site(item(name))`,
+		"-q", `site(/item[id])`,
+		"-v", `v1=site(/item[id])`,
+		"-cost",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "chosen:") {
+		t.Fatalf("no chosen plan reported:\n%s", out.String())
+	}
+}

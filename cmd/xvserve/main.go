@@ -4,17 +4,27 @@
 //
 //	xvserve -dir store/ -addr :8080
 //	curl 'localhost:8080/query?q=site(/item[id](/name[v]))'
+//	curl 'localhost:8080/query?q=site(/item[id](/name[v]))&explain=1'
 //	curl 'localhost:8080/healthz'
 //	curl 'localhost:8080/stats'
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes
+// immediately, in-flight queries drain (bounded by -drain), then the
+// process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"xmlviews/internal/serve"
 )
@@ -35,6 +45,9 @@ func run(args []string, stdout io.Writer) error {
 	planCache := fs.Int("plancache", 0, "plan cache capacity (0: default 256)")
 	readOnly := fs.Bool("readonly", false, "disable POST /update")
 	maxUpdate := fs.Int64("maxupdate", 0, "maximum /update body bytes (0: default 8 MiB)")
+	maxRows := fs.Int("maxrows", 0, "hard cap on /query response rows; the default when no limit is passed, and explicit limits are clamped to it (0: default 10000)")
+	maxRewritings := fs.Int("maxrewritings", 0, "equivalent rewritings enumerated per cold query before cost selection (0: default 8)")
+	drain := fs.Duration("drain", 15*time.Second, "graceful shutdown drain timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -42,7 +55,8 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("missing -dir (a store directory built by xvstore)")
 	}
 	srv, err := serve.New(serve.Config{Dir: *dir, Workers: *workers, PlanCacheSize: *planCache,
-		ReadOnly: *readOnly, MaxUpdateBytes: *maxUpdate})
+		ReadOnly: *readOnly, MaxUpdateBytes: *maxUpdate, MaxResponseRows: *maxRows,
+		MaxRewritings: *maxRewritings})
 	if err != nil {
 		return err
 	}
@@ -50,6 +64,39 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	fmt.Fprintf(stdout, "xvserve: serving %d view(s) from %s on %s\n", srv.Views(), *dir, ln.Addr())
-	return http.Serve(ln, srv.Handler())
+
+	hs := &http.Server{
+		Handler: srv.Handler(),
+		// Slow or stalled clients must not pin connections forever: bound
+		// the header and whole-request reads and reap idle keep-alives.
+		// Query execution time is not limited here (no WriteTimeout) —
+		// long analytical queries are legitimate; abandoned ones are cut
+		// by the request-context cancellation instead.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	fmt.Fprintf(stdout, "xvserve: shutting down, draining in-flight requests (up to %s)\n", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }

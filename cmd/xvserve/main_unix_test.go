@@ -1,0 +1,80 @@
+//go:build unix
+
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"xmlviews/internal/core"
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/view"
+	"xmlviews/internal/xmltree"
+)
+
+// TestRunGracefulShutdown boots the daemon, confirms it serves, then sends
+// SIGINT to the process and checks the daemon drains and exits cleanly.
+// (run installs its own signal handler before announcing the address, so
+// the self-signal is always caught by it, not by the default handler.)
+func TestRunGracefulShutdown(t *testing.T) {
+	dir := t.TempDir()
+	doc := xmltree.MustParseParen(`site(item(name "pen"))`)
+	views := []*core.View{{Name: "v1", Pattern: pattern.MustParse(`site(/item[id](/name[v]))`), DerivableParentIDs: true}}
+	if _, err := view.BuildStore(dir, doc, views); err != nil {
+		t.Fatal(err)
+	}
+
+	out := &lockedBuf{}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-dir", dir, "-addr", "127.0.0.1:0", "-drain", "5s"}, out)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		select {
+		case err := <-errc:
+			t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address:\n%s", out.String())
+		}
+		if i := strings.Index(out.String(), " on "); i >= 0 {
+			addr = strings.TrimSpace(out.String()[i+4:])
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("shutdown returned %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not shut down on SIGINT\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Fatalf("no drain announcement:\n%s", out.String())
+	}
+	// The listener is gone: new connections fail.
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Fatal("daemon still accepting connections after shutdown")
+	}
+}

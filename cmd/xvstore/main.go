@@ -21,6 +21,7 @@ import (
 	"xmlviews/internal/maintain"
 	"xmlviews/internal/pattern"
 	"xmlviews/internal/store"
+	"xmlviews/internal/summary"
 	"xmlviews/internal/view"
 	"xmlviews/internal/xmltree"
 )
@@ -161,6 +162,7 @@ func runInfo(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("xvstore info", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	dir := fs.String("dir", "", "store directory")
+	showStats := fs.Bool("stats", false, "list per-path cardinality statistics")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -176,6 +178,24 @@ func runInfo(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "summary hash: %s\n", cat.SummaryHash)
 	fmt.Fprintf(stdout, "epoch: %d\n", cat.Epoch)
+	// info is a diagnostic tool: an unparseable summary (suspect or
+	// newer-format store) must not hide the rest of the catalog.
+	switch sum, err := summary.Parse(cat.Summary); {
+	case err != nil:
+		fmt.Fprintf(stdout, "statistics: unavailable (catalog summary does not parse: %v)\n", err)
+	case sum.HasStats():
+		fmt.Fprintf(stdout, "statistics: %d summary node(s), %d document node(s), %d text byte(s)\n",
+			sum.Size(), sum.DocNodes(), sum.TextBytes())
+		if *showStats {
+			for _, id := range sum.NodeIDs() {
+				n := sum.Node(id)
+				fmt.Fprintf(stdout, "  %s: %d node(s), avg fanout %.2f, avg text %.1fB\n",
+					sum.PathString(id), n.Count, sum.AvgFanout(id), sum.AvgTextBytes(id))
+			}
+		}
+	default:
+		fmt.Fprintln(stdout, "statistics: none (store built before statistics; cost model uses uniform estimates)")
+	}
 	for _, e := range cat.Views {
 		fmt.Fprintf(stdout, "%s: %s — %d rows, %d bytes, columns %s\n",
 			e.Name, e.Pattern, e.Rows, e.Bytes, strings.Join(e.Columns, ","))

@@ -134,3 +134,32 @@ func TestRunBadUsage(t *testing.T) {
 		t.Fatal("compact without -dir not rejected")
 	}
 }
+
+func TestRunInfoStats(t *testing.T) {
+	dir := t.TempDir()
+	docPath := filepath.Join(dir, "doc.xml")
+	xml := `<site><item><name>pen</name></item><item><name>ink</name></item></site>`
+	if err := os.WriteFile(docPath, []byte(xml), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "store")
+	var buildOut strings.Builder
+	if err := run([]string{"build", "-doc", docPath, "-out", out,
+		"-v", `v1=site(/item[id](/name[v]))`}, &buildOut); err != nil {
+		t.Fatalf("build: %v\n%s", err, buildOut.String())
+	}
+
+	var infoOut strings.Builder
+	if err := run([]string{"info", "-dir", out, "-stats"}, &infoOut); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	got := infoOut.String()
+	// 5 document nodes (site, 2 items, 2 names), 6 text bytes (pen+ink).
+	if !strings.Contains(got, "statistics: 3 summary node(s), 5 document node(s), 6 text byte(s)") {
+		t.Fatalf("statistics line wrong:\n%s", got)
+	}
+	// -stats lists per-path lines with counts and fanout.
+	if !strings.Contains(got, "/site/item/name: 2 node(s)") {
+		t.Fatalf("per-path statistics missing:\n%s", got)
+	}
+}

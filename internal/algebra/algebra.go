@@ -10,6 +10,7 @@
 package algebra
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -39,6 +40,12 @@ type Options struct {
 	// any negative value uses runtime.GOMAXPROCS(0). Parallel and
 	// sequential execution produce identical results (row order included).
 	Workers int
+	// Ctx optionally cancels execution: it is checked at every operator
+	// boundary and periodically inside scan and join loops (build and
+	// probe phases included), so an abandoned request stops burning CPU
+	// mid-plan; an in-progress sort still completes before the next
+	// poll. A nil context never cancels.
+	Ctx context.Context
 }
 
 // effectiveWorkers resolves the Workers knob to a concrete worker count.
@@ -73,7 +80,27 @@ type executor struct {
 	opts Options
 }
 
+// cancelCheckEvery bounds how many rows a loop processes between context
+// polls.
+const cancelCheckEvery = 4096
+
+// cancelled returns the context's error once the caller has gone away.
+func (ex *executor) cancelled() error {
+	if ex.opts.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-ex.opts.Ctx.Done():
+		return ex.opts.Ctx.Err()
+	default:
+		return nil
+	}
+}
+
 func (ex *executor) run(p *core.Plan) (*Result, error) {
+	if err := ex.cancelled(); err != nil {
+		return nil, err
+	}
 	switch p.Op {
 	case core.OpScan:
 		return ex.scan(p.View)
@@ -155,7 +182,12 @@ func (ex *executor) scanNav(v *core.View) (*nrel.Relation, error) {
 		view.SlotCol(k-1, "id"), view.SlotCol(k-1, "v"),
 	)
 	seen := map[string]bool{}
-	for _, row := range base.Rows {
+	for i, row := range base.Rows {
+		if i%cancelCheckEvery == 0 {
+			if err := ex.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		anchorID := row[idCol]
 		content := row[cCol]
 		if anchorID.IsNull() || content.IsNull() || content.Content == nil {
@@ -266,18 +298,28 @@ func (ex *executor) join(p *core.Plan) (*Result, error) {
 	if lid < 0 || rid < 0 {
 		return nil, fmt.Errorf("algebra: join slots lack id columns (%d,%d)", p.LeftSlot, p.RightSlot)
 	}
+	// stop lets the kernels bail out of their pair-matching loops when the
+	// caller is gone; the cancellation check after the kernel turns the
+	// partial output into an error before anything is assembled.
+	stop := func() bool { return ex.cancelled() != nil }
+	if ex.opts.Ctx == nil {
+		stop = nil
+	}
 	var rows []joinedRow
 	switch {
 	case p.Kind == core.JoinID:
 		if w := ex.opts.effectiveWorkers(); w > 1 {
-			rows = parallelHashJoin(left.Rel, lid, right.Rel, rid, w)
+			rows = parallelHashJoin(left.Rel, lid, right.Rel, rid, w, stop)
 		} else {
-			rows = hashJoin(left.Rel, lid, right.Rel, rid)
+			rows = hashJoin(left.Rel, lid, right.Rel, rid, stop)
 		}
 	case ex.opts.NestedLoopJoins:
-		rows = nestedLoopStructuralJoin(left.Rel, lid, right.Rel, rid, p.Kind == core.JoinParent)
+		rows = nestedLoopStructuralJoin(left.Rel, lid, right.Rel, rid, p.Kind == core.JoinParent, stop)
 	default:
-		rows = stackStructuralJoin(left.Rel, lid, right.Rel, rid, p.Kind == core.JoinParent)
+		rows = stackStructuralJoin(left.Rel, lid, right.Rel, rid, p.Kind == core.JoinParent, stop)
+	}
+	if err := ex.cancelled(); err != nil {
+		return nil, err
 	}
 	if p.Outer {
 		rows = padOuter(rows, left.Rel, len(right.Rel.Cols))
@@ -290,7 +332,12 @@ func (ex *executor) join(p *core.Plan) (*Result, error) {
 	for _, c := range right.Rel.Cols {
 		out.Cols = append(out.Cols, shiftSlotCol(c, offset))
 	}
-	for _, jr := range rows {
+	for i, jr := range rows {
+		if i%cancelCheckEvery == 0 {
+			if err := ex.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		row := make(nrel.Tuple, 0, len(jr.left)+len(jr.right))
 		row = append(row, jr.left...)
 		row = append(row, jr.right...)
@@ -341,9 +388,19 @@ func shiftSlotCol(col string, offset int) string {
 	return view.SlotCol(k+offset, attr)
 }
 
-func hashJoin(l *nrel.Relation, lid int, r *nrel.Relation, rid int) []joinedRow {
+// shouldStop polls an optional cancellation probe every few thousand
+// outer-loop iterations; kernels return their partial output on true and
+// the caller converts that into an error.
+func shouldStop(stop func() bool, i int) bool {
+	return stop != nil && i%cancelCheckEvery == 0 && stop()
+}
+
+func hashJoin(l *nrel.Relation, lid int, r *nrel.Relation, rid int, stop func() bool) []joinedRow {
 	index := map[string][]nrel.Tuple{}
-	for _, row := range r.Rows {
+	for i, row := range r.Rows {
+		if shouldStop(stop, i) {
+			return nil
+		}
 		v := row[rid]
 		if v.IsNull() {
 			continue
@@ -351,7 +408,10 @@ func hashJoin(l *nrel.Relation, lid int, r *nrel.Relation, rid int) []joinedRow 
 		index[v.ID.String()] = append(index[v.ID.String()], row)
 	}
 	var out []joinedRow
-	for _, lrow := range l.Rows {
+	for i, lrow := range l.Rows {
+		if shouldStop(stop, i) {
+			return out
+		}
 		v := lrow[lid]
 		if v.IsNull() {
 			continue
@@ -364,9 +424,13 @@ func hashJoin(l *nrel.Relation, lid int, r *nrel.Relation, rid int) []joinedRow 
 }
 
 // nestedLoopStructuralJoin is the quadratic baseline for the ablation.
-func nestedLoopStructuralJoin(l *nrel.Relation, lid int, r *nrel.Relation, rid int, parentOnly bool) []joinedRow {
+func nestedLoopStructuralJoin(l *nrel.Relation, lid int, r *nrel.Relation, rid int, parentOnly bool, stop func() bool) []joinedRow {
 	var out []joinedRow
 	for _, lrow := range l.Rows {
+		// Each outer iteration scans all of r; poll every time.
+		if stop != nil && stop() {
+			return out
+		}
 		a := lrow[lid]
 		if a.IsNull() {
 			continue
@@ -392,10 +456,16 @@ func nestedLoopStructuralJoin(l *nrel.Relation, lid int, r *nrel.Relation, rid i
 // Al-Khalifa et al. [reference 1 of the paper]: both inputs sorted in
 // document order, a stack of pending ancestors, each pair emitted exactly
 // once. O(|l| + |r| + |output|).
-func stackStructuralJoin(l *nrel.Relation, lid int, r *nrel.Relation, rid int, parentOnly bool) []joinedRow {
+func stackStructuralJoin(l *nrel.Relation, lid int, r *nrel.Relation, rid int, parentOnly bool, stop func() bool) []joinedRow {
 	anc := sortedByID(l.Rows, lid)
+	// An in-progress sort always completes, but poll between the two so
+	// an abandoned request pays for at most one of them.
+	if stop != nil && stop() {
+		return nil
+	}
 	desc := sortedByID(r.Rows, rid)
 	var out []joinedRow
+	polled := 0
 	// Stack entries group ancestor rows sharing the same ID (duplicates
 	// arise after prior joins); the stack always holds a root-to-leaf
 	// ancestor chain.
@@ -406,6 +476,10 @@ func stackStructuralJoin(l *nrel.Relation, lid int, r *nrel.Relation, rid int, p
 	var stack []stackEntry
 	ai := 0
 	for di := 0; di < len(desc); {
+		polled++
+		if shouldStop(stop, polled) {
+			return out
+		}
 		did := desc[di][rid].ID
 		if ai < len(anc) && anc[ai][lid].ID.Compare(did) <= 0 {
 			// The next ancestor precedes the next descendant: push it.

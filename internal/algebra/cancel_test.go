@@ -1,0 +1,30 @@
+package algebra
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"xmlviews/internal/core"
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/view"
+	"xmlviews/internal/xmltree"
+)
+
+func TestExecuteCancelled(t *testing.T) {
+	doc := xmltree.MustParseParen(`site(item(name "pen") item(name "ink"))`)
+	v := &core.View{Name: "v1", Pattern: pattern.MustParse(`site(/item[id](/name[v]))`), DerivableParentIDs: true}
+	st := view.NewStore(doc, []*core.View{v})
+	plan := core.Scan(v)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExecuteWith(plan, st, Options{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled execution returned %v, want context.Canceled", err)
+	}
+	// A live context leaves execution untouched.
+	res, err := ExecuteWith(plan, st, Options{Ctx: context.Background()})
+	if err != nil || res.Rel.Len() != 2 {
+		t.Fatalf("live context must not disturb execution: %v", err)
+	}
+}

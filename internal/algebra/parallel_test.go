@@ -48,9 +48,9 @@ func TestParallelHashJoinMatchesSequential(t *testing.T) {
 	for _, size := range []int{0, 1, 7, 100, 1337} {
 		l := randomIDRelation(0, size, r)
 		rr := randomIDRelation(0, size/2+1, r)
-		want := renderJoined(hashJoin(l, 0, rr, 0))
+		want := renderJoined(hashJoin(l, 0, rr, 0, nil))
 		for _, workers := range []int{2, 3, 8} {
-			got := renderJoined(parallelHashJoin(l, 0, rr, 0, workers))
+			got := renderJoined(parallelHashJoin(l, 0, rr, 0, workers, nil))
 			if got != want {
 				t.Fatalf("size=%d workers=%d: parallel join diverged", size, workers)
 			}
@@ -64,14 +64,14 @@ func TestParallelHashJoinConcurrentCallers(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	l := randomIDRelation(0, 500, r)
 	rr := randomIDRelation(0, 300, r)
-	want := renderJoined(hashJoin(l, 0, rr, 0))
+	want := renderJoined(hashJoin(l, 0, rr, 0, nil))
 	var wg sync.WaitGroup
 	errs := make([]error, 8)
 	for g := range errs {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			if got := renderJoined(parallelHashJoin(l, 0, rr, 0, 4)); got != want {
+			if got := renderJoined(parallelHashJoin(l, 0, rr, 0, 4, nil)); got != want {
 				errs[g] = fmt.Errorf("goroutine %d diverged", g)
 			}
 		}(g)

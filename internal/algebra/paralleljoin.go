@@ -17,7 +17,7 @@ import (
 
 var joinSeed = maphash.MakeSeed()
 
-func parallelHashJoin(l *nrel.Relation, lid int, r *nrel.Relation, rid int, workers int) []joinedRow {
+func parallelHashJoin(l *nrel.Relation, lid int, r *nrel.Relation, rid int, workers int, stop func() bool) []joinedRow {
 	// Render build-side keys once, in parallel chunks, collecting the row
 	// indices of each (chunk, partition) pair so the build workers below
 	// each walk only their own partition's rows.
@@ -26,6 +26,9 @@ func parallelHashJoin(l *nrel.Relation, lid int, r *nrel.Relation, rid int, work
 	forChunks(workers, len(r.Rows), func(chunk, lo, hi int) {
 		lists := make([][]int32, workers)
 		for i := lo; i < hi; i++ {
+			if shouldStop(stop, i-lo) {
+				break
+			}
 			if v := r.Rows[i][rid]; !v.IsNull() {
 				rkeys[i] = v.ID.String()
 				p := maphash.String(joinSeed, rkeys[i]) % uint64(workers)
@@ -58,7 +61,12 @@ func parallelHashJoin(l *nrel.Relation, lid int, r *nrel.Relation, rid int, work
 	outs := make([][]joinedRow, numChunks(workers, len(l.Rows)))
 	forChunks(workers, len(l.Rows), func(chunk, lo, hi int) {
 		var rows []joinedRow
-		for _, lrow := range l.Rows[lo:hi] {
+		for i, lrow := range l.Rows[lo:hi] {
+			// Bail out of an abandoned probe; the caller discards the
+			// partial output once it polls cancellation itself.
+			if shouldStop(stop, i) {
+				break
+			}
 			v := lrow[lid]
 			if v.IsNull() {
 				continue

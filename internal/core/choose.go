@@ -1,0 +1,42 @@
+package core
+
+import "math"
+
+// CostFunc estimates a plan's execution cost; lower is cheaper. It is the
+// seam between the rewriting search and a cost model (internal/cost): core
+// stays free of statistics, the model stays free of search state.
+type CostFunc func(*Plan) (float64, error)
+
+// ChooseBest picks the cheapest rewriting under the cost function. The
+// choice is deterministic and independent of the order rewritings were
+// discovered in: strictly cheaper plans win, exact ties break on the
+// plan's rendered text. Plans whose estimate fails are skipped; when every
+// estimate fails (or no cost function is given) the first rewriting is
+// returned with an infinite cost, so callers degrade to the old
+// first-found behavior rather than failing the query.
+//
+// It returns the chosen plan (nil when the result holds none), its
+// estimated cost, and the number of alternatives considered.
+func ChooseBest(res *RewriteResult, costOf CostFunc) (best *Plan, cost float64, considered int) {
+	if res == nil || len(res.Rewritings) == 0 {
+		return nil, 0, 0
+	}
+	considered = len(res.Rewritings)
+	if costOf == nil {
+		return res.Rewritings[0], math.Inf(1), considered
+	}
+	cost = math.Inf(1)
+	for _, p := range res.Rewritings {
+		c, err := costOf(p)
+		if err != nil {
+			continue
+		}
+		if best == nil || c < cost || (c == cost && p.String() < best.String()) {
+			best, cost = p, c
+		}
+	}
+	if best == nil {
+		return res.Rewritings[0], math.Inf(1), considered
+	}
+	return best, cost, considered
+}

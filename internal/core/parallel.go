@@ -91,6 +91,9 @@ func (rw *rewriter) searchParallel(work []entry, m0 []entry, workers int) {
 		// Admit.
 		var survivors []survivor
 		for bi := range batch {
+			if rw.cancelled() {
+				return
+			}
 			li := batch[bi]
 			for _, pg := range results[bi] {
 				rem := rw.budgetLeft()
@@ -162,6 +165,11 @@ func (rw *rewriter) generateTask(li entry, m0 []entry, committed int, levelUsed 
 	used := 0
 	out := make([]pairGen, 0, len(m0))
 	for j, lj := range m0 {
+		if rw.cancelled() {
+			// The caller is gone; whatever the admit phase receives is
+			// discarded once it polls cancellation itself.
+			return out
+		}
 		limit := -1
 		if softRem >= 0 {
 			limit = softRem - used

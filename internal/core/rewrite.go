@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -50,6 +51,12 @@ type RewriteOptions struct {
 	// (useful when rewriting many queries over one summary). When nil, a
 	// fresh bounded cache is created per call.
 	Subsume *SubsumeCache
+	// Ctx optionally cancels the search: it is checked between join-merge
+	// batches (the budget loop) and in the union phase, so an abandoned
+	// request (e.g. a disconnected HTTP client) stops burning CPU. A nil
+	// context never cancels. Rewrite returns the context's error when the
+	// search was cut short.
+	Ctx context.Context
 }
 
 // DefaultRewriteOptions returns the defaults described above.
@@ -208,6 +215,11 @@ func Rewrite(q *pattern.Pattern, views []*View, s *summary.Summary, opts Rewrite
 
 	// Union phase (Algorithm 1, lines 13-14).
 	rw.unionPhase()
+	if rw.cancelled() {
+		// The search was cut short; partial results are not the canonical
+		// answer, so report the cancellation instead.
+		return nil, opts.Ctx.Err()
+	}
 	res.Total = time.Since(start)
 	return res, nil
 }
@@ -224,6 +236,9 @@ func (rw *rewriter) searchSequential(work []entry, m0 []entry) {
 		}
 	}
 	for i := 0; i < len(work); i++ {
+		if rw.cancelled() {
+			return
+		}
 		li := work[i]
 		if li.plan.NumScans() >= rw.opts.MaxScansPerPlan {
 			continue
@@ -335,10 +350,27 @@ type rewriter struct {
 }
 
 func (rw *rewriter) done() bool {
+	if rw.cancelled() {
+		return true
+	}
 	if len(rw.res.Rewritings) == 0 {
 		return false
 	}
 	return rw.opts.FirstOnly || len(rw.res.Rewritings) >= rw.opts.MaxResults
+}
+
+// cancelled reports whether the caller's context was cancelled; the search
+// loops poll it between join-merge batches.
+func (rw *rewriter) cancelled() bool {
+	if rw.opts.Ctx == nil {
+		return false
+	}
+	select {
+	case <-rw.opts.Ctx.Done():
+		return true
+	default:
+		return false
+	}
 }
 
 // seenAdd inserts a canonical-model key into the dedup set, reporting
@@ -481,6 +513,11 @@ func (rw *rewriter) precomputeConsider(e entry) []adaptedVerdict {
 	adapted := rw.adaptToQuery(e)
 	out := make([]adaptedVerdict, 0, len(adapted))
 	for _, a := range adapted {
+		if rw.cancelled() {
+			// The caller is gone; the sequential replay polls done() (which
+			// covers cancellation) before using anything returned here.
+			return out
+		}
 		av := adaptedVerdict{a: a}
 		if v, ok := rw.verdicts.get(a.key); ok {
 			av.inQ, av.eqQ = v.inQ, v.eqQ
@@ -524,6 +561,9 @@ func (rw *rewriter) replayConsider(pre []adaptedVerdict) {
 func (rw *rewriter) consider(e entry) {
 	adapted := rw.adaptToQuery(e)
 	for _, a := range adapted {
+		if rw.cancelled() {
+			return
+		}
 		if rw.adaptedSeen[a.key] {
 			continue
 		}

@@ -3,11 +3,15 @@
 // view store built by xvstore, without ever touching the source document.
 //
 // A server loads the store directory's catalog, parses the recorded
-// summary and view definitions, memory-loads the extents, and then for
-// each query runs the view-based rewriting (core.Rewrite) — memoized by a
-// bounded LRU plan cache keyed by the query's canonical pattern text and
-// sharing one summary-implication cache across all queries — and executes
-// the chosen plan with the parallel algebra executor.
+// summary (with its cardinality statistics) and view definitions,
+// memory-loads the extents, and then for each query runs the view-based
+// rewriting (core.Rewrite), enumerating up to MaxResults equivalent plans
+// and executing the cheapest under the statistics-backed cost model
+// (internal/cost). Verdicts are memoized by a bounded LRU plan cache keyed
+// by the query's canonical pattern text — concurrent misses on one key
+// share a single search (singleflight) — and one summary-implication cache
+// is shared across all queries. ?explain=1 returns the chosen plan, its
+// estimated cost and the number of alternatives without executing.
 //
 // The daemon also accepts typed document updates on POST /update. A batch
 // is maintained through the incremental engine (internal/maintain),
@@ -18,18 +22,22 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"xmlviews/internal/algebra"
 	"xmlviews/internal/core"
+	"xmlviews/internal/cost"
 	"xmlviews/internal/maintain"
 	"xmlviews/internal/pattern"
 	"xmlviews/internal/store"
@@ -51,7 +59,20 @@ type Config struct {
 	ReadOnly bool
 	// MaxUpdateBytes bounds an update request body (<= 0: default 8 MiB).
 	MaxUpdateBytes int64
+	// MaxResponseRows is the hard cap on /query response rows (<= 0:
+	// default 10000): it is the limit when the request passes none, and
+	// explicit limits are clamped to it. TotalRows always reports the
+	// full result size, so clients can page past the cap with offset.
+	MaxResponseRows int
+	// MaxRewritings bounds how many equivalent rewritings the search
+	// enumerates before the cost model picks the cheapest (<= 0: default
+	// 8). Higher values find more alternatives on cold queries at the
+	// price of longer searches; 1 reproduces the first-found behavior.
+	MaxRewritings int
 }
+
+// defaultMaxRewritings bounds the per-query alternative enumeration.
+const defaultMaxRewritings = 8
 
 // Server answers queries over one store directory. It is safe for
 // concurrent use; updates serialize among themselves and against the
@@ -72,6 +93,7 @@ type Server struct {
 	sum     *summary.Summary
 	subsume *core.SubsumeCache
 	plans   *planCache
+	est     *cost.Estimator
 
 	// updMu serializes update batches end-to-end (memory apply + disk
 	// persist), so delta chains append in epoch order. degraded is set
@@ -82,6 +104,8 @@ type Server struct {
 	degraded atomic.Bool
 
 	queries       atomic.Int64
+	rewritesRun   atomic.Int64
+	clientsGone   atomic.Int64
 	errors        atomic.Int64
 	planHits      atomic.Int64
 	planMisses    atomic.Int64
@@ -121,6 +145,7 @@ func New(cfg Config) (*Server, error) {
 		st:      st,
 		subsume: core.NewSubsumeCache(0),
 		plans:   newPlanCache(cfg.PlanCacheSize),
+		est:     cost.NewEstimator(cost.FromCatalog(cat, sum)),
 		started: time.Now(),
 	}, nil
 }
@@ -144,6 +169,7 @@ type epochState struct {
 	sum     *summary.Summary
 	subsume *core.SubsumeCache
 	plans   *planCache
+	est     *cost.Estimator
 	st      *view.Store
 	epoch   int64
 }
@@ -152,32 +178,68 @@ func (s *Server) snapshot() epochState {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	st := s.st.Snapshot()
-	return epochState{sum: s.sum, subsume: s.subsume, plans: s.plans, st: st, epoch: st.Epoch()}
+	return epochState{sum: s.sum, subsume: s.subsume, plans: s.plans, est: s.est, st: st, epoch: st.Epoch()}
 }
 
 // QueryResponse is the JSON answer to /query.
 type QueryResponse struct {
 	// Query is the canonical pattern text the request resolved to.
 	Query string `json:"query"`
-	// Plan is the executed rewriting plan.
+	// Plan is the executed rewriting plan, chosen as the cheapest of the
+	// equivalent rewritings under the statistics-backed cost model.
 	Plan string `json:"plan"`
+	// Cost is the chosen plan's estimated cost (-1 when no estimate was
+	// possible); Alternatives is how many equivalent rewritings the search
+	// produced.
+	Cost         float64 `json:"cost"`
+	Alternatives int     `json:"alternatives"`
 	// PlanCached reports a plan-cache hit (the rewriting search was
 	// skipped).
 	PlanCached bool `json:"plan_cached"`
 	// Epoch is the store epoch the answer reflects.
 	Epoch int64 `json:"epoch"`
 	// Columns and Rows are the result: one rendered string per value.
-	Columns []string   `json:"columns"`
-	Rows    [][]string `json:"rows"`
+	// Rows is the window selected by the limit/offset parameters (capped
+	// at the server's maximum response size); TotalRows is the full result
+	// cardinality and Offset the window's first row index.
+	Columns   []string   `json:"columns"`
+	Rows      [][]string `json:"rows"`
+	TotalRows int        `json:"total_rows"`
+	Offset    int        `json:"offset"`
 	// RewriteMicros and ExecMicros are this request's latencies; the
 	// rewrite time is ~0 on plan-cache hits.
 	RewriteMicros int64 `json:"rewrite_us"`
 	ExecMicros    int64 `json:"exec_us"`
 }
 
+// ExplainResponse is the JSON answer to /query?...&explain=1: the chosen
+// plan and its cost, without executing it.
+type ExplainResponse struct {
+	Query string `json:"query"`
+	// Plan is the plan the query would execute.
+	Plan string `json:"plan"`
+	// Cost is its estimated cost under the current statistics (-1 when no
+	// estimate was possible).
+	Cost float64 `json:"cost"`
+	// Alternatives is the number of equivalent rewritings the search
+	// produced (the cost model picked the cheapest).
+	Alternatives  int   `json:"alternatives"`
+	PlanCached    bool  `json:"plan_cached"`
+	Epoch         int64 `json:"epoch"`
+	RewriteMicros int64 `json:"rewrite_us"`
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 }
+
+// statusClientClosedRequest is the nginx-convention status for a client
+// that disconnected before the response was ready.
+const statusClientClosedRequest = 499
+
+// defaultMaxResponseRows caps /query row rendering when the caller sets no
+// explicit limit.
+const defaultMaxResponseRows = 10000
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
@@ -208,26 +270,77 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "query does not parse: %v", err)
 		return
 	}
+	maxRows := s.cfg.MaxResponseRows
+	if maxRows <= 0 {
+		maxRows = defaultMaxResponseRows
+	}
+	limit, err := intParam(r, "limit", maxRows)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if limit > maxRows {
+		limit = maxRows
+	}
+	offset, err := intParam(r, "offset", 0)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 
 	s.queries.Add(1)
+	ctx := r.Context()
 	key := q.String()
 	rewriteStart := time.Now()
 	verdict, hit := es.plans.get(key)
+	cacheHit := hit
+	var leader bool
 	if hit {
 		s.planHits.Add(1)
 	} else {
-		s.planMisses.Add(1)
-		verdict.plan, err = s.rewrite(q, es)
-		if errors.Is(err, core.ErrUnsatisfiable) {
-			verdict.unsatisfiable = true
-		} else if err != nil {
+		for {
+			// Per-attempt timer: a retry after a cancelled leader's dead
+			// flight must not bill that wait to the new attempt.
+			rewriteStart = time.Now()
+			verdict, leader, err = es.plans.compute(ctx, key, func() (cachedPlan, error) {
+				return s.rewriteBest(ctx, q, es)
+			})
+			if err == nil {
+				break
+			}
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				if ctx.Err() != nil {
+					// This request's own client went away mid-rewrite.
+					s.clientGone(w, "client closed request during rewrite")
+					return
+				}
+				if !leader {
+					// The leader whose flight this request was sharing was
+					// cancelled; retry (and possibly lead) with our own,
+					// still-live context.
+					continue
+				}
+			}
 			s.fail(w, http.StatusInternalServerError, "rewrite: %v", err)
 			return
 		}
-		es.plans.put(key, verdict)
+		if leader {
+			s.planMisses.Add(1)
+		} else {
+			// A singleflight follower (or the verdict landed in the cache
+			// while this request queued): the search was skipped, which is
+			// what the hit/miss stats and plan_cached field measure.
+			s.planHits.Add(1)
+			hit = true
+		}
 	}
 	rewriteDur := time.Since(rewriteStart)
-	s.rewriteNanos.Add(rewriteDur.Nanoseconds())
+	// Singleflight followers spent this time waiting on the leader's
+	// search, not searching; counting them would multiply one search's
+	// cost by the stampede size in /stats.
+	if cacheHit || leader {
+		s.rewriteNanos.Add(rewriteDur.Nanoseconds())
+	}
 	if verdict.unsatisfiable {
 		s.fail(w, http.StatusUnprocessableEntity, "%v", core.ErrUnsatisfiable)
 		return
@@ -238,17 +351,45 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if r.Form.Get("explain") == "1" {
+		writeJSON(w, http.StatusOK, &ExplainResponse{
+			Query:         key,
+			Plan:          plan.String(),
+			Cost:          verdict.cost,
+			Alternatives:  verdict.alternatives,
+			PlanCached:    hit,
+			Epoch:         es.epoch,
+			RewriteMicros: rewriteDur.Microseconds(),
+		})
+		return
+	}
+
 	execStart := time.Now()
-	out, err := algebra.ExecuteWith(plan, es.st, algebra.Options{Workers: s.workers()})
+	out, err := algebra.ExecuteWith(plan, es.st, algebra.Options{Workers: s.workers(), Ctx: ctx})
 	execDur := time.Since(execStart)
-	s.execNanos.Add(execDur.Nanoseconds())
 	if err != nil {
+		if ctx.Err() != nil {
+			s.clientGone(w, "client closed request during execution")
+			return
+		}
 		s.fail(w, http.StatusInternalServerError, "execute: %v", err)
 		return
 	}
+	// Count only completed executions: the partial duration of an
+	// abandoned or failed run would skew the average operators alert on.
+	s.execNanos.Add(execDur.Nanoseconds())
 	rel := out.Rel.Sorted()
-	rows := make([][]string, 0, rel.Len())
-	for _, row := range rel.Rows {
+	total := rel.Len()
+	if offset > total {
+		offset = total
+	}
+	end := offset + limit
+	if end > total || end < offset { // overflow-safe
+		end = total
+	}
+	window := rel.Rows[offset:end]
+	rows := make([][]string, 0, len(window))
+	for _, row := range window {
 		rendered := make([]string, len(row))
 		for i, v := range row {
 			rendered[i] = v.Render()
@@ -259,13 +400,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &QueryResponse{
 		Query:         key,
 		Plan:          plan.String(),
+		Cost:          verdict.cost,
+		Alternatives:  verdict.alternatives,
 		PlanCached:    hit,
 		Epoch:         es.epoch,
 		Columns:       rel.Cols,
 		Rows:          rows,
+		TotalRows:     total,
+		Offset:        offset,
 		RewriteMicros: rewriteDur.Microseconds(),
 		ExecMicros:    execDur.Microseconds(),
 	})
+}
+
+// intParam parses a non-negative integer query parameter, with a default
+// when absent.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.Form.Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("%s must be a non-negative integer, got %q", name, raw)
+	}
+	return v, nil
 }
 
 // UpdateResponse is the JSON answer to /update.
@@ -348,6 +507,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	s.sum = res.Summary
 	s.subsume = core.NewSubsumeCache(0)
 	s.plans = newPlanCache(s.cfg.PlanCacheSize)
+	// Refresh the cost estimator with the rebuilt summary's statistics and
+	// the catalog's new row counts. (On a persist failure the catalog kept
+	// its old counts; the summary statistics are still current, and the
+	// server is degraded anyway.)
+	s.est = cost.NewEstimator(cost.FromCatalog(s.cat, res.Summary))
 	s.mu.Unlock()
 	s.invalidations.Add(1)
 	s.updates.Add(1)
@@ -389,21 +553,32 @@ func (s *Server) loadDocument() error {
 	return nil
 }
 
-// rewrite runs the search and returns the first equivalent plan, or nil
-// when none exists.
-func (s *Server) rewrite(q *pattern.Pattern, es epochState) (*core.Plan, error) {
+// rewriteBest runs the full search (up to MaxResults equivalent
+// rewritings) and picks the cheapest plan under the epoch's cost
+// estimator. An unsatisfiable query is a cacheable negative verdict, not
+// an error; a cancelled search propagates the context error.
+func (s *Server) rewriteBest(ctx context.Context, q *pattern.Pattern, es epochState) (cachedPlan, error) {
+	s.rewritesRun.Add(1)
 	opts := core.DefaultRewriteOptions()
 	opts.Workers = s.workers()
 	opts.Subsume = es.subsume
-	opts.FirstOnly = true
+	opts.Ctx = ctx
+	opts.MaxResults = s.cfg.MaxRewritings
+	if opts.MaxResults <= 0 {
+		opts.MaxResults = defaultMaxRewritings
+	}
 	res, err := core.Rewrite(q, s.views, es.sum, opts)
+	if errors.Is(err, core.ErrUnsatisfiable) {
+		return cachedPlan{unsatisfiable: true}, nil
+	}
 	if err != nil {
-		return nil, err
+		return cachedPlan{}, err
 	}
-	if len(res.Rewritings) == 0 {
-		return nil, nil
+	plan, planCost, alts := core.ChooseBest(res, es.est.PlanCost)
+	if math.IsInf(planCost, 1) {
+		planCost = -1 // no estimate possible; also keeps the JSON encodable
 	}
-	return res.Rewritings[0], nil
+	return cachedPlan{plan: plan, cost: planCost, alternatives: alts}, nil
 }
 
 func (s *Server) workers() int {
@@ -428,17 +603,23 @@ type Stats struct {
 	Epoch         int64   `json:"epoch"`
 	// Degraded reports that an update batch was applied in memory but not
 	// persisted; /update is disabled until restart.
-	Degraded        bool    `json:"degraded"`
-	Queries         int64   `json:"queries"`
-	Errors          int64   `json:"errors"`
-	RowsServed      int64   `json:"rows_served"`
-	PlanCacheHits   int64   `json:"plan_cache_hits"`
-	PlanCacheMisses int64   `json:"plan_cache_misses"`
-	PlanCacheSize   int     `json:"plan_cache_size"`
-	PlanHitRate     float64 `json:"plan_hit_rate"`
-	SubsumeEntries  int     `json:"subsume_cache_entries"`
-	RewriteMillis   int64   `json:"rewrite_ms_total"`
-	ExecMillis      int64   `json:"exec_ms_total"`
+	Degraded bool  `json:"degraded"`
+	Queries  int64 `json:"queries"`
+	// RewritesRun counts actual rewriting searches: plan-cache hits and
+	// singleflight followers don't run one.
+	RewritesRun int64 `json:"rewrites_run"`
+	// ClientDisconnects counts 499 answers (client gone mid-request);
+	// they are not server errors and are excluded from Errors.
+	ClientDisconnects int64   `json:"client_disconnects"`
+	Errors            int64   `json:"errors"`
+	RowsServed        int64   `json:"rows_served"`
+	PlanCacheHits     int64   `json:"plan_cache_hits"`
+	PlanCacheMisses   int64   `json:"plan_cache_misses"`
+	PlanCacheSize     int     `json:"plan_cache_size"`
+	PlanHitRate       float64 `json:"plan_hit_rate"`
+	SubsumeEntries    int     `json:"subsume_cache_entries"`
+	RewriteMillis     int64   `json:"rewrite_ms_total"`
+	ExecMillis        int64   `json:"exec_ms_total"`
 	// Update-path counters. CacheInvalidations counts epoch advances that
 	// dropped the plan and subsume caches.
 	UpdatesApplied     int64 `json:"updates_applied"`
@@ -461,6 +642,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Epoch:              es.epoch,
 		Degraded:           s.degraded.Load(),
 		Queries:            s.queries.Load(),
+		RewritesRun:        s.rewritesRun.Load(),
+		ClientDisconnects:  s.clientsGone.Load(),
 		Errors:             s.errors.Load(),
 		RowsServed:         s.rowsServed.Load(),
 		PlanCacheHits:      hits,
@@ -481,6 +664,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
 	s.errors.Add(1)
 	writeJSON(w, code, &errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// clientGone answers a request whose client disconnected: 499 by the
+// nginx convention, counted apart from server errors so the errors stat
+// stays an alertable signal.
+func (s *Server) clientGone(w http.ResponseWriter, msg string) {
+	s.clientsGone.Add(1)
+	writeJSON(w, statusClientClosedRequest, &errorResponse{Error: msg})
 }
 
 func writeJSON(w http.ResponseWriter, code int, body any) {

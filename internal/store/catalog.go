@@ -13,10 +13,18 @@ import (
 // directory.
 const ManifestName = "catalog.json"
 
-// CatalogVersion is the manifest format version. Version 2 brings the
-// maintenance fields (epoch, delta chains, document segment) and the
-// caret Dewey ID semantics; version-1 stores must be rebuilt.
-const CatalogVersion = 2
+// CatalogVersion is the manifest format version written by this code.
+// Version 2 brought the maintenance fields (epoch, delta chains, document
+// segment) and the caret Dewey ID semantics; version 3 added the
+// cardinality-statistics annotations inside the summary text
+// (':count:textbytes'), which version-2 readers cannot parse.
+const CatalogVersion = 3
+
+// MinCatalogVersion is the oldest manifest version this code still reads:
+// version-2 stores (plain summary text, no statistics) open fine — the
+// cost model falls back to uniform estimates. Version-1 stores must be
+// rebuilt (sequential Dewey ordinals would be misread as caret IDs).
+const MinCatalogVersion = 2
 
 // Entry describes one stored view extent.
 type Entry struct {
@@ -113,8 +121,8 @@ func OpenCatalog(dir string) (*Catalog, error) {
 	if err := json.Unmarshal(data, &c); err != nil {
 		return nil, fmt.Errorf("store: invalid catalog in %s: %w", dir, err)
 	}
-	if c.FormatVersion != CatalogVersion {
-		return nil, fmt.Errorf("store: unsupported catalog version %d (want %d)", c.FormatVersion, CatalogVersion)
+	if c.FormatVersion < MinCatalogVersion || c.FormatVersion > CatalogVersion {
+		return nil, fmt.Errorf("store: unsupported catalog version %d (want %d..%d)", c.FormatVersion, MinCatalogVersion, CatalogVersion)
 	}
 	if got := SummaryHash(c.Summary); got != c.SummaryHash {
 		return nil, fmt.Errorf("store: catalog summary hash mismatch (manifest says %s, computed %s)", c.SummaryHash, got)

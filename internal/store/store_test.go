@@ -2,6 +2,8 @@ package store
 
 import (
 	"encoding/binary"
+	"encoding/json"
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -326,4 +328,41 @@ func TestCatalogRoundTrip(t *testing.T) {
 			t.Fatalf("tampered summary not detected: %v", err)
 		}
 	})
+}
+
+// TestCatalogVersionRange pins the compatibility policy: version-2
+// catalogs (pre-statistics) still open, anything outside [Min, Current]
+// is rejected with a version message, not a parse error.
+func TestCatalogVersionRange(t *testing.T) {
+	dir := t.TempDir()
+	cat := &Catalog{Summary: "site(item)"}
+	if err := WriteCatalog(dir, cat); err != nil {
+		t.Fatal(err)
+	}
+	if cat.FormatVersion != CatalogVersion {
+		t.Fatalf("written version %d, want %d", cat.FormatVersion, CatalogVersion)
+	}
+	rewriteVersion := func(v int) {
+		t.Helper()
+		c := &Catalog{Summary: "site(item)"}
+		data, err := json.MarshalIndent(c, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := strings.Replace(string(data), `"format_version": 0`, fmt.Sprintf(`"format_version": %d`, v), 1)
+		s = strings.Replace(s, `"summary_hash": ""`, fmt.Sprintf(`"summary_hash": %q`, SummaryHash("site(item)")), 1)
+		if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte(s), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rewriteVersion(MinCatalogVersion)
+	if _, err := OpenCatalog(dir); err != nil {
+		t.Fatalf("version %d must still open: %v", MinCatalogVersion, err)
+	}
+	for _, v := range []int{MinCatalogVersion - 1, CatalogVersion + 1} {
+		rewriteVersion(v)
+		if _, err := OpenCatalog(dir); err == nil || !strings.Contains(err.Error(), "version") {
+			t.Fatalf("version %d not rejected with a version message: %v", v, err)
+		}
+	}
 }

@@ -1,6 +1,9 @@
 package summary
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Builder constructs summaries by hand, which tests and examples use to
 // mirror the paper's figures exactly.
@@ -45,6 +48,9 @@ func (b *Builder) Summary() *Summary { return b.s }
 // Parse parses the parenthesized summary notation produced by
 // Summary.String: labels with optional child lists; a '!' prefix marks the
 // incoming edge strong, '=' marks it one-to-one. Example: "a(!b(c d) =e)".
+// The statistics annotations of StatsString — ':count:textbytes' after a
+// label — are accepted too, so catalogs written with or without statistics
+// both parse.
 func Parse(src string) (*Summary, error) {
 	p := &sumParser{src: src}
 	s, err := p.parse()
@@ -75,6 +81,9 @@ func (p *sumParser) parse() (*Summary, error) {
 		return nil, err
 	}
 	b := NewBuilder(label)
+	if err := p.stats(b.s.nodes[RootID]); err != nil {
+		return nil, err
+	}
 	if err := p.children(b, RootID); err != nil {
 		return nil, err
 	}
@@ -108,6 +117,51 @@ func (p *sumParser) label() (string, error) {
 	return p.src[start:p.pos], nil
 }
 
+// stats parses an optional ':count:textbytes' annotation onto the node.
+func (p *sumParser) stats(n *Node) error {
+	if p.pos >= len(p.src) || p.src[p.pos] != ':' {
+		return nil
+	}
+	p.pos++
+	count, err := p.number()
+	if err != nil {
+		return err
+	}
+	if count > math.MaxInt32 {
+		// Count is an int; reject values a 32-bit build would wrap
+		// rather than silently feeding the cost model garbage.
+		return fmt.Errorf("summary: node count %d too large in %q", count, p.src)
+	}
+	if p.pos >= len(p.src) || p.src[p.pos] != ':' {
+		return fmt.Errorf("summary: expected ':textbytes' at %d in %q", p.pos, p.src)
+	}
+	p.pos++
+	text, err := p.number()
+	if err != nil {
+		return err
+	}
+	n.Count = int(count)
+	n.TextBytes = text
+	return nil
+}
+
+func (p *sumParser) number() (int64, error) {
+	start := p.pos
+	var v int64
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		d := int64(p.src[p.pos] - '0')
+		if v > (math.MaxInt64-d)/10 {
+			return 0, fmt.Errorf("summary: number too large at %d in %q", start, p.src)
+		}
+		v = v*10 + d
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, fmt.Errorf("summary: expected number at %d in %q", p.pos, p.src)
+	}
+	return v, nil
+}
+
 func (p *sumParser) children(b *Builder, parent int) error {
 	p.skipSpace()
 	if p.pos >= len(p.src) || p.src[p.pos] != '(' {
@@ -137,6 +191,9 @@ func (p *sumParser) children(b *Builder, parent int) error {
 			return err
 		}
 		id := b.Child(parent, label, strong, oneToOne)
+		if err := p.stats(b.s.nodes[id]); err != nil {
+			return err
+		}
 		if err := p.children(b, id); err != nil {
 			return err
 		}

@@ -1,0 +1,83 @@
+package summary
+
+import (
+	"testing"
+
+	"xmlviews/internal/xmltree"
+)
+
+func TestBuildCollectsStats(t *testing.T) {
+	doc := xmltree.MustParseParen(`a(b(c "xx") b(c "yyyy" c "z") d "q")`)
+	s := Build(doc)
+	if !s.HasStats() {
+		t.Fatal("built summary must carry statistics")
+	}
+	if got := s.DocNodes(); got != 7 {
+		t.Fatalf("DocNodes = %d, want 7", got)
+	}
+	// Text bytes: "xx"+"yyyy"+"z" on c (7), "q" on d (1).
+	if got := s.TextBytes(); got != 8 {
+		t.Fatalf("TextBytes = %d, want 8", got)
+	}
+	b := s.FindPath("/a/b")
+	c := s.FindPath("/a/b/c")
+	if s.Node(b).Count != 2 || s.Node(c).Count != 3 {
+		t.Fatalf("counts b=%d c=%d, want 2 and 3", s.Node(b).Count, s.Node(c).Count)
+	}
+	// Fanout of c per b node: 3/2.
+	if got := s.AvgFanout(c); got != 1.5 {
+		t.Fatalf("AvgFanout(c) = %v, want 1.5", got)
+	}
+	// Avg text on c: 7 bytes over 3 nodes.
+	if got := s.AvgTextBytes(c); got < 2.3 || got > 2.4 {
+		t.Fatalf("AvgTextBytes(c) = %v, want ~2.33", got)
+	}
+	// Root fanout is defined as 1.
+	if got := s.AvgFanout(RootID); got != 1 {
+		t.Fatalf("AvgFanout(root) = %v, want 1", got)
+	}
+}
+
+func TestStatsStringRoundTrip(t *testing.T) {
+	doc := xmltree.MustParseParen(`a(b(c "xx") b(c "yyyy" c "z") d "q")`)
+	s := Build(doc)
+	text := s.StatsString()
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("annotated text %q does not parse: %v", text, err)
+	}
+	if back.StatsString() != text {
+		t.Fatalf("round trip changed text: %q -> %q", text, back.StatsString())
+	}
+	if back.String() != s.String() {
+		t.Fatalf("structure changed: %q -> %q", s.String(), back.String())
+	}
+	for _, id := range s.NodeIDs() {
+		want, got := s.Node(id), back.Node(id)
+		if want.Count != got.Count || want.TextBytes != got.TextBytes {
+			t.Fatalf("node %d stats %d/%d -> %d/%d", id, want.Count, want.TextBytes, got.Count, got.TextBytes)
+		}
+	}
+}
+
+func TestParsePlainNotationStillWorks(t *testing.T) {
+	s, err := Parse(`a(!b(c d) =e)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HasStats() {
+		t.Fatal("plain notation must not invent statistics")
+	}
+	if s.StatsString() != s.String() {
+		t.Fatalf("without stats StatsString must equal String, got %q vs %q", s.StatsString(), s.String())
+	}
+}
+
+func TestParseStatsErrors(t *testing.T) {
+	for _, src := range []string{`a:`, `a:1`, `a:1:`, `a:1:2:3`, `a(:1:2)`,
+		`a:99999999999999999999:0`, `a:4294967296:0`} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}

@@ -38,6 +38,10 @@ type Node struct {
 	// Count is the number of document nodes on this path (0 for summaries
 	// built by hand).
 	Count int
+	// TextBytes is the total size of the atomic values of the document
+	// nodes on this path (0 for summaries built by hand). TextBytes/Count
+	// is the average text size the cost model uses.
+	TextBytes int64
 }
 
 // Summary is a path summary. Build one with Build or NewBuilder.
@@ -76,6 +80,62 @@ func (s *Summary) Stats() (strong, oneToOne int) {
 		}
 	}
 	return
+}
+
+// HasStats reports whether the summary carries cardinality statistics
+// (collected by Build, or parsed from annotated notation). Summaries built
+// by hand have none; cost models fall back to uniform estimates then.
+func (s *Summary) HasStats() bool {
+	for _, n := range s.nodes {
+		if n.Count > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// DocNodes returns the total number of document nodes the statistics
+// cover (0 without statistics).
+func (s *Summary) DocNodes() int {
+	total := 0
+	for _, n := range s.nodes {
+		total += n.Count
+	}
+	return total
+}
+
+// TextBytes returns the total text size the statistics cover.
+func (s *Summary) TextBytes() int64 {
+	var total int64
+	for _, n := range s.nodes {
+		total += n.TextBytes
+	}
+	return total
+}
+
+// AvgFanout returns the average number of children on the node's path per
+// document node on its parent's path: Count(node)/Count(parent). It is 1
+// for the root and for summaries without statistics (uniform fallback).
+func (s *Summary) AvgFanout(id int) float64 {
+	n := s.nodes[id]
+	if n.Parent < 0 {
+		return 1
+	}
+	pc := s.nodes[n.Parent].Count
+	if n.Count <= 0 || pc <= 0 {
+		return 1
+	}
+	return float64(n.Count) / float64(pc)
+}
+
+// AvgTextBytes returns the average atomic-value size of document nodes on
+// the node's path (0 without statistics).
+func (s *Summary) AvgTextBytes(id int) float64 {
+	n := s.nodes[id]
+	if n.Count <= 0 {
+		return 0
+	}
+	return float64(n.TextBytes) / float64(n.Count)
 }
 
 // IsAncestor reports whether summary node a is a proper ancestor of b.
@@ -176,7 +236,16 @@ func (s *Summary) StrongClosure(id int) []int {
 
 // String renders the summary in parenthesized form; strong edges are
 // prefixed with '!', one-to-one edges with '='. Example: "a(!b(c) =d)".
-func (s *Summary) String() string {
+func (s *Summary) String() string { return s.render(false) }
+
+// StatsString renders the summary with per-node cardinality annotations:
+// every node with statistics carries ':count:textbytes' after its label,
+// e.g. "a:1:0(!b:40:520(c:40:80))". Parse accepts both forms, so the
+// annotated text is what stores persist in their catalogs; summaries
+// without statistics render identically to String.
+func (s *Summary) StatsString() string { return s.render(true) }
+
+func (s *Summary) render(stats bool) string {
 	var b strings.Builder
 	var write func(id int)
 	write = func(id int) {
@@ -189,6 +258,9 @@ func (s *Summary) String() string {
 			}
 		}
 		b.WriteString(n.Label)
+		if stats && n.Count > 0 {
+			fmt.Fprintf(&b, ":%d:%d", n.Count, n.TextBytes)
+		}
 		if len(n.Children) > 0 {
 			b.WriteByte('(')
 			for i, c := range n.Children {
@@ -226,6 +298,7 @@ func Build(doc *xmltree.Document) *Summary {
 	visit = func(n *xmltree.Node, sid int) {
 		n.PathID = sid
 		s.nodes[sid].Count++
+		s.nodes[sid].TextBytes += int64(len(n.Value))
 		perChild := map[int]int{}
 		for _, c := range n.Children {
 			cid, ok := childIndex[sid][c.Label]

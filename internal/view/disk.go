@@ -31,8 +31,13 @@ func BuildStore(dir string, doc *xmltree.Document, views []*core.View) (*store.C
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	// The catalog records the summary with its cardinality statistics
+	// (StatsString annotations), so a serving daemon can cost rewritings
+	// without the document; Parse accepts either form, and stores written
+	// without statistics still open (the cost model then falls back to
+	// uniform estimates).
 	s := summary.Build(doc)
-	cat := &store.Catalog{Document: doc.Name, Summary: s.String(), DocSegment: DocSegmentName}
+	cat := &store.Catalog{Document: doc.Name, Summary: s.StatsString(), DocSegment: DocSegmentName}
 	for i, v := range views {
 		if cat.Entry(v.Name) != nil {
 			return nil, fmt.Errorf("view: duplicate view name %q", v.Name)

@@ -106,7 +106,7 @@ func ApplyAndPersist(dir string, cat *store.Catalog, st *Store, updates []xmltre
 		s.entry.Rows = s.rows
 	}
 	cat.DocSegment = docSeg
-	cat.Summary = batch.Summary.String()
+	cat.Summary = batch.Summary.StatsString()
 	cat.Epoch = epoch
 	if err := store.WriteCatalog(dir, cat); err != nil {
 		return res, &PersistError{err}

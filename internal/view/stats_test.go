@@ -1,0 +1,122 @@
+package view
+
+import (
+	"testing"
+
+	"xmlviews/internal/core"
+	"xmlviews/internal/maintain"
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/store"
+	"xmlviews/internal/summary"
+	"xmlviews/internal/xmltree"
+)
+
+// TestCatalogStatsRoundTrip checks that the cardinality statistics
+// collected at build time survive the catalog write/read cycle and match a
+// fresh summary build.
+func TestCatalogStatsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	doc := xmltree.MustParseParen(
+		`site(item(name "pen" price "3") item(name "ink" price "7") person(name "bob"))`)
+	views := []*core.View{
+		{Name: "v1", Pattern: pattern.MustParse(`site(/item[id](/name[v]))`), DerivableParentIDs: true},
+	}
+	if _, err := BuildStore(dir, doc, views); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := store.OpenCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := summary.Parse(cat.Summary)
+	if err != nil {
+		t.Fatalf("catalog summary %q does not parse: %v", cat.Summary, err)
+	}
+	if !sum.HasStats() {
+		t.Fatalf("catalog summary lost its statistics: %q", cat.Summary)
+	}
+	fresh := summary.Build(doc)
+	if sum.StatsString() != fresh.StatsString() {
+		t.Fatalf("catalog stats %q != fresh build %q", sum.StatsString(), fresh.StatsString())
+	}
+	if sum.DocNodes() != 9 {
+		t.Fatalf("DocNodes = %d, want 9", sum.DocNodes())
+	}
+}
+
+// TestCatalogStatsRefreshedByUpdate checks that maintenance rewrites the
+// annotated summary: after an update the persisted statistics reflect the
+// new document.
+func TestCatalogStatsRefreshedByUpdate(t *testing.T) {
+	dir := t.TempDir()
+	doc := xmltree.MustParseParen(`site(item(name "pen"))`)
+	views := []*core.View{
+		{Name: "v1", Pattern: pattern.MustParse(`site(/item[id](/name[v]))`), DerivableParentIDs: true},
+	}
+	if _, err := BuildStore(dir, doc, views); err != nil {
+		t.Fatal(err)
+	}
+	updates, err := maintain.ParseUpdates([]byte(`[{"op":"insert","parent":"1","subtree":"item(name \"ink\")"}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UpdateStore(dir, updates); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := store.OpenCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := summary.Parse(cat.Summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	item := sum.FindPath("/site/item")
+	if item < 0 || sum.Node(item).Count != 2 {
+		t.Fatalf("post-update item count = %d, want 2 (summary %q)", sum.Node(item).Count, cat.Summary)
+	}
+}
+
+// TestOpenStoreWithoutStats checks the fallback: a catalog whose summary
+// carries no annotations (pre-statistics store) still opens and serves.
+func TestOpenStoreWithoutStats(t *testing.T) {
+	dir := t.TempDir()
+	doc := xmltree.MustParseParen(`site(item(name "pen"))`)
+	views := []*core.View{
+		{Name: "v1", Pattern: pattern.MustParse(`site(/item[id](/name[v]))`), DerivableParentIDs: true},
+	}
+	if _, err := BuildStore(dir, doc, views); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the annotations the way an old builder would have written it.
+	cat, err := store.OpenCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := summary.Parse(cat.Summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat.Summary = sum.String() // plain notation, no stats
+	if err := store.WriteCatalog(dir, cat); err != nil {
+		t.Fatal(err)
+	}
+	cat2, err := store.OpenCatalog(dir)
+	if err != nil {
+		t.Fatalf("stats-free catalog must open: %v", err)
+	}
+	sum2, err := summary.Parse(cat2.Summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2.HasStats() {
+		t.Fatal("stripped summary must carry no stats")
+	}
+	st, err := OpenStoreWithCatalog(dir, cat2, views)
+	if err != nil {
+		t.Fatalf("stats-free store must open: %v", err)
+	}
+	if st.Relation(views[0]).Len() != 1 {
+		t.Fatal("stats-free store must still serve its extent")
+	}
+}

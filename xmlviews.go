@@ -36,6 +36,7 @@ import (
 
 	"xmlviews/internal/algebra"
 	"xmlviews/internal/core"
+	"xmlviews/internal/cost"
 	"xmlviews/internal/maintain"
 	"xmlviews/internal/nrel"
 	"xmlviews/internal/pattern"
@@ -159,6 +160,37 @@ type ExecOptions = algebra.Options
 // ExecuteWith runs a rewriting plan with explicit execution options.
 func ExecuteWith(p *Plan, st *Store, opts ExecOptions) (*Result, error) {
 	return algebra.ExecuteWith(p, st, opts)
+}
+
+// CostStats bundles the statistics the cost model prices plans with: the
+// summary's per-node cardinalities plus per-view extent sizes.
+type CostStats = cost.Stats
+
+// Cost is a plan's estimated execution cost and output cardinality.
+type Cost = cost.Cost
+
+// CostEstimator estimates plan costs against one statistics snapshot.
+type CostEstimator = cost.Estimator
+
+// CostFromSummary builds cost statistics from a summary alone; scan sizes
+// are estimated from its cardinalities (uniform without statistics).
+func CostFromSummary(s *Summary) *CostStats { return cost.FromSummary(s) }
+
+// CostFromCatalog builds cost statistics from a store catalog and its
+// parsed summary; cataloged scans are priced at actual row/byte counts.
+func CostFromCatalog(cat *Catalog, s *Summary) *CostStats { return cost.FromCatalog(cat, s) }
+
+// NewCostEstimator returns an estimator over the statistics.
+func NewCostEstimator(st *CostStats) *CostEstimator { return cost.NewEstimator(st) }
+
+// CostFunc estimates a plan's execution cost; lower is cheaper.
+type CostFunc = core.CostFunc
+
+// ChooseBest picks the cheapest rewriting under the cost function,
+// deterministically (ties break on plan text, not discovery order). Use
+// est.PlanCost as the cost function.
+func ChooseBest(res *RewriteResult, costOf CostFunc) (*Plan, float64, int) {
+	return core.ChooseBest(res, costOf)
 }
 
 // SubsumeCache memoizes summary-implication decisions; share one across
