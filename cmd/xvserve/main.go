@@ -47,6 +47,9 @@ func run(args []string, stdout io.Writer) error {
 	maxUpdate := fs.Int64("maxupdate", 0, "maximum /update body bytes (0: default 8 MiB)")
 	maxRows := fs.Int("maxrows", 0, "hard cap on /query response rows; the default when no limit is passed, and explicit limits are clamped to it (0: default 10000)")
 	maxRewritings := fs.Int("maxrewritings", 0, "equivalent rewritings enumerated per cold query before cost selection (0: default 8)")
+	compactChain := fs.Int("compactchain", 0, "fold delta chains online once any view's chain reaches this many segments (0: default 16)")
+	compactBytes := fs.Int64("compactbytes", 0, "fold delta chains online once their total size reaches this many bytes (0: default 32 MiB)")
+	noCompact := fs.Bool("nocompact", false, "disable online compaction (chains then grow until xvstore compact)")
 	drain := fs.Duration("drain", 15*time.Second, "graceful shutdown drain timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,10 +59,12 @@ func run(args []string, stdout io.Writer) error {
 	}
 	srv, err := serve.New(serve.Config{Dir: *dir, Workers: *workers, PlanCacheSize: *planCache,
 		ReadOnly: *readOnly, MaxUpdateBytes: *maxUpdate, MaxResponseRows: *maxRows,
-		MaxRewritings: *maxRewritings})
+		MaxRewritings:   *maxRewritings,
+		CompactMaxChain: *compactChain, CompactMaxBytes: *compactBytes, CompactDisabled: *noCompact})
 	if err != nil {
 		return err
 	}
+	defer srv.Close()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -150,11 +150,12 @@ func runCompact(args []string, stdout io.Writer) error {
 	if *dir == "" {
 		return fmt.Errorf("compact needs -dir")
 	}
-	folded, err := view.CompactStore(*dir)
+	res, err := view.CompactStore(*dir)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "folded %d delta segment(s)\n", folded)
+	fmt.Fprintf(stdout, "folded %d delta segment(s); removed %d superseded file(s), reclaimed %d byte(s)\n",
+		res.Folded, res.FilesRemoved, res.BytesReclaimed)
 	return nil
 }
 

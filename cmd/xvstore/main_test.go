@@ -89,7 +89,8 @@ func TestRunApplyCompactInfo(t *testing.T) {
 	if err := run([]string{"compact", "-dir", out}, &compactOut); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(compactOut.String(), "folded 2 delta segment(s)") {
+	if !strings.Contains(compactOut.String(), "folded 2 delta segment(s)") ||
+		!strings.Contains(compactOut.String(), "reclaimed") {
 		t.Fatalf("compact output wrong:\n%s", compactOut.String())
 	}
 	infoOut.Reset()

@@ -13,14 +13,18 @@
 // irrelevance filter is what makes a multi-view store cheap to maintain,
 // since a typical update touches few views.
 //
-// For the remaining views the engine re-evaluates the (flat) extent over
-// the updated document and emits the tuple delta against the current
-// extent. Recomputation keeps the engine exactly faithful to the paper's
-// optional-edge and set semantics (an insertion can retract ⊥-padded rows,
-// a deletion can resurrect them, and a tuple with several embeddings
-// survives losing one); per-embedding delta propagation is future work.
-// Batches are atomic: if any update fails to apply, the document is rolled
-// back and no extent changes.
+// For the remaining views the engine computes tuple deltas *scoped to the
+// change*: for chain-shaped views storing a required identifier (see
+// scope.go) it evaluates the pattern only under the affected Dewey subtree
+// root — before and after each update — and splices the difference into
+// the key-sorted extent by binary search, so maintenance cost follows the
+// size of the change, not of the document. Views outside that class fall
+// back to full re-evaluation and a whole-extent diff, which keeps the
+// engine exactly faithful to the paper's optional-edge and set semantics
+// in every case (the scoped path is provably exact for its class; the
+// differential oracle cross-checks both). Batches are atomic: if any
+// update fails to apply, the document is rolled back, the maintained
+// summary clone is discarded, and no extent changes.
 package maintain
 
 import (
@@ -28,6 +32,7 @@ import (
 	"strings"
 
 	"xmlviews/internal/core"
+	"xmlviews/internal/nodeid"
 	"xmlviews/internal/nrel"
 	"xmlviews/internal/pattern"
 	"xmlviews/internal/summary"
@@ -38,6 +43,34 @@ import (
 // package passes view.MaterializeFlat; taking it as a parameter keeps this
 // package importable from view without a cycle.
 type Materializer func(*core.View, *xmltree.Document) *nrel.Relation
+
+// ScopedMaterializer produces the witnessed part of a view's flat extent
+// under a scope root: the rows whose witness identifier (the id column of
+// the flattened pattern's witnessReturn-th return node) lies at or below
+// root, evaluated without leaving root's chain and subtree. The view
+// package passes view.MaterializeFlatScoped.
+type ScopedMaterializer func(v *core.View, doc *xmltree.Document, root nodeid.ID, witnessReturn int) *nrel.Relation
+
+// Engine bundles the evaluation hooks and maintained state ComputeDeltas
+// threads through a batch.
+type Engine struct {
+	// Mat re-evaluates a full extent (the fallback path). Required.
+	Mat Materializer
+	// MatScoped evaluates the witnessed scoped extent. nil disables the
+	// scoped fast path (every relevant view is fully recomputed).
+	MatScoped ScopedMaterializer
+	// Summary is the incrementally maintained summary of the document. It
+	// is cloned per batch; the advanced clone is returned in
+	// Batch.Maintained on success and discarded on failure. nil builds a
+	// fresh one from the document (O(document), so callers should cache).
+	Summary *summary.Maintained
+	// SortedExtents asserts that current() returns extents sorted by row
+	// key (maintain.SortByKey order). The scoped fast path splices by
+	// binary search and silently corrupts unsorted extents, so it is only
+	// taken when this is set; view.Store establishes the invariant before
+	// its first batch.
+	SortedExtents bool
+}
 
 // Delta is the tuple-level change to one view's flat extent.
 type Delta struct {
@@ -56,55 +89,206 @@ type Batch struct {
 	// Skipped lists views the relevance mapping proved unaffected (their
 	// extents were not even re-evaluated).
 	Skipped []string
-	// Summary is the path summary of the updated document, rebuilt after
-	// the batch (updates can add paths and invalidate strong/one-to-one
-	// edge annotations, and the serving side rewrites against it).
+	// Scoped counts the relevant views maintained through the scoped fast
+	// path (vs. full recomputation).
+	Scoped int
+	// Summary is the path summary of the updated document, maintained
+	// incrementally through the batch and snapshotted with canonical node
+	// ids (the serving side rewrites against it).
 	Summary *summary.Summary
+	// Maintained is the advanced mutable summary; callers that cache one
+	// across batches (view.Store) commit it on success.
+	Maintained *summary.Maintained
+}
+
+// viewState tracks one view through a batch.
+type viewState struct {
+	relevant bool
+	// full marks the fallback path: recompute the whole extent after the
+	// batch. Set when the view is not scoped-diffable.
+	full bool
+	// analyzed/fast cache the scoped-diff eligibility analysis.
+	analyzed bool
+	fast     *fastView
+	// working is the view's key-sorted extent being spliced through the
+	// batch (a copy of the current extent, taken on first touch).
+	working *nrel.Relation
+	// net accumulates the batch's membership changes.
+	net *netDelta
 }
 
 // ComputeDeltas applies the update batch to doc (in place, atomically) and
 // returns the per-view extent deltas. current returns a view's extent
-// before the batch; mat re-evaluates one over the updated document.
+// before the batch (key-sorted when eng.SortedExtents); eng supplies the
+// evaluation hooks and the maintained summary.
 func ComputeDeltas(doc *xmltree.Document, views []*core.View, updates []xmltree.Update,
-	current func(*core.View) *nrel.Relation, mat Materializer) (*Batch, error) {
+	current func(*core.View) *nrel.Relation, eng Engine) (*Batch, error) {
 	if len(updates) == 0 {
 		return nil, fmt.Errorf("maintain: empty update batch")
 	}
-	paths := newPathSet()
+	msum := eng.Summary
+	if msum == nil {
+		msum = summary.NewMaintained(doc)
+	}
+	work := msum.Clone()
+	fastOK := eng.MatScoped != nil && eng.SortedExtents
+
+	states := make([]*viewState, len(views))
+	for i := range states {
+		states[i] = &viewState{}
+	}
+
+	fail := func(undo []func(), i int, err error) (*Batch, error) {
+		rollback(undo)
+		return nil, fmt.Errorf("maintain: update %d: %w", i, err)
+	}
+
 	var undo []func()
 	for i := range updates {
 		u := updates[i]
-		if err := paths.collect(doc, u); err != nil {
-			rollback(undo)
-			return nil, fmt.Errorf("maintain: update %d: %w", i, err)
+		// The affected rooted label paths of this update, including the
+		// post-apply shapes of inserts and renames (computable pre-apply
+		// from the update itself).
+		ps := newPathSet()
+		if err := ps.collect(doc, u); err != nil {
+			return fail(undo, i, err)
+		}
+		// Scoped pre-apply evaluations for the relevant fast views.
+		type pending struct {
+			j     int
+			scope updateScope
+			old   *nrel.Relation
+		}
+		var pend []pending
+		for j, v := range views {
+			st := states[j]
+			if !ps.relevant(v.Pattern) {
+				continue
+			}
+			st.relevant = true
+			if st.full {
+				continue
+			}
+			if !st.analyzed {
+				st.analyzed = true
+				if fastOK {
+					st.fast, _ = analyzeFast(v)
+				}
+				if st.fast == nil {
+					st.full = true
+					continue
+				}
+			}
+			sc, ok := scopeFor(u, doc, st.fast)
+			if !ok {
+				// The update will fail to apply; let the apply report it.
+				continue
+			}
+			p := pending{j: j, scope: sc}
+			if sc.pre != nil {
+				p.old = eng.MatScoped(v, doc, sc.pre, st.fast.witnessReturn)
+			}
+			pend = append(pend, p)
+		}
+
+		// Apply the update, maintaining the summary clone around it
+		// (remove-before-detach, add-after-attach).
+		if u.Kind == xmltree.UpdateDelete {
+			if n := doc.FindByID(u.Target); n != nil && n.Parent != nil {
+				if err := work.RemoveSubtree(n); err != nil {
+					return fail(undo, i, err)
+				}
+			}
+		}
+		var renamed *xmltree.Node
+		if u.Kind == xmltree.UpdateRename {
+			// An invalid rename (empty label) is rejected by applyWithUndo
+			// below; the summary work done here is discarded on failure.
+			if n := doc.FindByID(u.Target); n != nil && n.Parent != nil {
+				renamed = n
+				if err := work.RemoveSubtree(n); err != nil {
+					return fail(undo, i, err)
+				}
+			}
+		}
+		var textDelta int64
+		if u.Kind == xmltree.UpdateSetValue {
+			if n := doc.FindByID(u.Target); n != nil {
+				textDelta = int64(len(u.Value)) - int64(len(n.Value))
+			}
 		}
 		node, un, err := applyWithUndo(doc, u)
 		if err != nil {
-			rollback(undo)
-			return nil, fmt.Errorf("maintain: update %d: %w", i, err)
+			return fail(undo, i, err)
 		}
 		undo = append(undo, un)
-		// collect sees the pre-update document; the paths of freshly
-		// inserted nodes (and of a renamed subtree's new shape) only exist
-		// now, so gather them post-apply.
-		if u.Kind == xmltree.UpdateInsert || u.Kind == xmltree.UpdateRename {
-			paths.addSubtreePaths(node)
+		switch u.Kind {
+		case xmltree.UpdateInsert:
+			err = work.AddSubtree(node)
+		case xmltree.UpdateRename:
+			if renamed != nil {
+				err = work.AddSubtree(renamed)
+			} else {
+				work.RenameRoot(u.Label)
+			}
+		case xmltree.UpdateSetValue:
+			err = work.AdjustText(node, textDelta)
+		}
+		if err != nil {
+			return fail(undo, i, err)
+		}
+
+		// Scoped post-apply evaluations and splices.
+		for _, p := range pend {
+			v, st := views[p.j], states[p.j]
+			root := p.scope.pre
+			if p.scope.postFromInserted {
+				root = node.ID
+			}
+			newRel := eng.MatScoped(v, doc, root, st.fast.witnessReturn)
+			adds, dels := diffKeyed(p.old, newRel)
+			if adds.Len() == 0 && dels.Len() == 0 {
+				continue
+			}
+			if st.working == nil {
+				cur := current(v)
+				st.working = nrel.NewRelation(cur.Cols...)
+				st.working.Rows = append([]nrel.Tuple(nil), cur.Rows...)
+				st.net = newNetDelta()
+			}
+			added, deleted := spliceSorted(st.working, adds, dels)
+			for _, row := range deleted {
+				st.net.delRow(row)
+			}
+			for _, row := range added {
+				st.net.addRow(row)
+			}
 		}
 	}
 
-	batch := &Batch{Summary: summary.Build(doc)}
-	for _, v := range views {
-		if !paths.relevant(v.Pattern) {
+	work.RecomputeEdgeFlags()
+	batch := &Batch{Summary: work.Snapshot(), Maintained: work}
+	for j, v := range views {
+		st := states[j]
+		if !st.relevant {
 			batch.Skipped = append(batch.Skipped, v.Name)
 			continue
 		}
-		newRel := mat(v, doc)
-		old := current(v)
-		adds, dels := diffRelations(old, newRel)
-		if adds.Len() == 0 && dels.Len() == 0 {
+		if st.full {
+			newRel := SortByKey(eng.Mat(v, doc))
+			adds, dels := diffRelations(current(v), newRel)
+			if adds.Len() == 0 && dels.Len() == 0 {
+				continue
+			}
+			batch.Deltas = append(batch.Deltas, &Delta{View: v, Adds: adds, Dels: dels, New: newRel})
 			continue
 		}
-		batch.Deltas = append(batch.Deltas, &Delta{View: v, Adds: adds, Dels: dels, New: newRel})
+		batch.Scoped++
+		if st.working == nil || st.net.empty() {
+			continue
+		}
+		adds, dels := st.net.relations(st.working.Cols)
+		batch.Deltas = append(batch.Deltas, &Delta{View: v, Adds: adds, Dels: dels, New: st.working})
 	}
 	return batch, nil
 }
@@ -283,9 +467,10 @@ func labelPath(n *xmltree.Node) []string {
 	return rev
 }
 
-// addSubtreePaths records the paths of every node of a live subtree.
-func (ps *pathSet) addSubtreePaths(root *xmltree.Node) {
-	base := labelPath(root)
+// addSubtreeShapes records the paths of every node of a subtree whose root
+// sits at the given base path (base already includes the root's label —
+// or, with an override, the label it is about to receive).
+func (ps *pathSet) addSubtreeShapes(base []string, root *xmltree.Node) {
 	ps.addNode(base)
 	var walk func(prefix []string, n *xmltree.Node)
 	walk = func(prefix []string, n *xmltree.Node) {
@@ -298,8 +483,15 @@ func (ps *pathSet) addSubtreePaths(root *xmltree.Node) {
 	walk(base, root)
 }
 
+// addSubtreePaths records the paths of every node of a live subtree.
+func (ps *pathSet) addSubtreePaths(root *xmltree.Node) {
+	ps.addSubtreeShapes(labelPath(root), root)
+}
+
 // collect records the paths update u affects, evaluated against the
-// pre-update document.
+// pre-update document. The post-apply shapes of inserts and renames are
+// derivable from the update itself, so the whole affected-path set is
+// known before anything mutates.
 func (ps *pathSet) collect(doc *xmltree.Document, u xmltree.Update) error {
 	switch u.Kind {
 	case xmltree.UpdateInsert:
@@ -307,10 +499,12 @@ func (ps *pathSet) collect(doc *xmltree.Document, u xmltree.Update) error {
 		if parent == nil {
 			return fmt.Errorf("insert parent %s not found", u.Parent)
 		}
-		// The inserted nodes' paths are recorded post-apply (the caller
-		// calls addSubtreePaths on the created node); here only the content
-		// change along the insertion path is known.
-		ps.addAncestors(labelPath(parent))
+		if u.Subtree == nil || u.Subtree.Root == nil {
+			return fmt.Errorf("insert with empty subtree")
+		}
+		base := labelPath(parent)
+		ps.addAncestors(base)
+		ps.addSubtreeShapes(append(base, u.Subtree.Root.Label), u.Subtree.Root)
 	case xmltree.UpdateDelete:
 		n := doc.FindByID(u.Target)
 		if n == nil {
@@ -325,7 +519,9 @@ func (ps *pathSet) collect(doc *xmltree.Document, u xmltree.Update) error {
 		if n == nil {
 			return fmt.Errorf("rename target %s not found", u.Target)
 		}
-		ps.addSubtreePaths(n) // old paths; new ones are collected post-apply
+		ps.addSubtreePaths(n) // old shape
+		path := labelPath(n)
+		ps.addSubtreeShapes(append(path[:len(path)-1:len(path)-1], u.Label), n) // new shape
 		if n.Parent != nil {
 			ps.addAncestors(labelPath(n.Parent))
 		}

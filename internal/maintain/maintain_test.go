@@ -23,10 +23,11 @@ func compute(t *testing.T, doc *xmltree.Document, views []*core.View, ups ...xml
 	t.Helper()
 	old := map[string]*nrel.Relation{}
 	for _, v := range views {
-		old[v.Name] = view.MaterializeFlat(v, doc)
+		old[v.Name] = maintain.SortByKey(view.MaterializeFlat(v, doc))
 	}
 	batch, err := maintain.ComputeDeltas(doc, views, ups,
-		func(v *core.View) *nrel.Relation { return old[v.Name] }, view.MaterializeFlat)
+		func(v *core.View) *nrel.Relation { return old[v.Name] },
+		maintain.Engine{Mat: view.MaterializeFlat, MatScoped: view.MaterializeFlatScoped, SortedExtents: true})
 	if err != nil {
 		t.Fatalf("ComputeDeltas: %v", err)
 	}
@@ -161,13 +162,14 @@ func TestRollbackOnFailedBatch(t *testing.T) {
 	doc := xmltree.MustParseParen(`a(b "1")`)
 	before := doc.Root.String()
 	v := mkView("v", `a(/b[v])`)
-	old := view.MaterializeFlat(v, doc)
+	old := maintain.SortByKey(view.MaterializeFlat(v, doc))
 	_, err := maintain.ComputeDeltas(doc, []*core.View{v},
 		[]xmltree.Update{
 			ins("1", "", `b "2"`),
 			{Kind: xmltree.UpdateDelete, Target: mustID("1.9")}, // missing target
 		},
-		func(*core.View) *nrel.Relation { return old }, view.MaterializeFlat)
+		func(*core.View) *nrel.Relation { return old },
+		maintain.Engine{Mat: view.MaterializeFlat, MatScoped: view.MaterializeFlatScoped, SortedExtents: true})
 	if err == nil {
 		t.Fatal("failed batch reported success")
 	}
@@ -179,10 +181,11 @@ func TestRollbackOnFailedBatch(t *testing.T) {
 func TestSummaryRebuiltAfterBatch(t *testing.T) {
 	doc := xmltree.MustParseParen(`a(b)`)
 	v := mkView("v", `a(/b[id])`)
-	old := view.MaterializeFlat(v, doc)
+	old := maintain.SortByKey(view.MaterializeFlat(v, doc))
 	batch, err := maintain.ComputeDeltas(doc, []*core.View{v},
 		[]xmltree.Update{ins("1.1", "", `newlabel "x"`)},
-		func(*core.View) *nrel.Relation { return old }, view.MaterializeFlat)
+		func(*core.View) *nrel.Relation { return old },
+		maintain.Engine{Mat: view.MaterializeFlat, MatScoped: view.MaterializeFlatScoped, SortedExtents: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +196,7 @@ func TestSummaryRebuiltAfterBatch(t *testing.T) {
 
 func TestEmptyBatchRejected(t *testing.T) {
 	doc := xmltree.MustParseParen(`a`)
-	if _, err := maintain.ComputeDeltas(doc, nil, nil, nil, nil); err == nil {
+	if _, err := maintain.ComputeDeltas(doc, nil, nil, nil, maintain.Engine{}); err == nil {
 		t.Fatal("empty batch accepted")
 	}
 }

@@ -1,0 +1,199 @@
+package maintain
+
+import (
+	"xmlviews/internal/core"
+	"xmlviews/internal/nodeid"
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/xmltree"
+)
+
+// Scoped extent diffing (the fast maintenance path).
+//
+// For a change under a document node r, a view tuple can only appear or
+// disappear if one of its embeddings passes through r's region. If the
+// view's flattened pattern is a *chain* (every node has at most one child)
+// and stores the identifier of some node with no optional edge above it —
+// the *witness* — then every row binds the witness to a concrete node, and
+// for a changed row that node lies on r's root chain or inside r's
+// subtree. Widening the scope root r' to the shallowest ancestor-or-self
+// of r the witness chain can bind gives the key property: every embedding
+// of every row whose witness lies in subtree-or-self(r') is itself fully
+// contained in chain(r') ∪ subtree(r'). Evaluating the pattern scoped to
+// that region (pattern.EvalScope) and keeping only witnessed rows
+// therefore yields *exactly* the full extent's witnessed-row subset, on
+// both sides of the update — so their set difference is the exact delta,
+// and rows outside the witnessed subset are provably unchanged. No full
+// re-evaluation, no full-extent diff; the multi-embedding and optional-⊥
+// subtleties that defeat naive per-embedding differencing are handled by
+// construction, because both sides see every surviving embedding of every
+// candidate row.
+//
+// Views whose pattern is not a chain (a change in one branch pairs with
+// bindings of sibling branches anywhere in the document) or stores no
+// required identifier fall back to full recomputation for the batch.
+
+// fastView is the per-view analysis enabling scoped diffing.
+type fastView struct {
+	// witnessReturn indexes the witness node in the flattened pattern's
+	// return list; witnessCol is its id column in the renamed extent.
+	witnessReturn int
+	// chain is the witness node's root chain, for scope-root matching.
+	chain []chainStep
+	// cChains are the root chains of content-storing nodes strictly above
+	// the witness. A change anywhere below such a binding rewrites the C
+	// column of every row under it, so the scope root must hoist to the
+	// shallowest node those chains can bind on the change's root chain.
+	cChains [][]chainStep
+}
+
+// flattenChain returns the view's evaluation pattern with nesting markers
+// stripped (mirroring view.MaterializeFlat) if it is a chain, else nil.
+func flattenChain(v *core.View) *pattern.Pattern {
+	pat := v.Pattern
+	if v.Stored != nil {
+		pat = v.Stored
+	}
+	flat := pat.Clone()
+	for _, n := range flat.Nodes() {
+		if len(n.Children) > 1 {
+			return nil
+		}
+		n.Nested = false
+	}
+	return flat.Finish()
+}
+
+// analyzeFast decides scoped-diff eligibility for a view and computes its
+// witness.
+func analyzeFast(v *core.View) (*fastView, bool) {
+	flat := flattenChain(v)
+	if flat == nil {
+		return nil, false
+	}
+	witness := -1
+	var wnode *pattern.Node
+	for k, rn := range flat.Returns() {
+		if !rn.Attrs.Has(pattern.AttrID) {
+			continue
+		}
+		required := true
+		for cur := rn; cur.Parent != nil; cur = cur.Parent {
+			if cur.Optional {
+				required = false
+				break
+			}
+		}
+		if required {
+			// Returns are in preorder; on a chain, later means deeper.
+			witness, wnode = k, rn
+		}
+	}
+	if witness < 0 {
+		return nil, false
+	}
+	fv := &fastView{witnessReturn: witness, chain: chainOf(wnode)}
+	for _, rn := range flat.Returns() {
+		if rn.Attrs.Has(pattern.AttrContent) && rn.Index < wnode.Index {
+			fv.cChains = append(fv.cChains, chainOf(rn))
+		}
+	}
+	return fv, true
+}
+
+// updateScope is the scoped-diff region of one update for one fast view.
+type updateScope struct {
+	// pre is the scope root for the pre-apply evaluation; nil when the
+	// changed region does not exist before the update (an insert whose
+	// witness can only bind at or below the inserted root), in which case
+	// the old scoped extent is empty by construction.
+	pre nodeid.ID
+	// postFromInserted indicates the post-apply scope root is the freshly
+	// inserted node (filled in after the insert applies); otherwise the
+	// post root equals pre.
+	postFromInserted bool
+}
+
+// ancestorChain returns root..n and the corresponding label path.
+func ancestorChain(n *xmltree.Node) (nodes []*xmltree.Node, labels []string) {
+	var rev []*xmltree.Node
+	for cur := n; cur != nil; cur = cur.Parent {
+		rev = append(rev, cur)
+	}
+	for i := len(rev) - 1; i >= 0; i-- {
+		nodes = append(nodes, rev[i])
+		labels = append(labels, rev[i].Label)
+	}
+	return nodes, labels
+}
+
+// shallowestMatch returns the smallest i such that the chain can bind the
+// i-th node of the label path (1-based prefix length), or -1.
+func shallowestMatch(chain []chainStep, labels []string) int {
+	for i := 1; i <= len(labels); i++ {
+		if chainMatchesPath(chain, labels[:i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// shallowestScope returns the shallowest binding position of the witness
+// chain or any fanning content chain on the label path, or -1.
+func (fv *fastView) shallowestScope(labels []string) int {
+	best := shallowestMatch(fv.chain, labels)
+	for _, cc := range fv.cChains {
+		if i := shallowestMatch(cc, labels); i >= 1 && (best < 0 || i < best) {
+			best = i
+		}
+	}
+	return best
+}
+
+// scopeFor computes the scoped-diff region for update u against a fast
+// view, before the update applies. The changed node's ancestor-or-self
+// chain is scanned top-down for the shallowest node the witness can bind;
+// when the witness can only bind strictly inside the changed subtree, the
+// scope root is the changed node itself.
+func scopeFor(u xmltree.Update, doc *xmltree.Document, fv *fastView) (updateScope, bool) {
+	switch u.Kind {
+	case xmltree.UpdateInsert:
+		parent := doc.FindByID(u.Parent)
+		if parent == nil || u.Subtree == nil || u.Subtree.Root == nil {
+			return updateScope{}, false
+		}
+		nodes, labels := ancestorChain(parent)
+		labels = append(labels, u.Subtree.Root.Label)
+		if i := fv.shallowestScope(labels); i >= 1 && i <= len(nodes) {
+			return updateScope{pre: nodes[i-1].ID}, true
+		}
+		// The witness binds only at or below the inserted root, which does
+		// not exist yet: nothing is witnessed pre-apply.
+		return updateScope{postFromInserted: true}, true
+	case xmltree.UpdateDelete, xmltree.UpdateSetValue:
+		n := doc.FindByID(u.Target)
+		if n == nil {
+			return updateScope{}, false
+		}
+		nodes, labels := ancestorChain(n)
+		if i := fv.shallowestScope(labels); i >= 1 {
+			return updateScope{pre: nodes[i-1].ID}, true
+		}
+		return updateScope{pre: n.ID}, true
+	case xmltree.UpdateRename:
+		n := doc.FindByID(u.Target)
+		if n == nil {
+			return updateScope{}, false
+		}
+		nodes, labels := ancestorChain(n)
+		i := fv.shallowestScope(labels)
+		renamed := append(append([]string(nil), labels[:len(labels)-1]...), u.Label)
+		if j := fv.shallowestScope(renamed); j >= 1 && (i < 0 || j < i) {
+			i = j // the new shape matches shallower; cover both
+		}
+		if i >= 1 {
+			return updateScope{pre: nodes[i-1].ID}, true
+		}
+		return updateScope{pre: n.ID}, true
+	}
+	return updateScope{}, false
+}

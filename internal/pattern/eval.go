@@ -1,6 +1,7 @@
 package pattern
 
 import (
+	"xmlviews/internal/nodeid"
 	"xmlviews/internal/nrel"
 	"xmlviews/internal/predicate"
 	"xmlviews/internal/xmltree"
@@ -63,12 +64,47 @@ func itoa(i int) string {
 // 11 and 12: optional edges produce ⊥ (or empty nested tables) when the
 // subtree cannot bind; nested edges group bindings into table values.
 func (p *Pattern) Eval(doc *xmltree.Document) *nrel.Relation {
+	return p.evalScoped(doc, nil)
+}
+
+// Scope restricts evaluation to the document region an update can affect:
+// the nodes on the chain from the document root down to Root, plus Root's
+// whole subtree. Because a node outside that region can contain no node
+// inside it, the evaluator prunes whole sibling subtrees, making scoped
+// evaluation O(depth·fanout + |subtree(Root)|) instead of O(document).
+type Scope struct {
+	// Root is the Dewey identifier of the scope's subtree root. It need not
+	// identify a live node (a deleted subtree's old root, or an inserted
+	// root evaluated against the pre-insertion document, scope to nothing
+	// below while their ancestor chain still evaluates).
+	Root nodeid.ID
+}
+
+// Contains reports whether a node with the given identifier is inside the
+// scope: an ancestor-or-self of Root, or within Root's subtree.
+func (sc *Scope) Contains(id nodeid.ID) bool {
+	return id.Equal(sc.Root) || id.IsAncestorOf(sc.Root) || sc.Root.IsAncestorOf(id)
+}
+
+// EvalScope evaluates the pattern like Eval, but binds pattern nodes only
+// to document nodes within the scope. The result is exactly the set of
+// rows every one of whose embeddings' bindings lie on the scope's
+// root-chain or inside its subtree — the incremental maintenance engine's
+// candidate set for a change under the scope root.
+func (p *Pattern) EvalScope(doc *xmltree.Document, sc Scope) *nrel.Relation {
+	return p.evalScoped(doc, &sc)
+}
+
+func (p *Pattern) evalScoped(doc *xmltree.Document, sc *Scope) *nrel.Relation {
 	cols := p.Columns()
 	out := nrel.NewRelation(cols...)
 	if !p.Root.MatchesLabel(doc.Root.Label) || !nodePredOK(p.Root, doc.Root) {
 		return out
 	}
-	rel := evalNode(p.Root, doc.Root)
+	if sc != nil && !sc.Contains(doc.Root.ID) {
+		return out
+	}
+	rel := evalNode(p.Root, doc.Root, sc)
 	if rel == nil {
 		return out
 	}
@@ -85,12 +121,12 @@ func nodePredOK(n *Node, dn *xmltree.Node) bool {
 
 // evalNode returns the relation for the pattern subtree rooted at n, with n
 // bound to dn; nil means no embedding exists (dn fails).
-func evalNode(n *Node, dn *xmltree.Node) *nrel.Relation {
+func evalNode(n *Node, dn *xmltree.Node, sc *Scope) *nrel.Relation {
 	own := ownValues(n, dn)
 	rel := nrel.NewRelation(ownCols(n)...)
 	rel.Append(own)
 	for _, c := range n.Children {
-		childRel := evalChildEdge(c, dn)
+		childRel := evalChildEdge(c, dn, sc)
 		if childRel == nil {
 			return nil
 		}
@@ -101,13 +137,16 @@ func evalNode(n *Node, dn *xmltree.Node) *nrel.Relation {
 
 // evalChildEdge returns the relation contributed by the edge to child c
 // under parent binding dn, or nil if the (non-optional) edge cannot bind.
-func evalChildEdge(c *Node, dn *xmltree.Node) *nrel.Relation {
+// With a scope, out-of-scope candidates are skipped and — since a node
+// outside the scope has its entire subtree outside it — their subtrees are
+// not descended into.
+func evalChildEdge(c *Node, dn *xmltree.Node, sc *Scope) *nrel.Relation {
 	var matched *nrel.Relation
 	collect := func(cand *xmltree.Node) {
 		if !c.MatchesLabel(cand.Label) || !nodePredOK(c, cand) {
 			return
 		}
-		r := evalNode(c, cand)
+		r := evalNode(c, cand, sc)
 		if r == nil {
 			return
 		}
@@ -118,12 +157,18 @@ func evalChildEdge(c *Node, dn *xmltree.Node) *nrel.Relation {
 	}
 	if c.Axis == Child {
 		for _, cand := range dn.Children {
+			if sc != nil && !sc.Contains(cand.ID) {
+				continue
+			}
 			collect(cand)
 		}
 	} else {
 		var walk func(*xmltree.Node)
 		walk = func(x *xmltree.Node) {
 			for _, cand := range x.Children {
+				if sc != nil && !sc.Contains(cand.ID) {
+					continue
+				}
 				collect(cand)
 				walk(cand)
 			}

@@ -69,7 +69,25 @@ type Config struct {
 	// 8). Higher values find more alternatives on cold queries at the
 	// price of longer searches; 1 reproduces the first-found behavior.
 	MaxRewritings int
+	// CompactMaxChain and CompactMaxBytes set the online compaction
+	// policy: when any view's delta chain reaches CompactMaxChain segments
+	// (<= 0: default 16) or the chains' total size reaches CompactMaxBytes
+	// (<= 0: default 32 MiB), the background compactor folds every chain
+	// into fresh base segments and reclaims the superseded files. The
+	// epoch is preserved and queries are unaffected (compaction is
+	// disk-only; extents are served from memory).
+	CompactMaxChain int
+	CompactMaxBytes int64
+	// CompactDisabled turns the background compactor off (chains then grow
+	// until an offline `xvstore compact`). Read-only servers never
+	// compact.
+	CompactDisabled bool
 }
+
+const (
+	defaultCompactMaxChain = 16
+	defaultCompactMaxBytes = 32 << 20
+)
 
 // defaultMaxRewritings bounds the per-query alternative enumeration.
 const defaultMaxRewritings = 8
@@ -96,12 +114,30 @@ type Server struct {
 	est     *cost.Estimator
 
 	// updMu serializes update batches end-to-end (memory apply + disk
-	// persist), so delta chains append in epoch order. degraded is set
-	// when a batch was applied in memory but could not be persisted;
-	// further updates are refused so the directory's delta chains never
-	// skip an epoch.
+	// persist), so delta chains append in epoch order. The online
+	// compactor takes the same lock, making compaction atomic with
+	// respect to catalog mutation and persistence. degraded is set when a
+	// batch was applied in memory but could not be persisted; further
+	// updates are refused so the directory's delta chains never skip an
+	// epoch.
 	updMu    sync.Mutex
 	degraded atomic.Bool
+
+	// Online compaction: updates signal compactCh when the delta chains
+	// cross the policy thresholds; a background goroutine folds them.
+	compactCh   chan struct{}
+	compactStop chan struct{}
+	compactWG   sync.WaitGroup
+	closeOnce   sync.Once
+
+	// Chain gauges (refreshed after every update/compaction) and
+	// compaction counters for /stats.
+	maxChain         atomic.Int64
+	deltaBytes       atomic.Int64
+	compactions      atomic.Int64
+	compactFolded    atomic.Int64
+	compactReclaimed atomic.Int64
+	compactErrors    atomic.Int64
 
 	queries       atomic.Int64
 	rewritesRun   atomic.Int64
@@ -137,17 +173,118 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
-		cfg:     cfg,
-		cat:     cat,
-		sum:     sum,
-		views:   views,
-		st:      st,
-		subsume: core.NewSubsumeCache(0),
-		plans:   newPlanCache(cfg.PlanCacheSize),
-		est:     cost.NewEstimator(cost.FromCatalog(cat, sum)),
-		started: time.Now(),
-	}, nil
+	s := &Server{
+		cfg:         cfg,
+		cat:         cat,
+		sum:         sum,
+		views:       views,
+		st:          st,
+		subsume:     core.NewSubsumeCache(0),
+		plans:       newPlanCache(cfg.PlanCacheSize),
+		est:         cost.NewEstimator(cost.FromCatalog(cat, sum)),
+		started:     time.Now(),
+		compactCh:   make(chan struct{}, 1),
+		compactStop: make(chan struct{}),
+	}
+	s.refreshChainGauges()
+	if !cfg.ReadOnly && !cfg.CompactDisabled {
+		s.compactWG.Add(1)
+		go s.compactLoop()
+		// A store opened with already-long chains (e.g. a daemon that
+		// crashed before compacting) is folded right away.
+		if s.overThreshold() {
+			s.signalCompact()
+		}
+	}
+	return s, nil
+}
+
+// Close stops the background compactor. The HTTP handler remains usable;
+// chains then only compact offline.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.compactStop)
+		s.compactWG.Wait()
+	})
+}
+
+// refreshChainGauges recomputes the delta-chain stats from the catalog;
+// callers hold updMu (or are still constructing the server).
+func (s *Server) refreshChainGauges() {
+	var longest int64
+	var total int64
+	for i := range s.cat.Views {
+		e := &s.cat.Views[i]
+		if n := int64(len(e.Deltas)); n > longest {
+			longest = n
+		}
+		for _, d := range e.Deltas {
+			total += d.Bytes
+		}
+	}
+	s.maxChain.Store(longest)
+	s.deltaBytes.Store(total)
+}
+
+func (s *Server) compactMaxChain() int64 {
+	if s.cfg.CompactMaxChain > 0 {
+		return int64(s.cfg.CompactMaxChain)
+	}
+	return defaultCompactMaxChain
+}
+
+func (s *Server) compactMaxBytes() int64 {
+	if s.cfg.CompactMaxBytes > 0 {
+		return s.cfg.CompactMaxBytes
+	}
+	return defaultCompactMaxBytes
+}
+
+func (s *Server) overThreshold() bool {
+	return s.maxChain.Load() >= s.compactMaxChain() || s.deltaBytes.Load() >= s.compactMaxBytes()
+}
+
+func (s *Server) signalCompact() {
+	select {
+	case s.compactCh <- struct{}{}:
+	default: // a compaction is already pending
+	}
+}
+
+func (s *Server) compactLoop() {
+	defer s.compactWG.Done()
+	for {
+		select {
+		case <-s.compactStop:
+			return
+		case <-s.compactCh:
+			s.compactOnce()
+		}
+	}
+}
+
+// compactOnce folds the delta chains under the update lock. Queries are
+// untouched (they serve memory extents against the epoch snapshot);
+// updates queue behind the lock for the duration of the fold. The epoch
+// is preserved, so no cache is invalidated. A compaction failure leaves
+// the store consistent (the catalog still references the old chains and
+// the fold is idempotent), so it is counted and retried on the next
+// trigger rather than degrading the server.
+func (s *Server) compactOnce() {
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+	if s.degraded.Load() || !s.overThreshold() {
+		return
+	}
+	res, err := view.CompactCatalog(s.cfg.Dir, s.cat)
+	if err != nil {
+		s.compactErrors.Add(1)
+		return
+	}
+	s.compactions.Add(1)
+	s.compactFolded.Add(int64(res.Folded))
+	s.compactReclaimed.Add(res.BytesReclaimed)
+	s.refreshChainGauges()
 }
 
 // Views returns the number of views served.
@@ -527,6 +664,12 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			"%v; queries keep serving the applied batch from memory, further updates are disabled", perr)
 		return
 	}
+	// The batch persisted: the delta chains grew. Refresh the gauges
+	// (updMu is held) and wake the compactor when the policy trips.
+	s.refreshChainGauges()
+	if !s.cfg.CompactDisabled && s.overThreshold() {
+		s.signalCompact()
+	}
 	if res.Changed == nil {
 		res.Changed = []view.ChangedView{}
 	}
@@ -627,6 +770,15 @@ type Stats struct {
 	TuplesDeleted      int64 `json:"tuples_deleted"`
 	CacheInvalidations int64 `json:"cache_invalidations"`
 	MaintainMillis     int64 `json:"maintain_ms_total"`
+	// Online-compaction state: the current longest delta chain and total
+	// delta bytes, and what the background compactor has folded/reclaimed
+	// so far.
+	MaxDeltaChain         int64 `json:"max_delta_chain"`
+	DeltaBytes            int64 `json:"delta_bytes"`
+	Compactions           int64 `json:"compactions_run"`
+	DeltaSegmentsFolded   int64 `json:"delta_segments_folded"`
+	CompactBytesReclaimed int64 `json:"compact_bytes_reclaimed"`
+	CompactErrors         int64 `json:"compact_errors"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -637,27 +789,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	es := s.snapshot()
 	writeJSON(w, http.StatusOK, &Stats{
-		UptimeSeconds:      time.Since(s.started).Seconds(),
-		Views:              len(s.views),
-		Epoch:              es.epoch,
-		Degraded:           s.degraded.Load(),
-		Queries:            s.queries.Load(),
-		RewritesRun:        s.rewritesRun.Load(),
-		ClientDisconnects:  s.clientsGone.Load(),
-		Errors:             s.errors.Load(),
-		RowsServed:         s.rowsServed.Load(),
-		PlanCacheHits:      hits,
-		PlanCacheMisses:    misses,
-		PlanCacheSize:      es.plans.len(),
-		PlanHitRate:        rate,
-		SubsumeEntries:     es.subsume.Len(),
-		RewriteMillis:      s.rewriteNanos.Load() / 1e6,
-		ExecMillis:         s.execNanos.Load() / 1e6,
-		UpdatesApplied:     s.updates.Load(),
-		TuplesAdded:        s.tuplesAdded.Load(),
-		TuplesDeleted:      s.tuplesDeleted.Load(),
-		CacheInvalidations: s.invalidations.Load(),
-		MaintainMillis:     s.maintainNanos.Load() / 1e6,
+		UptimeSeconds:         time.Since(s.started).Seconds(),
+		Views:                 len(s.views),
+		Epoch:                 es.epoch,
+		Degraded:              s.degraded.Load(),
+		Queries:               s.queries.Load(),
+		RewritesRun:           s.rewritesRun.Load(),
+		ClientDisconnects:     s.clientsGone.Load(),
+		Errors:                s.errors.Load(),
+		RowsServed:            s.rowsServed.Load(),
+		PlanCacheHits:         hits,
+		PlanCacheMisses:       misses,
+		PlanCacheSize:         es.plans.len(),
+		PlanHitRate:           rate,
+		SubsumeEntries:        es.subsume.Len(),
+		RewriteMillis:         s.rewriteNanos.Load() / 1e6,
+		ExecMillis:            s.execNanos.Load() / 1e6,
+		UpdatesApplied:        s.updates.Load(),
+		TuplesAdded:           s.tuplesAdded.Load(),
+		TuplesDeleted:         s.tuplesDeleted.Load(),
+		CacheInvalidations:    s.invalidations.Load(),
+		MaintainMillis:        s.maintainNanos.Load() / 1e6,
+		MaxDeltaChain:         s.maxChain.Load(),
+		DeltaBytes:            s.deltaBytes.Load(),
+		Compactions:           s.compactions.Load(),
+		DeltaSegmentsFolded:   s.compactFolded.Load(),
+		CompactBytesReclaimed: s.compactReclaimed.Load(),
+		CompactErrors:         s.compactErrors.Load(),
 	})
 }
 

@@ -40,6 +40,7 @@ func newUpdatableServer(t *testing.T, cfg Config) (*httptest.Server, string) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(srv.Close)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts, dir

@@ -1,0 +1,70 @@
+package summary_test
+
+import (
+	"fmt"
+	"testing"
+
+	"xmlviews/internal/datagen"
+	"xmlviews/internal/summary"
+	"xmlviews/internal/xmltree"
+)
+
+// BenchmarkSummaryMaintain compares the per-batch cost of incremental
+// summary maintenance (clone + one subtree insert and delete + text
+// adjustment + flag recomputation + snapshot — everything a maintenance
+// batch pays) against rebuilding the summary from the document, at two
+// document scales. The incremental path is O(|summary| + change) and so
+// roughly flat in document size; the rebuild is O(document).
+func BenchmarkSummaryMaintain(b *testing.B) {
+	for _, scale := range []int{10, 40} {
+		doc := datagen.XMark(scale, 1)
+		var item *xmltree.Node
+		doc.Root.Walk(func(n *xmltree.Node) bool {
+			if item == nil && n.Label == "item" {
+				item = n
+			}
+			return item == nil
+		})
+		if item == nil {
+			b.Fatal("no item node")
+		}
+		sub := xmltree.MustParseParen(`mailbox(mail(from "a@example.com" to "b@example.org"))`)
+
+		b.Run(fmt.Sprintf("incremental/xmark%d", scale), func(b *testing.B) {
+			m := summary.NewMaintained(doc)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				work := m.Clone()
+				n, err := doc.InsertSubtree(item.ID, nil, sub)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := work.AddSubtree(n); err != nil {
+					b.Fatal(err)
+				}
+				if err := work.AdjustText(n.Children[0].Children[0], 3); err != nil {
+					b.Fatal(err)
+				}
+				if err := work.RemoveSubtree(n); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := doc.DeleteSubtree(n.ID); err != nil {
+					b.Fatal(err)
+				}
+				work.RecomputeEdgeFlags()
+				if work.Snapshot() == nil {
+					b.Fatal("nil snapshot")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("rebuild/xmark%d", scale), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if summary.Build(doc) == nil {
+					b.Fatal("nil summary")
+				}
+			}
+		})
+	}
+}

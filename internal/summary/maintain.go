@@ -1,0 +1,422 @@
+package summary
+
+import (
+	"fmt"
+	"sort"
+
+	"xmlviews/internal/xmltree"
+)
+
+// Maintained is the mutable form of a path summary, designed for
+// incremental maintenance under typed document updates. Each summary node's
+// Count acts as a reference count of the document nodes on its path:
+// deletions decrement and prune empty nodes, insertions add or merge, and
+// text edits adjust TextBytes — all in time proportional to the affected
+// subtree, never the document. The per-edge occurrence counters needed for
+// strong/one-to-one detection (how many parent-path nodes have ≥1 / >1
+// children on an edge) are maintained alongside, and RecomputeEdgeFlags
+// refreshes the Strong/OneToOne flags from them in O(|S|).
+//
+// A Maintained summary renders byte-identically to summary.Build of the
+// same document (the differential oracle enforces this per batch): both
+// keep children label-sorted, which makes the text independent of the
+// order in which paths appeared or disappeared.
+//
+// The callers' contract, mirroring the maintenance engine's update loop:
+//
+//   - insert:  apply the insertion, then AddSubtree(insertedRoot);
+//   - delete:  RemoveSubtree(target) while it is still attached, then apply;
+//   - rename:  RemoveSubtree(target), relabel, AddSubtree(target)
+//     (RenameRoot for the document root, which only swaps the label);
+//   - settext: apply, then AdjustText(target, newLen-oldLen);
+//
+// and RecomputeEdgeFlags once per batch. Maintained is not safe for
+// concurrent use; batch atomicity is obtained by mutating a Clone and
+// swapping it in on success.
+type Maintained struct {
+	s *Summary
+	// child[sid] maps a child label to its summary node id. nil for holes.
+	child []map[string]int
+	// withChild[cid]/withMany[cid] as in rawBuild, as dense arrays.
+	withChild []int
+	withMany  []int
+	// free lists pruned node ids available for reuse (their s.nodes entries
+	// are nil until then).
+	free []int
+}
+
+// NewMaintained builds the canonical summary of the document together with
+// the bookkeeping incremental maintenance needs. Document nodes are
+// annotated with their (canonical) PathID, exactly like Build.
+func NewMaintained(doc *xmltree.Document) *Maintained {
+	raw := buildRaw(doc)
+
+	// Canonicalize: renumber nodes in preorder with label-sorted children.
+	remap := make([]int, len(raw.s.nodes))
+	order := make([]int, 0, len(raw.s.nodes))
+	var number func(old int)
+	number = func(old int) {
+		remap[old] = len(order)
+		order = append(order, old)
+		kids := raw.s.nodes[old].Children
+		sort.Slice(kids, func(i, j int) bool {
+			return raw.s.nodes[kids[i]].Label < raw.s.nodes[kids[j]].Label
+		})
+		for _, c := range kids {
+			number(c)
+		}
+	}
+	number(0)
+
+	m := &Maintained{
+		s:         &Summary{nodes: make([]*Node, len(order)), byLabel: map[string][]int{}},
+		child:     make([]map[string]int, len(order)),
+		withChild: make([]int, len(order)),
+		withMany:  make([]int, len(order)),
+	}
+	for newID, old := range order {
+		on := raw.s.nodes[old]
+		n := &Node{
+			ID: newID, Label: on.Label, Depth: on.Depth,
+			Strong: on.Strong, OneToOne: on.OneToOne,
+			Count: on.Count, TextBytes: on.TextBytes,
+			Parent: -1,
+		}
+		if on.Parent >= 0 {
+			n.Parent = remap[on.Parent]
+		}
+		n.Children = make([]int, len(on.Children))
+		cm := make(map[string]int, len(on.Children))
+		for i, c := range on.Children {
+			n.Children[i] = remap[c]
+			cm[raw.s.nodes[c].Label] = remap[c]
+		}
+		m.s.nodes[newID] = n
+		m.child[newID] = cm
+		m.s.byLabel[n.Label] = append(m.s.byLabel[n.Label], newID)
+		m.withChild[newID] = raw.withChild[old]
+		m.withMany[newID] = raw.withMany[old]
+	}
+	// Re-annotate the document with the canonical ids (buildRaw left the
+	// raw first-encounter ids on it).
+	var walk func(n *xmltree.Node)
+	walk = func(n *xmltree.Node) {
+		n.PathID = remap[n.PathID]
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(doc.Root)
+	return m
+}
+
+// Clone returns an independent deep copy; mutating one never affects the
+// other. Maintenance batches mutate a clone and commit it on success, so a
+// failing batch leaves the original untouched.
+func (m *Maintained) Clone() *Maintained {
+	out := &Maintained{
+		s:         &Summary{nodes: make([]*Node, len(m.s.nodes)), byLabel: make(map[string][]int, len(m.s.byLabel))},
+		child:     make([]map[string]int, len(m.child)),
+		withChild: append([]int(nil), m.withChild...),
+		withMany:  append([]int(nil), m.withMany...),
+		free:      append([]int(nil), m.free...),
+	}
+	for i, n := range m.s.nodes {
+		if n == nil {
+			continue
+		}
+		cp := *n
+		cp.Children = append([]int(nil), n.Children...)
+		out.s.nodes[i] = &cp
+		cm := make(map[string]int, len(m.child[i]))
+		for k, v := range m.child[i] {
+			cm[k] = v
+		}
+		out.child[i] = cm
+	}
+	for k, v := range m.s.byLabel {
+		out.s.byLabel[k] = append([]int(nil), v...)
+	}
+	return out
+}
+
+// StatsString renders the maintained summary with statistics annotations;
+// byte-identical to summary.Build(doc).StatsString() for the document the
+// maintained summary tracks.
+func (m *Maintained) StatsString() string { return m.s.StatsString() }
+
+// Snapshot returns an immutable, compact *Summary equal to the maintained
+// state, with canonical preorder ids (the ids Parse would assign to
+// StatsString's output). Serving layers rewrite against snapshots, so cost
+// attribution iterates the same node ids a restarted server would see.
+func (m *Maintained) Snapshot() *Summary {
+	out := &Summary{byLabel: map[string][]int{}}
+	var copyNode func(old, parent int) int
+	copyNode = func(old, parent int) int {
+		on := m.s.nodes[old]
+		id := len(out.nodes)
+		n := &Node{
+			ID: id, Label: on.Label, Parent: parent, Depth: on.Depth,
+			Strong: on.Strong, OneToOne: on.OneToOne,
+			Count: on.Count, TextBytes: on.TextBytes,
+		}
+		out.nodes = append(out.nodes, n)
+		out.byLabel[n.Label] = append(out.byLabel[n.Label], id)
+		for _, c := range on.Children {
+			n.Children = append(n.Children, copyNode(c, id))
+		}
+		return id
+	}
+	copyNode(RootID, -1)
+	return out
+}
+
+// resolve walks a live document node's label path through the child index
+// and returns its summary node id.
+func (m *Maintained) resolve(n *xmltree.Node) (int, error) {
+	var chain []*xmltree.Node
+	for cur := n; cur != nil; cur = cur.Parent {
+		chain = append(chain, cur)
+	}
+	root := chain[len(chain)-1]
+	if root.Label != m.s.nodes[RootID].Label {
+		return -1, fmt.Errorf("summary: root label %q does not match maintained root %q", root.Label, m.s.nodes[RootID].Label)
+	}
+	sid := RootID
+	for i := len(chain) - 2; i >= 0; i-- {
+		cid, ok := m.child[sid][chain[i].Label]
+		if !ok {
+			return -1, fmt.Errorf("summary: path %s/%s not in maintained summary", m.s.PathString(sid), chain[i].Label)
+		}
+		sid = cid
+	}
+	return sid, nil
+}
+
+// ensureChild returns the summary node for label under parent sid, creating
+// it (label-sorted among its siblings, reusing pruned ids) if absent.
+func (m *Maintained) ensureChild(sid int, label string) int {
+	if cid, ok := m.child[sid][label]; ok {
+		return cid
+	}
+	var cid int
+	if n := len(m.free); n > 0 {
+		cid = m.free[n-1]
+		m.free = m.free[:n-1]
+	} else {
+		cid = len(m.s.nodes)
+		m.s.nodes = append(m.s.nodes, nil)
+		m.child = append(m.child, nil)
+		m.withChild = append(m.withChild, 0)
+		m.withMany = append(m.withMany, 0)
+	}
+	p := m.s.nodes[sid]
+	m.s.nodes[cid] = &Node{ID: cid, Label: label, Parent: sid, Depth: p.Depth + 1}
+	m.child[cid] = map[string]int{}
+	m.withChild[cid], m.withMany[cid] = 0, 0
+	// Keep the children label-sorted — the canonical rendering invariant.
+	pos := sort.Search(len(p.Children), func(i int) bool {
+		return m.s.nodes[p.Children[i]].Label >= label
+	})
+	p.Children = append(p.Children, 0)
+	copy(p.Children[pos+1:], p.Children[pos:])
+	p.Children[pos] = cid
+	m.child[sid][label] = cid
+	m.s.byLabel[label] = append(m.s.byLabel[label], cid)
+	return cid
+}
+
+// prune detaches a zero-count summary node from its parent and recycles its
+// id. Its own children must already be pruned.
+func (m *Maintained) prune(cid int) {
+	n := m.s.nodes[cid]
+	if len(n.Children) != 0 {
+		panic(fmt.Sprintf("summary: pruning node %d (%s) with live children", cid, n.Label))
+	}
+	p := m.s.nodes[n.Parent]
+	for i, c := range p.Children {
+		if c == cid {
+			p.Children = append(p.Children[:i:i], p.Children[i+1:]...)
+			break
+		}
+	}
+	delete(m.child[n.Parent], n.Label)
+	ids := m.s.byLabel[n.Label]
+	for i, id := range ids {
+		if id == cid {
+			m.s.byLabel[n.Label] = append(ids[:i:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(m.s.byLabel[n.Label]) == 0 {
+		delete(m.s.byLabel, n.Label)
+	}
+	m.s.nodes[cid] = nil
+	m.child[cid] = nil
+	m.withChild[cid], m.withMany[cid] = 0, 0
+	m.free = append(m.free, cid)
+}
+
+// AddSubtree merges the counts of an attached subtree rooted at n into the
+// summary: n was just inserted (or just relabeled, after RemoveSubtree).
+// Cost is O(|subtree| + fanout of n's parent).
+func (m *Maintained) AddSubtree(n *xmltree.Node) error {
+	p := n.Parent
+	if p == nil {
+		return fmt.Errorf("summary: AddSubtree of the document root")
+	}
+	pid, err := m.resolve(p)
+	if err != nil {
+		return err
+	}
+	cid := m.ensureChild(pid, n.Label)
+	// Boundary: n's parent is a pre-existing document node whose
+	// contribution to the edge counters changes by exactly one child.
+	k := 0
+	for _, c := range p.Children {
+		if c.Label == n.Label {
+			k++
+		}
+	}
+	switch k {
+	case 1:
+		m.withChild[cid]++
+	case 2:
+		m.withMany[cid]++
+	}
+	m.addCounts(cid, n)
+	return nil
+}
+
+// addCounts adds the full contribution of document node d (mapped to sid)
+// and its subtree: path counts, text bytes, and — since every node of the
+// subtree is new to the summary — each internal node's whole edge-counter
+// contribution.
+func (m *Maintained) addCounts(sid int, d *xmltree.Node) {
+	n := m.s.nodes[sid]
+	n.Count++
+	n.TextBytes += int64(len(d.Value))
+	perLabel := map[string]int{}
+	for _, c := range d.Children {
+		perLabel[c.Label]++
+	}
+	for label, cnt := range perLabel {
+		cid := m.ensureChild(sid, label)
+		m.withChild[cid]++
+		if cnt > 1 {
+			m.withMany[cid]++
+		}
+	}
+	for _, c := range d.Children {
+		m.addCounts(m.child[sid][c.Label], c)
+	}
+}
+
+// RemoveSubtree subtracts the contribution of the still-attached subtree
+// rooted at n (call it before detaching), pruning summary nodes whose
+// reference count reaches zero. Cost is O(|subtree| + fanout of n's
+// parent).
+func (m *Maintained) RemoveSubtree(n *xmltree.Node) error {
+	p := n.Parent
+	if p == nil {
+		return fmt.Errorf("summary: RemoveSubtree of the document root")
+	}
+	pid, err := m.resolve(p)
+	if err != nil {
+		return err
+	}
+	cid, ok := m.child[pid][n.Label]
+	if !ok {
+		return fmt.Errorf("summary: path %s/%s not in maintained summary", m.s.PathString(pid), n.Label)
+	}
+	k := 0
+	for _, c := range p.Children {
+		if c.Label == n.Label {
+			k++
+		}
+	}
+	switch k {
+	case 1:
+		m.withChild[cid]--
+	case 2:
+		m.withMany[cid]--
+	}
+	m.removeCounts(cid, n)
+	return nil
+}
+
+func (m *Maintained) removeCounts(sid int, d *xmltree.Node) {
+	n := m.s.nodes[sid]
+	n.Count--
+	n.TextBytes -= int64(len(d.Value))
+	perLabel := map[string]int{}
+	for _, c := range d.Children {
+		perLabel[c.Label]++
+	}
+	for label, cnt := range perLabel {
+		cid := m.child[sid][label]
+		m.withChild[cid]--
+		if cnt > 1 {
+			m.withMany[cid]--
+		}
+	}
+	for _, c := range d.Children {
+		m.removeCounts(m.child[sid][c.Label], c)
+	}
+	// Children were processed (and possibly pruned) above; prune bottom-up.
+	for _, c := range d.Children {
+		if cid, ok := m.child[sid][c.Label]; ok && m.s.nodes[cid].Count == 0 {
+			m.prune(cid)
+		}
+	}
+	if n.Count == 0 && n.Parent >= 0 && len(n.Children) == 0 {
+		m.prune(sid)
+	}
+}
+
+// AdjustText shifts the text-byte statistic of n's path by delta (the
+// settext hook: delta = len(newValue) - len(oldValue)).
+func (m *Maintained) AdjustText(n *xmltree.Node, delta int64) error {
+	sid, err := m.resolve(n)
+	if err != nil {
+		return err
+	}
+	m.s.nodes[sid].TextBytes += delta
+	return nil
+}
+
+// RenameRoot relabels the summary root — renaming the document root changes
+// every path's first label but no structure, so it is O(1).
+func (m *Maintained) RenameRoot(label string) {
+	r := m.s.nodes[RootID]
+	if r.Label == label {
+		return
+	}
+	ids := m.s.byLabel[r.Label]
+	for i, id := range ids {
+		if id == RootID {
+			m.s.byLabel[r.Label] = append(ids[:i:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(m.s.byLabel[r.Label]) == 0 {
+		delete(m.s.byLabel, r.Label)
+	}
+	r.Label = label
+	m.s.byLabel[label] = append(m.s.byLabel[label], RootID)
+}
+
+// RecomputeEdgeFlags refreshes every Strong/OneToOne flag from the
+// maintained occurrence counters: the edge to a node is strong when every
+// document node on the parent path has a child on it, one-to-one when none
+// has more than one. O(|S|); call once per batch.
+func (m *Maintained) RecomputeEdgeFlags() {
+	for _, n := range m.s.nodes {
+		if n == nil || n.Parent < 0 {
+			continue
+		}
+		pc := m.s.nodes[n.Parent].Count
+		n.Strong = pc > 0 && m.withChild[n.ID] == pc
+		n.OneToOne = n.Strong && m.withMany[n.ID] == 0
+	}
+}

@@ -1,0 +1,228 @@
+package summary
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xmlviews/internal/xmltree"
+)
+
+// checkAgainstBuild asserts the maintained summary renders byte-identically
+// to a from-scratch Build of the document.
+func checkAgainstBuild(t *testing.T, m *Maintained, doc *xmltree.Document, step string) {
+	t.Helper()
+	want := Build(doc).StatsString()
+	if got := m.StatsString(); got != want {
+		t.Fatalf("%s: maintained summary diverged\nmaintained: %s\nrebuild:    %s", step, got, want)
+	}
+	snap := m.Snapshot()
+	if got := snap.StatsString(); got != want {
+		t.Fatalf("%s: snapshot diverged: %s vs %s", step, got, want)
+	}
+	// Snapshot ids must be the canonical ids a reparse would assign.
+	back := MustParse(want)
+	for _, id := range back.NodeIDs() {
+		b, s := back.Node(id), snap.Node(id)
+		if b.Label != s.Label || b.Parent != s.Parent || b.Count != s.Count {
+			t.Fatalf("%s: snapshot id %d = %s(parent %d, count %d), reparse has %s(parent %d, count %d)",
+				step, id, s.Label, s.Parent, s.Count, b.Label, b.Parent, b.Count)
+		}
+	}
+}
+
+// applyMaintained applies one update to both the document and the
+// maintained summary, following the engine's calling contract.
+func applyMaintained(t *testing.T, m *Maintained, doc *xmltree.Document, u xmltree.Update) {
+	t.Helper()
+	switch u.Kind {
+	case xmltree.UpdateInsert:
+		n, err := doc.InsertSubtree(u.Parent, u.Before, u.Subtree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AddSubtree(n); err != nil {
+			t.Fatal(err)
+		}
+	case xmltree.UpdateDelete:
+		n := doc.FindByID(u.Target)
+		if n == nil {
+			t.Fatalf("delete target %s not found", u.Target)
+		}
+		if err := m.RemoveSubtree(n); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := doc.DeleteSubtree(u.Target); err != nil {
+			t.Fatal(err)
+		}
+	case xmltree.UpdateRename:
+		n := doc.FindByID(u.Target)
+		if n == nil {
+			t.Fatalf("rename target %s not found", u.Target)
+		}
+		if n.Parent == nil {
+			if _, err := doc.RenameNode(u.Target, u.Label); err != nil {
+				t.Fatal(err)
+			}
+			m.RenameRoot(u.Label)
+			break
+		}
+		if err := m.RemoveSubtree(n); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := doc.RenameNode(u.Target, u.Label); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AddSubtree(n); err != nil {
+			t.Fatal(err)
+		}
+	case xmltree.UpdateSetValue:
+		n := doc.FindByID(u.Target)
+		if n == nil {
+			t.Fatalf("settext target %s not found", u.Target)
+		}
+		delta := int64(len(u.Value)) - int64(len(n.Value))
+		if _, err := doc.SetNodeValue(u.Target, u.Value); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AdjustText(n, delta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.RecomputeEdgeFlags()
+}
+
+func TestMaintainedBasicOps(t *testing.T) {
+	doc := xmltree.MustParseParen(`site(item(name "pen" price "3") item(name "ink"))`)
+	m := NewMaintained(doc)
+	checkAgainstBuild(t, m, doc, "initial")
+
+	// A fresh label sorting before existing siblings.
+	items := doc.Root.Children
+	sub := xmltree.MustParseParen(`aaa(zzz "v")`)
+	applyMaintained(t, m, doc, xmltree.Update{Kind: xmltree.UpdateInsert, Parent: items[0].ID, Subtree: sub})
+	checkAgainstBuild(t, m, doc, "insert new-first label")
+
+	// Settext adjusts TextBytes only.
+	applyMaintained(t, m, doc, xmltree.Update{Kind: xmltree.UpdateSetValue, Target: items[0].Children[0].ID, Value: "pencil"})
+	checkAgainstBuild(t, m, doc, "settext")
+
+	// Deleting the only price prunes its summary node.
+	applyMaintained(t, m, doc, xmltree.Update{Kind: xmltree.UpdateDelete, Target: items[0].Children[1].ID})
+	checkAgainstBuild(t, m, doc, "delete pruning path")
+
+	// Rename moves a whole subtree across summary nodes.
+	applyMaintained(t, m, doc, xmltree.Update{Kind: xmltree.UpdateRename, Target: items[1].ID, Label: "gadget"})
+	checkAgainstBuild(t, m, doc, "rename subtree")
+
+	// Root rename relabels every path's head.
+	applyMaintained(t, m, doc, xmltree.Update{Kind: xmltree.UpdateRename, Target: doc.Root.ID, Label: "shop"})
+	checkAgainstBuild(t, m, doc, "rename root")
+}
+
+func TestMaintainedStrongFlagFlips(t *testing.T) {
+	// Initially every item has a name (strong, one-to-one).
+	doc := xmltree.MustParseParen(`site(item(name "a") item(name "b"))`)
+	m := NewMaintained(doc)
+	checkAgainstBuild(t, m, doc, "initial")
+
+	// A second name under item 0 kills one-to-one but keeps strong.
+	applyMaintained(t, m, doc, xmltree.Update{
+		Kind: xmltree.UpdateInsert, Parent: doc.Root.Children[0].ID,
+		Subtree: xmltree.MustParseParen(`name "c"`)})
+	checkAgainstBuild(t, m, doc, "one-to-one lost")
+
+	// An item without a name kills strong.
+	applyMaintained(t, m, doc, xmltree.Update{
+		Kind: xmltree.UpdateInsert, Parent: doc.Root.ID,
+		Subtree: xmltree.MustParseParen(`item(price "1")`)})
+	checkAgainstBuild(t, m, doc, "strong lost")
+
+	// Removing that item resurrects strong.
+	bare := doc.Root.Children[len(doc.Root.Children)-1]
+	applyMaintained(t, m, doc, xmltree.Update{Kind: xmltree.UpdateDelete, Target: bare.ID})
+	checkAgainstBuild(t, m, doc, "strong resurrected")
+}
+
+// TestMaintainedRandom drives hundreds of random updates through the
+// maintained summary and asserts byte-identity with Build after each one.
+func TestMaintainedRandom(t *testing.T) {
+	labels := []string{"a", "b", "c", "dd", "e"}
+	for seed := int64(0); seed < 4; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		doc := xmltree.MustParseParen(`a(b "1" (c "2") b(c) dd)`)
+		m := NewMaintained(doc)
+		for step := 0; step < 120; step++ {
+			nodes := doc.Nodes()
+			n := nodes[r.Intn(len(nodes))]
+			var u xmltree.Update
+			switch r.Intn(4) {
+			case 0:
+				sub := xmltree.NewDocument(labels[r.Intn(len(labels))])
+				sub.Root.Value = fmt.Sprintf("v%d", step)
+				cur := sub.Root
+				for d := 0; d < r.Intn(3); d++ {
+					cur = cur.AddChild(labels[r.Intn(len(labels))], fmt.Sprintf("w%d.%d", step, d))
+				}
+				u = xmltree.Update{Kind: xmltree.UpdateInsert, Parent: n.ID, Subtree: sub}
+			case 1:
+				if n.Parent == nil || doc.Size() < 4 {
+					continue
+				}
+				u = xmltree.Update{Kind: xmltree.UpdateDelete, Target: n.ID}
+			case 2:
+				u = xmltree.Update{Kind: xmltree.UpdateRename, Target: n.ID, Label: labels[r.Intn(len(labels))]}
+			default:
+				u = xmltree.Update{Kind: xmltree.UpdateSetValue, Target: n.ID, Value: fmt.Sprintf("t%d", r.Intn(1000))}
+			}
+			applyMaintained(t, m, doc, u)
+			checkAgainstBuild(t, m, doc, fmt.Sprintf("seed %d step %d (%v)", seed, step, u.Kind))
+		}
+	}
+}
+
+// TestMaintainedCloneIsolation: mutating a clone must not leak into the
+// original (the engine's rollback depends on it).
+func TestMaintainedCloneIsolation(t *testing.T) {
+	doc := xmltree.MustParseParen(`a(b "1" c)`)
+	m := NewMaintained(doc)
+	before := m.StatsString()
+	clone := m.Clone()
+	n, err := doc.InsertSubtree(doc.Root.ID, nil, xmltree.MustParseParen(`zz "9"`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.AddSubtree(n); err != nil {
+		t.Fatal(err)
+	}
+	clone.RecomputeEdgeFlags()
+	if m.StatsString() != before {
+		t.Fatalf("clone mutation leaked into original: %s", m.StatsString())
+	}
+	if clone.StatsString() == before {
+		t.Fatal("clone did not record the insertion")
+	}
+}
+
+// TestBuildCanonicalOrder: Build must order summary children by label
+// regardless of document element order, so two documents with the same
+// statistics render identically.
+func TestBuildCanonicalOrder(t *testing.T) {
+	d1 := xmltree.MustParseParen(`a(c "x" b(e d))`)
+	d2 := xmltree.MustParseParen(`a(b(d e) c "x")`)
+	if s1, s2 := Build(d1).StatsString(), Build(d2).StatsString(); s1 != s2 {
+		t.Fatalf("canonical summaries differ:\n%s\n%s", s1, s2)
+	}
+	s := Build(d1)
+	if got := s.String(); got != "a(=b(=d =e) =c)" {
+		t.Fatalf("String = %q", got)
+	}
+	// Build's ids must agree with Parse's for the rendered text, keeping
+	// cost attribution identical across live summaries and reparsed ones.
+	back := MustParse(s.StatsString())
+	for _, id := range s.NodeIDs() {
+		if s.Node(id).Label != back.Node(id).Label {
+			t.Fatalf("id %d: Build has %s, reparse has %s", id, s.Node(id).Label, back.Node(id).Label)
+		}
+	}
+}

@@ -10,8 +10,14 @@
 //     one child on the child path (used to relax the nesting-sequence
 //     condition of Proposition 4.2).
 //
-// Summaries are built in a single pass over the document (linear time, as
-// in [15]) and annotate each document node with its summary node id.
+// Summaries are built in linear time (as in [15]) and annotate each
+// document node with its summary node id. Build produces a *canonical*
+// summary: every node's children are ordered by label, and node ids are
+// assigned in preorder of that canonical shape. Canonical summaries make
+// the rendered text (and hence the catalog's summary hash) a pure function
+// of the document's content — independent of element order and, crucially,
+// of update history — which is what lets the incremental maintenance in
+// Maintained reproduce Build's output byte for byte.
 package summary
 
 import (
@@ -50,17 +56,29 @@ type Summary struct {
 	byLabel map[string][]int
 }
 
-// Size returns |S|, the number of summary nodes.
-func (s *Summary) Size() int { return len(s.nodes) }
+// Size returns |S|, the number of summary nodes. (A summary inside a
+// Maintained may carry pruned holes; those do not count.)
+func (s *Summary) Size() int {
+	n := 0
+	for _, nd := range s.nodes {
+		if nd != nil {
+			n++
+		}
+	}
+	return n
+}
 
-// Node returns the summary node with the given id.
+// Node returns the summary node with the given id (nil for an id pruned by
+// incremental maintenance).
 func (s *Summary) Node(id int) *Node { return s.nodes[id] }
 
-// NodeIDs returns all node ids in creation (pre-)order.
+// NodeIDs returns all live node ids in creation (pre-)order.
 func (s *Summary) NodeIDs() []int {
-	ids := make([]int, len(s.nodes))
-	for i := range ids {
-		ids[i] = i
+	ids := make([]int, 0, len(s.nodes))
+	for i, nd := range s.nodes {
+		if nd != nil {
+			ids = append(ids, i)
+		}
 	}
 	return ids
 }
@@ -72,6 +90,9 @@ func (s *Summary) NodesWithLabel(label string) []int { return s.byLabel[label] }
 // reported in Table 1 of the paper.
 func (s *Summary) Stats() (strong, oneToOne int) {
 	for _, n := range s.nodes[1:] {
+		if n == nil {
+			continue
+		}
 		if n.Strong {
 			strong++
 		}
@@ -87,7 +108,7 @@ func (s *Summary) Stats() (strong, oneToOne int) {
 // by hand have none; cost models fall back to uniform estimates then.
 func (s *Summary) HasStats() bool {
 	for _, n := range s.nodes {
-		if n.Count > 0 {
+		if n != nil && n.Count > 0 {
 			return true
 		}
 	}
@@ -99,7 +120,9 @@ func (s *Summary) HasStats() bool {
 func (s *Summary) DocNodes() int {
 	total := 0
 	for _, n := range s.nodes {
-		total += n.Count
+		if n != nil {
+			total += n.Count
+		}
 	}
 	return total
 }
@@ -108,7 +131,9 @@ func (s *Summary) DocNodes() int {
 func (s *Summary) TextBytes() int64 {
 	var total int64
 	for _, n := range s.nodes {
-		total += n.TextBytes
+		if n != nil {
+			total += n.TextBytes
+		}
 	}
 	return total
 }
@@ -279,60 +304,78 @@ func (s *Summary) render(stats bool) string {
 // Build constructs the enhanced summary of the document and annotates every
 // document node's PathID with its summary node id. Strong and one-to-one
 // edges are detected by counting child occurrences, the "counting nodes
-// when building the summary" option of Section 4.1.
+// when building the summary" option of Section 4.1. The result is
+// canonical: children are ordered by label and ids assigned in preorder of
+// that shape, so two documents with the same path statistics render to the
+// same text regardless of element order or update history.
 func Build(doc *xmltree.Document) *Summary {
-	s := &Summary{byLabel: map[string][]int{}}
+	return NewMaintained(doc).s
+}
+
+// rawBuild walks the document once, creating summary nodes in first-
+// encounter order and collecting the per-edge occurrence counters that
+// strong/one-to-one detection (and incremental maintenance) needs. Node
+// ids are canonicalized afterwards.
+type rawBuild struct {
+	s          *Summary
+	childIndex []map[string]int
+	// withChild[cid] is the number of document nodes on cid's parent path
+	// with at least one child on cid; withMany[cid] the number with more
+	// than one.
+	withChild map[int]int
+	withMany  map[int]int
+}
+
+func buildRaw(doc *xmltree.Document) *rawBuild {
+	r := &rawBuild{
+		s:         &Summary{byLabel: map[string][]int{}},
+		withChild: map[int]int{},
+		withMany:  map[int]int{},
+	}
 	root := &Node{ID: 0, Label: doc.Root.Label, Parent: -1, Depth: 1}
-	s.nodes = append(s.nodes, root)
-	s.byLabel[root.Label] = append(s.byLabel[root.Label], 0)
-
-	childIndex := []map[string]int{{}}
-
-	// For strong/one-to-one detection: for each edge (parent summary id,
-	// child summary id), track how many parents have >=1 child on it and
-	// how many have >1.
-	withChild := map[int]int{}
-	withMany := map[int]int{}
+	r.s.nodes = append(r.s.nodes, root)
+	r.s.byLabel[root.Label] = append(r.s.byLabel[root.Label], 0)
+	r.childIndex = []map[string]int{{}}
 
 	var visit func(n *xmltree.Node, sid int)
 	visit = func(n *xmltree.Node, sid int) {
 		n.PathID = sid
-		s.nodes[sid].Count++
-		s.nodes[sid].TextBytes += int64(len(n.Value))
+		r.s.nodes[sid].Count++
+		r.s.nodes[sid].TextBytes += int64(len(n.Value))
 		perChild := map[int]int{}
 		for _, c := range n.Children {
-			cid, ok := childIndex[sid][c.Label]
+			cid, ok := r.childIndex[sid][c.Label]
 			if !ok {
-				cid = len(s.nodes)
-				cn := &Node{ID: cid, Label: c.Label, Parent: sid, Depth: s.nodes[sid].Depth + 1}
-				s.nodes = append(s.nodes, cn)
-				childIndex = append(childIndex, map[string]int{})
-				childIndex[sid][c.Label] = cid
-				s.nodes[sid].Children = append(s.nodes[sid].Children, cid)
-				s.byLabel[c.Label] = append(s.byLabel[c.Label], cid)
+				cid = len(r.s.nodes)
+				cn := &Node{ID: cid, Label: c.Label, Parent: sid, Depth: r.s.nodes[sid].Depth + 1}
+				r.s.nodes = append(r.s.nodes, cn)
+				r.childIndex = append(r.childIndex, map[string]int{})
+				r.childIndex[sid][c.Label] = cid
+				r.s.nodes[sid].Children = append(r.s.nodes[sid].Children, cid)
+				r.s.byLabel[c.Label] = append(r.s.byLabel[c.Label], cid)
 			}
 			perChild[cid]++
 			visit(c, cid)
 		}
 		for cid, count := range perChild {
-			withChild[cid]++
+			r.withChild[cid]++
 			if count > 1 {
-				withMany[cid]++
+				r.withMany[cid]++
 			}
 		}
 	}
 	visit(doc.Root, 0)
 
-	for _, n := range s.nodes[1:] {
-		parentCount := s.nodes[n.Parent].Count
-		if withChild[n.ID] == parentCount {
+	for _, n := range r.s.nodes[1:] {
+		parentCount := r.s.nodes[n.Parent].Count
+		if r.withChild[n.ID] == parentCount {
 			n.Strong = true
-			if withMany[n.ID] == 0 {
+			if r.withMany[n.ID] == 0 {
 				n.OneToOne = true
 			}
 		}
 	}
-	return s
+	return r
 }
 
 // Annotate maps this summary onto another document, setting every node's

@@ -97,6 +97,12 @@ func ApplyAndPersist(dir string, cat *store.Catalog, st *Store, updates []xmltre
 	if docSeg == "" {
 		docSeg = DocSegmentName
 	}
+	// The codec persists each node's PathID; incremental maintenance no
+	// longer touches those, so refresh them from the batch's summary
+	// before encoding (the write below walks the whole document anyway).
+	if err := batch.Summary.Annotate(st.Document()); err != nil {
+		return res, &PersistError{fmt.Errorf("annotating document: %w", err)}
+	}
 	if _, err := store.WriteDocumentFile(filepath.Join(dir, docSeg), st.Document()); err != nil {
 		return res, &PersistError{fmt.Errorf("persisting document: %w", err)}
 	}
@@ -150,17 +156,54 @@ func UpdateStore(dir string, updates []xmltree.Update) (*UpdateResult, error) {
 	return ApplyAndPersist(dir, cat, st, updates)
 }
 
-// CompactStore folds every entry's delta chain back into its base segment
+// CompactResult reports what a compaction did.
+type CompactResult struct {
+	// Folded is the number of delta segments folded into base segments.
+	Folded int `json:"folded"`
+	// FilesRemoved and BytesReclaimed count the superseded files (old base
+	// segments and folded delta segments) actually deleted from disk after
+	// the new catalog was durably written.
+	FilesRemoved   int   `json:"files_removed"`
+	BytesReclaimed int64 `json:"bytes_reclaimed"`
+}
+
+// CompactStore folds every entry's delta chain into a fresh base segment
 // and clears the chains. Extents are unchanged (a compacted store answers
-// queries identically); the epoch is preserved. Returns the number of
-// delta segments folded.
-func CompactStore(dir string) (int, error) {
+// queries identically); the epoch is preserved.
+func CompactStore(dir string) (*CompactResult, error) {
 	cat, err := store.OpenCatalog(dir)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	folded := 0
-	var obsolete []string
+	return CompactCatalog(dir, cat)
+}
+
+// CompactCatalog is CompactStore for callers that hold the directory's
+// live catalog object (the serving daemon's online compactor must mutate
+// the same catalog its update path appends to, or a later persisted batch
+// would resurrect folded chains). Callers must serialize it against
+// ApplyAndPersist on the same directory.
+//
+// Crash safety: each folded extent is written to a *new* base segment
+// (named <stem>.c<epoch>.xvs), the catalog is atomically renamed into
+// place last, and only then are the superseded files deleted. A crash
+// before the catalog write leaves the old catalog referencing the old,
+// untouched files (plus unreferenced new-base files a later compaction
+// run cannot collide with, since the epoch has to advance before chains
+// regrow); a crash after it leaves only removable garbage.
+func CompactCatalog(dir string, cat *store.Catalog) (*CompactResult, error) {
+	res := &CompactResult{}
+	type obsolete struct {
+		seg   string
+		bytes int64
+	}
+	var stale []obsolete
+	type commit struct {
+		entry   *store.Entry
+		segment string
+		bytes   int64
+	}
+	var commits []commit
 	for i := range cat.Views {
 		e := &cat.Views[i]
 		if len(e.Deltas) == 0 {
@@ -168,37 +211,58 @@ func CompactStore(dir string) (int, error) {
 		}
 		rel, err := store.ReadFile(filepath.Join(dir, e.Segment))
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 		for _, d := range e.Deltas {
 			adds, dels, err := store.ReadDeltaFile(filepath.Join(dir, d.Segment))
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
 			rel = maintain.FoldDelta(rel, adds, dels)
-			obsolete = append(obsolete, d.Segment)
-			folded++
+			stale = append(stale, obsolete{seg: d.Segment, bytes: d.Bytes})
+			res.Folded++
 		}
 		if rel.Len() != e.Rows {
-			return 0, fmt.Errorf("view: compaction of %q yields %d rows, catalog says %d", e.Name, rel.Len(), e.Rows)
+			return nil, fmt.Errorf("view: compaction of %q yields %d rows, catalog says %d", e.Name, rel.Len(), e.Rows)
 		}
-		n, err := store.WriteFile(filepath.Join(dir, e.Segment), rel)
+		seg := compactedSegmentName(e.Segment, cat.Epoch)
+		n, err := store.WriteFile(filepath.Join(dir, seg), rel)
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
-		e.Bytes = n
-		e.Deltas = nil
+		stale = append(stale, obsolete{seg: e.Segment, bytes: e.Bytes})
+		commits = append(commits, commit{entry: e, segment: seg, bytes: n})
 	}
-	if folded == 0 {
-		return 0, nil
+	if res.Folded == 0 {
+		return res, nil
+	}
+	for _, c := range commits {
+		c.entry.Segment = c.segment
+		c.entry.Bytes = c.bytes
+		c.entry.Deltas = nil
 	}
 	if err := store.WriteCatalog(dir, cat); err != nil {
-		return 0, err
+		return nil, err
 	}
-	// The chain is gone from the catalog; stale files are harmless, so
-	// removal failures are not fatal.
-	for _, seg := range obsolete {
-		_ = os.Remove(filepath.Join(dir, seg))
+	// The new catalog no longer references these; reclaim the space. A
+	// removal failure only leaks an unreferenced file, so it is not fatal
+	// and simply is not counted as reclaimed.
+	for _, o := range stale {
+		if err := os.Remove(filepath.Join(dir, o.seg)); err == nil {
+			res.FilesRemoved++
+			res.BytesReclaimed += o.bytes
+		}
 	}
-	return folded, nil
+	return res, nil
+}
+
+// compactedSegmentName derives the next base segment name from the current
+// one: the stem up to the first '.' plus the compaction epoch, so repeated
+// compactions do not grow the name.
+func compactedSegmentName(segment string, epoch int64) string {
+	stem := segment
+	if i := strings.IndexByte(stem, '.'); i >= 0 {
+		stem = stem[:i]
+	}
+	return fmt.Sprintf("%s.c%04d.xvs", stem, epoch)
 }

@@ -273,11 +273,18 @@ func TestMaintenanceOracleMemory(t *testing.T) {
 			gen := &updateGen{r: r}
 			for round := 0; round < batches; round++ {
 				ups := gen.batch(doc)
-				if _, err := st.ApplyUpdates(ups); err != nil {
+				batch, err := st.ApplyUpdates(ups)
+				if err != nil {
 					t.Fatalf("round %d: ApplyUpdates: %v", round, err)
 				}
 				if st.Epoch() != int64(round+1) {
 					t.Fatalf("round %d: epoch %d", round, st.Epoch())
+				}
+				// The incrementally maintained summary must render
+				// byte-identically to a from-scratch build, statistics
+				// included.
+				if got, want := batch.Summary.StatsString(), summary.Build(doc).StatsString(); got != want {
+					t.Fatalf("round %d: maintained summary diverged\nmaintained: %s\nrebuild:    %s", round, got, want)
 				}
 				checkExtentsMatchRebuild(t, st, views, doc, round)
 			}
@@ -300,6 +307,9 @@ func TestMaintenanceOracleQueries(t *testing.T) {
 		batch, err := st.ApplyUpdates(ups)
 		if err != nil {
 			t.Fatalf("round %d: ApplyUpdates: %v", round, err)
+		}
+		if got, want := batch.Summary.StatsString(), summary.Build(doc).StatsString(); got != want {
+			t.Fatalf("round %d: maintained summary diverged\nmaintained: %s\nrebuild:    %s", round, got, want)
 		}
 		checkExtentsMatchRebuild(t, st, views, doc, round)
 		checkQueriesMatchRebuild(t, st, views, doc, batch.Summary, round)
@@ -343,6 +353,11 @@ func TestMaintenanceOracleDisk(t *testing.T) {
 	}
 	latest := st.Document()
 	checkExtentsMatchRebuild(t, st, views, latest, -1)
+	// The persisted summary text (written from the maintained summary)
+	// must equal a from-scratch build of the persisted document.
+	if want := summary.Build(latest).StatsString(); cat.Summary != want {
+		t.Fatalf("persisted summary diverged\ncatalog: %s\nrebuild: %s", cat.Summary, want)
+	}
 	sum, err := summary.Parse(cat.Summary)
 	if err != nil {
 		t.Fatal(err)
@@ -354,12 +369,15 @@ func TestMaintenanceOracleDisk(t *testing.T) {
 	}
 
 	// Compact and reopen: identical answers from folded base segments.
-	folded, err := view.CompactStore(dir)
+	res, err := view.CompactStore(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if folded == 0 {
+	if res.Folded == 0 {
 		t.Fatal("nothing compacted after 12 batches")
+	}
+	if res.FilesRemoved < res.Folded || res.BytesReclaimed <= 0 {
+		t.Fatalf("compaction did not reclaim superseded files: %+v", res)
 	}
 	cat2, st2, err := view.OpenUpdatableStore(dir)
 	if err != nil {

@@ -15,8 +15,10 @@ import (
 
 	"xmlviews/internal/core"
 	"xmlviews/internal/maintain"
+	"xmlviews/internal/nodeid"
 	"xmlviews/internal/nrel"
 	"xmlviews/internal/pattern"
+	"xmlviews/internal/summary"
 	"xmlviews/internal/xmltree"
 )
 
@@ -42,6 +44,37 @@ func MaterializeFlat(v *core.View, doc *xmltree.Document) *nrel.Relation {
 	flat := flattened(pat)
 	raw := flat.Eval(doc)
 	return renameToSlots(flat, raw, slotMap)
+}
+
+// MaterializeFlatScoped evaluates the witnessed scoped extent the
+// maintenance engine's fast path needs: the flattened pattern is evaluated
+// only on the chain and subtree of root (pattern.EvalScope), and rows are
+// kept only when their witness identifier — the id column of the
+// flattened pattern's witnessReturn-th return node — lies at or below
+// root. See internal/maintain/scope.go for why this subset is exactly the
+// extent's changeable region.
+func MaterializeFlatScoped(v *core.View, doc *xmltree.Document, root nodeid.ID, witnessReturn int) *nrel.Relation {
+	pat := v.Pattern
+	slotMap := func(k int) int { return k }
+	if v.Stored != nil {
+		pat = v.Stored
+		slotMap = func(k int) int { return v.StoredSlotMap[k] }
+	}
+	flat := flattened(pat)
+	raw := flat.EvalScope(doc, pattern.Scope{Root: root})
+	rel := renameToSlots(flat, raw, slotMap)
+	idx := rel.ColIndex(SlotCol(slotMap(witnessReturn), "id"))
+	if idx < 0 {
+		panic(fmt.Sprintf("view: witness id column missing in scoped extent of %q", v.Name))
+	}
+	out := nrel.NewRelation(rel.Cols...)
+	for _, row := range rel.Rows {
+		w := row[idx]
+		if w.Kind == nrel.KindID && (root.Equal(w.ID) || root.IsAncestorOf(w.ID)) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
 }
 
 // flattened strips nesting markers so that Eval yields flat rows.
@@ -97,6 +130,14 @@ type Store struct {
 	views []*core.View
 	epoch int64
 	rels  map[string]*nrel.Relation
+	// msum is the incrementally maintained summary, built lazily on the
+	// first update batch and advanced with each one, so per-batch summary
+	// cost is O(change), not O(document).
+	msum *summary.Maintained
+	// sortedExt records that every base-view extent is key-sorted (the
+	// maintenance engine's splice invariant); established copy-on-write
+	// when updates begin.
+	sortedExt bool
 	// prepared is keyed by the view's name plus canonical pattern text, not
 	// by *core.View: the rewriter clones views on every call, and a
 	// long-running server would otherwise accumulate one cache entry per
@@ -128,6 +169,7 @@ func (st *Store) Document() *xmltree.Document { return st.doc }
 func (st *Store) SetDocument(doc *xmltree.Document) {
 	st.mu.Lock()
 	st.doc = doc
+	st.msum = nil // rebuilt from the new document on the next batch
 	st.mu.Unlock()
 }
 
@@ -175,16 +217,38 @@ func (st *Store) ApplyUpdates(updates []xmltree.Update) (*maintain.Batch, error)
 	if st.doc == nil {
 		return nil, fmt.Errorf("view: store has no document attached; rebuild the store or SetDocument first")
 	}
+	if st.msum == nil {
+		// First batch since the document was attached: one O(document)
+		// summary build, then every batch maintains it incrementally.
+		st.msum = summary.NewMaintained(st.doc)
+	}
+	if !st.sortedExt {
+		// Establish the key-sorted extent invariant the scoped splice
+		// depends on, copy-on-write so concurrent snapshot readers keep
+		// their row order.
+		for _, v := range st.views {
+			if r, ok := st.rels[v.Name]; ok {
+				st.rels[v.Name] = maintain.SortByKey(r)
+			}
+		}
+		st.sortedExt = true
+	}
 	batch, err := maintain.ComputeDeltas(st.doc, st.views, updates,
 		func(v *core.View) *nrel.Relation {
 			if r, ok := st.rels[v.Name]; ok {
 				return r
 			}
 			return nrel.NewRelation(flatCols(v)...)
-		}, MaterializeFlat)
+		}, maintain.Engine{
+			Mat:           MaterializeFlat,
+			MatScoped:     MaterializeFlatScoped,
+			Summary:       st.msum,
+			SortedExtents: true,
+		})
 	if err != nil {
 		return nil, err
 	}
+	st.msum = batch.Maintained
 	for _, d := range batch.Deltas {
 		st.rels[d.View.Name] = d.New
 		prefix := d.View.Name + "\x1f"
@@ -236,6 +300,7 @@ func (st *Store) Relation(v *core.View) *nrel.Relation {
 		st.prepared[preparedKey(v)] = r
 	} else {
 		st.rels[v.Name] = r
+		st.sortedExt = false // fresh eval order; re-sorted on the next batch
 	}
 	return r
 }
@@ -290,10 +355,12 @@ func renameStored(base *nrel.Relation, v *core.View) *nrel.Relation {
 }
 
 // Put registers a precomputed extent (used by tests and by the executor
-// for derived views).
+// for derived views). A Put extent is not necessarily key-sorted, so the
+// sorted-extent invariant is re-established on the next update batch.
 func (st *Store) Put(name string, r *nrel.Relation) {
 	st.mu.Lock()
 	st.rels[name] = r
+	st.sortedExt = false
 	st.mu.Unlock()
 }
 

@@ -276,6 +276,10 @@ func UpdateStore(dir string, updates []Update) (*StoreUpdateResult, error) {
 	return view.UpdateStore(dir, updates)
 }
 
-// CompactStore folds every delta chain of a store directory back into its
-// base segments. Query answers are unchanged.
-func CompactStore(dir string) (int, error) { return view.CompactStore(dir) }
+// CompactResult reports what a store compaction folded and reclaimed.
+type CompactResult = view.CompactResult
+
+// CompactStore folds every delta chain of a store directory into fresh
+// base segments, removing the superseded files once the new catalog is
+// durable. Query answers are unchanged.
+func CompactStore(dir string) (*CompactResult, error) { return view.CompactStore(dir) }
