@@ -1,0 +1,57 @@
+// Command xvlint runs the project's invariant analyzers (detorder,
+// lockcheck, ctxpoll, errclose) over the given packages and exits
+// non-zero when any diagnostic is found.
+//
+// Usage:
+//
+//	go run ./cmd/xvlint ./...          # what CI runs (scripts/lint.sh)
+//	go run ./cmd/xvlint help           # print the invariant catalogue
+//
+// It must be invoked from inside the module: the loader type-checks from
+// source with the standard library importer, which resolves module paths
+// relative to the working directory. See docs/lint.md for the invariants
+// and the //xvlint: annotation reference.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"xmlviews/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 && (args[0] == "help" || args[0] == "-h" || args[0] == "--help") {
+		printHelp()
+		return
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	prog, err := lint.LoadPackages(args)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := lint.Run(prog, lint.All(), lint.RunOptions{})
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "xvlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func printHelp() {
+	fmt.Println("xvlint checks the project invariants described in docs/lint.md:")
+	fmt.Println()
+	for _, a := range lint.All() {
+		fmt.Printf("%s\n    %s\n", a.Name, a.Doc)
+		if len(a.Roots) > 0 {
+			fmt.Printf("    scope: %v\n", a.Roots)
+		}
+		fmt.Println()
+	}
+}

@@ -141,9 +141,13 @@ func (ex *executor) scan(v *core.View) (*Result, error) {
 		// executors); derive virtual columns on a private copy. A nav
 		// scan's relation is freshly built above and needs no copy.
 		if v.Nav == nil {
-			res.Rel = cloneForVirtualIDs(rel, len(v.VirtualSlots))
+			cloned, err := ex.cloneForVirtualIDs(rel, len(v.VirtualSlots))
+			if err != nil {
+				return nil, err
+			}
+			res.Rel = cloned
 		}
-		if err := fillVirtualIDs(res, v); err != nil {
+		if err := ex.fillVirtualIDs(res, v); err != nil {
 			return nil, err
 		}
 	}
@@ -153,14 +157,19 @@ func (ex *executor) scan(v *core.View) (*Result, error) {
 // cloneForVirtualIDs copies the relation's header and tuples (values are
 // shared) with room for the derived ID columns, so fillVirtualIDs never
 // writes into the store's cached extent.
-func cloneForVirtualIDs(rel *nrel.Relation, extra int) *nrel.Relation {
+func (ex *executor) cloneForVirtualIDs(rel *nrel.Relation, extra int) (*nrel.Relation, error) {
 	out := nrel.NewRelation()
 	out.Cols = append(make([]string, 0, len(rel.Cols)+extra), rel.Cols...)
 	out.Rows = make([]nrel.Tuple, len(rel.Rows))
 	for i, row := range rel.Rows {
+		if i%cancelCheckEvery == 0 {
+			if err := ex.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		out.Rows[i] = append(make(nrel.Tuple, 0, len(row)+extra), row...)
 	}
-	return out
+	return out, nil
 }
 
 // scanNav evaluates a navigation view: for each base row, navigate the
@@ -232,18 +241,30 @@ func navigate(root *xmltree.Node, path []string) []*xmltree.Node {
 }
 
 // fillVirtualIDs computes derived ID columns by parent-ID steps.
-func fillVirtualIDs(res *Result, v *core.View) error {
+func (ex *executor) fillVirtualIDs(res *Result, v *core.View) error {
 	// Resolve in dependency order: a virtual slot may derive from another
-	// virtual slot; iterate until all are filled.
+	// virtual slot; iterate until all are filled. Each round tries the
+	// slots in ascending order so inserted columns land at the same
+	// positions on every run — the column list is rendered verbatim into
+	// the /query response, so it must not inherit map iteration order.
 	pending := map[int]core.VirtualID{}
 	for k, vid := range v.VirtualSlots {
 		pending[k] = vid
 	}
+	slots := make([]int, 0, len(pending))
+	for k := range pending {
+		slots = append(slots, k)
+	}
+	sort.Ints(slots)
 	cols := res.Rel.Cols
 	colOf := func(k int) int { return res.Rel.ColIndex(view.SlotCol(k, "id")) }
 	for len(pending) > 0 {
 		progress := false
-		for k, vid := range pending {
+		for _, k := range slots {
+			vid, ok := pending[k]
+			if !ok {
+				continue
+			}
 			if _, stillPending := pending[vid.FromSlot]; stillPending {
 				continue
 			}
@@ -257,12 +278,22 @@ func fillVirtualIDs(res *Result, v *core.View) error {
 				res.Rel.Cols = append(cols[:0:0], cols...)
 				res.Rel.Cols = append(res.Rel.Cols, view.SlotCol(k, "id"))
 				for i, row := range res.Rel.Rows {
+					if i%cancelCheckEvery == 0 {
+						if err := ex.cancelled(); err != nil {
+							return err
+						}
+					}
 					res.Rel.Rows[i] = append(row, nrel.Null())
 				}
 				dst = len(res.Rel.Cols) - 1
 				cols = res.Rel.Cols
 			}
-			for _, row := range res.Rel.Rows {
+			for i, row := range res.Rel.Rows {
+				if i%cancelCheckEvery == 0 {
+					if err := ex.cancelled(); err != nil {
+						return err
+					}
+				}
 				id := row[src]
 				if id.IsNull() {
 					row[dst] = nrel.Null()
@@ -318,11 +349,11 @@ func (ex *executor) join(p *core.Plan) (*Result, error) {
 	default:
 		rows = stackStructuralJoin(left.Rel, lid, right.Rel, rid, p.Kind == core.JoinParent, stop)
 	}
+	if p.Outer {
+		rows = padOuter(rows, left.Rel, len(right.Rel.Cols), stop)
+	}
 	if err := ex.cancelled(); err != nil {
 		return nil, err
-	}
-	if p.Outer {
-		rows = padOuter(rows, left.Rel, len(right.Rel.Cols))
 	}
 	// Build the output schema: left slots then right slots, renamed.
 	slots := append(append([]core.PlanSlot{}, left.Slots...), right.Slots...)
@@ -351,17 +382,25 @@ type joinedRow struct {
 }
 
 // padOuter appends, for every left row without a match, a row padded with
-// ⊥ on the right (left outer join semantics).
-func padOuter(rows []joinedRow, left *nrel.Relation, rightWidth int) []joinedRow {
+// ⊥ on the right (left outer join semantics). Like the join kernels it
+// may return partial output when stop fires; the caller's cancellation
+// check discards it.
+func padOuter(rows []joinedRow, left *nrel.Relation, rightWidth int, stop func() bool) []joinedRow {
 	seen := map[string]bool{}
-	for _, jr := range rows {
+	for i, jr := range rows {
+		if shouldStop(stop, i) {
+			return rows
+		}
 		seen[renderKey(jr.left)] = true
 	}
 	nulls := make(nrel.Tuple, rightWidth)
 	for i := range nulls {
 		nulls[i] = nrel.Null()
 	}
-	for _, lrow := range left.Rows {
+	for i, lrow := range left.Rows {
+		if shouldStop(stop, i) {
+			return rows
+		}
 		if !seen[renderKey(lrow)] {
 			rows = append(rows, joinedRow{lrow, nulls})
 		}
@@ -457,13 +496,13 @@ func nestedLoopStructuralJoin(l *nrel.Relation, lid int, r *nrel.Relation, rid i
 // document order, a stack of pending ancestors, each pair emitted exactly
 // once. O(|l| + |r| + |output|).
 func stackStructuralJoin(l *nrel.Relation, lid int, r *nrel.Relation, rid int, parentOnly bool, stop func() bool) []joinedRow {
-	anc := sortedByID(l.Rows, lid)
+	anc := sortedByID(l.Rows, lid, stop)
 	// An in-progress sort always completes, but poll between the two so
 	// an abandoned request pays for at most one of them.
 	if stop != nil && stop() {
 		return nil
 	}
-	desc := sortedByID(r.Rows, rid)
+	desc := sortedByID(r.Rows, rid, stop)
 	var out []joinedRow
 	polled := 0
 	// Stack entries group ancestor rows sharing the same ID (duplicates
@@ -516,9 +555,12 @@ func stackStructuralJoin(l *nrel.Relation, lid int, r *nrel.Relation, rid int, p
 	return out
 }
 
-func sortedByID(rows []nrel.Tuple, col int) []nrel.Tuple {
+func sortedByID(rows []nrel.Tuple, col int, stop func() bool) []nrel.Tuple {
 	out := make([]nrel.Tuple, 0, len(rows))
-	for _, r := range rows {
+	for i, r := range rows {
+		if shouldStop(stop, i) {
+			return out
+		}
 		if !r[col].IsNull() {
 			out = append(out, r)
 		}
@@ -574,10 +616,15 @@ func (ex *executor) project(p *core.Plan) (*Result, error) {
 			}
 		}
 	}
-	for _, row := range in.Rel.Rows {
+	for i, row := range in.Rel.Rows {
+		if i%cancelCheckEvery == 0 {
+			if err := ex.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		nr := make(nrel.Tuple, len(colIdx))
-		for i, ci := range colIdx {
-			nr[i] = row[ci]
+		for j, ci := range colIdx {
+			nr[j] = row[ci]
 		}
 		out.Append(nr)
 	}
@@ -594,7 +641,12 @@ func (ex *executor) selectLabel(p *core.Plan) (*Result, error) {
 		return nil, fmt.Errorf("algebra: σL on slot %d without label column", p.Slot)
 	}
 	out := nrel.NewRelation(in.Rel.Cols...)
-	for _, row := range in.Rel.Rows {
+	for i, row := range in.Rel.Rows {
+		if i%cancelCheckEvery == 0 {
+			if err := ex.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		if row[ci].Kind == nrel.KindString && row[ci].Str == p.Label {
 			out.Append(row)
 		}
@@ -612,7 +664,12 @@ func (ex *executor) selectValue(p *core.Plan) (*Result, error) {
 		return nil, fmt.Errorf("algebra: σV on slot %d without value column", p.Slot)
 	}
 	out := nrel.NewRelation(in.Rel.Cols...)
-	for _, row := range in.Rel.Rows {
+	for i, row := range in.Rel.Rows {
+		if i%cancelCheckEvery == 0 {
+			if err := ex.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		if row[ci].Kind == nrel.KindString && p.Pred.Eval(predicate.ParseAtom(row[ci].Str)) {
 			out.Append(row)
 		}

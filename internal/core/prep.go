@@ -94,8 +94,12 @@ func addVirtualIDs(v *View, s *summary.Summary) {
 	for k, rn := range p.Returns() {
 		slotOf[rn] = k
 	}
-	for node, d := range virtual {
-		v.VirtualSlots[slotOf[node]] = VirtualID{FromSlot: slotOf[d.source], Up: d.up}
+	// Walk the pattern's node list rather than the derivation map: every
+	// virtual node carries AttrID, so it is a return node with a slot.
+	for _, n := range p.Nodes() {
+		if d, ok := virtual[n]; ok {
+			v.VirtualSlots[slotOf[n]] = VirtualID{FromSlot: slotOf[d.source], Up: d.up}
+		}
 	}
 }
 

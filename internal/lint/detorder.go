@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetOrder flags map-range iteration in determinism-critical packages.
+//
+// Since PR 4, cost accumulations iterate summary ids in sorted order so
+// that ChooseBest's cost-equality tie-break sees byte-identical floats
+// across runs and restarts; rendered summaries, plan text and HTTP
+// response bodies carry the same guarantee. The executor (algebra) is in
+// scope because a query result's column list and row order are rendered
+// verbatim into the /query response. Go randomizes map iteration order,
+// so a bare `for k := range m` in these packages is presumed to leak that
+// randomness into an output unless the loop is provably
+// order-independent:
+//
+//   - a reduction writing only m2[k] for the range key k (every iteration
+//     touches a distinct key, so the iteration order cannot matter):
+//     assignments, compound assignments, ++/--, delete(m2, k);
+//   - an existence scan that only sets a boolean/constant and breaks or
+//     returns a constant;
+//   - a key-collect loop (`s = append(s, k)`) whose slice is subsequently
+//     passed to a sort.* call in the same function — the canonical
+//     sorted-iteration idiom.
+//
+// Anything else needs an explicit //xvlint:orderindependent annotation on
+// the loop (same line or the line above), so every suppression is a
+// reviewed decision with a written justification.
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc: "flags map-range loops in determinism-critical packages (cost, core, summary, serve) " +
+		"whose iteration order could reach plan text, cost estimates, rendered summaries or HTTP bodies",
+	Roots: []string{
+		"xmlviews/internal/algebra",
+		"xmlviews/internal/cost",
+		"xmlviews/internal/core",
+		"xmlviews/internal/summary",
+		"xmlviews/internal/serve",
+	},
+	Run: runDetOrder,
+}
+
+func runDetOrder(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				detOrderFunc(pass, fd)
+			}
+		}
+	}
+}
+
+func detOrderFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if pass.Pkg.stmtAnnotated(rs.Pos(), "orderindependent") {
+			return true
+		}
+		if orderIndependentLoop(info, rs, fd) {
+			return true
+		}
+		pass.Reportf(rs.Pos(),
+			"map iteration order is random and this loop is not provably order-independent; "+
+				"iterate sorted keys (see slotDist.ids in internal/cost) or annotate //xvlint:orderindependent with a justification")
+		return true
+	})
+}
+
+// orderIndependentLoop recognizes the loop shapes whose result cannot
+// depend on iteration order.
+func orderIndependentLoop(info *types.Info, rs *ast.RangeStmt, fd *ast.FuncDecl) bool {
+	keyObj := rangeVarObject(info, rs.Key)
+	if collectThenSort(info, rs, fd, keyObj) {
+		return true
+	}
+	for _, stmt := range rs.Body.List {
+		if !orderIndependentStmt(info, stmt, keyObj) {
+			return false
+		}
+	}
+	return len(rs.Body.List) > 0
+}
+
+// rangeVarObject resolves a range variable to its object (nil for `_` or
+// absent variables).
+func rangeVarObject(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+// orderIndependentStmt reports whether one body statement is of a shape
+// that commutes across iterations with distinct keys.
+func orderIndependentStmt(info *types.Info, stmt ast.Stmt, keyObj types.Object) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		lhs := unparen(s.Lhs[0])
+		// m2[k] = ..., m2[k] += ... — per-key writes: distinct iterations
+		// write distinct keys, so order cannot matter. The written map may
+		// be the ranged one or another; what matters is that the index is
+		// exactly the range key.
+		if ix, ok := lhs.(*ast.IndexExpr); ok {
+			if s.Tok == token.DEFINE {
+				return false
+			}
+			return indexIsKey(info, ix, keyObj) && rhsSafe(info, s.Rhs[0], ix)
+		}
+		// flag = true / n = 0 — idempotent constant stores (the existence
+		// scan shape); any iteration order yields the same final value.
+		if id, ok := lhs.(*ast.Ident); ok && s.Tok == token.ASSIGN {
+			tv, ok := info.Types[s.Rhs[0]]
+			return ok && tv.Value != nil && info.ObjectOf(id) != nil
+		}
+		return false
+	case *ast.IncDecStmt:
+		// m2[k]++ — a commutative integer reduction per distinct key.
+		ix, ok := unparen(s.X).(*ast.IndexExpr)
+		return ok && indexIsKey(info, ix, keyObj)
+	case *ast.ExprStmt:
+		// delete(m2, k) — each iteration removes a distinct key.
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return false
+		}
+		fn, ok := unparen(call.Fun).(*ast.Ident)
+		if !ok || fn.Name != "delete" {
+			return false
+		}
+		if b, ok := info.Uses[fn].(*types.Builtin); !ok || b.Name() != "delete" {
+			return false
+		}
+		arg, ok := unparen(call.Args[1]).(*ast.Ident)
+		return ok && keyObj != nil && info.ObjectOf(arg) == keyObj
+	case *ast.BranchStmt:
+		return s.Tok == token.BREAK || s.Tok == token.CONTINUE
+	case *ast.ReturnStmt:
+		// return true / return nil, 0 — existence scans short-circuit with
+		// constants only; returning an iteration-dependent value would leak
+		// the order.
+		for _, r := range s.Results {
+			tv, ok := info.Types[r]
+			if !ok || (tv.Value == nil && !tv.IsNil()) {
+				return false
+			}
+		}
+		return true
+	case *ast.IfStmt:
+		// Guards around the shapes above: the condition selects which keys
+		// participate, which is itself order-free over distinct keys.
+		if s.Init != nil && !orderIndependentStmt(info, s.Init, keyObj) {
+			return false
+		}
+		for _, st := range s.Body.List {
+			if !orderIndependentStmt(info, st, keyObj) {
+				return false
+			}
+		}
+		switch el := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			for _, st := range el.List {
+				if !orderIndependentStmt(info, st, keyObj) {
+					return false
+				}
+			}
+			return true
+		case *ast.IfStmt:
+			return orderIndependentStmt(info, el, keyObj)
+		}
+		return false
+	case *ast.RangeStmt, *ast.ForStmt:
+		// A nested loop whose own body is order-independent with respect to
+		// the outer key (the nested existence scan in joinFeasible: range two
+		// slot sets, return true on the first ancestor pair). The inner
+		// loop's key is NOT granted per-key write rights — only the outer
+		// key's distinctness is known here — so inner writes must stand on
+		// constants, breaks and returns alone.
+		var body *ast.BlockStmt
+		if r, ok := s.(*ast.RangeStmt); ok {
+			body = r.Body
+		} else {
+			body = s.(*ast.ForStmt).Body
+		}
+		for _, st := range body.List {
+			if !orderIndependentStmt(info, st, nil) {
+				return false
+			}
+		}
+		return true
+	case *ast.EmptyStmt:
+		return true
+	}
+	return false
+}
+
+// indexIsKey reports whether ix indexes by exactly the loop's key
+// variable.
+func indexIsKey(info *types.Info, ix *ast.IndexExpr, keyObj types.Object) bool {
+	if keyObj == nil {
+		return false
+	}
+	id, ok := unparen(ix.Index).(*ast.Ident)
+	return ok && info.ObjectOf(id) == keyObj
+}
+
+// rhsSafe verifies the per-key write's right-hand side cannot observe
+// another iteration's effect: it must not read the written map under a key
+// other than the range key (reading lhs itself — `m2[k] += x` desugared —
+// is fine; reading unrelated state is fine, the loop writes nothing else).
+func rhsSafe(info *types.Info, rhs ast.Expr, lhs *ast.IndexExpr) bool {
+	safe := true
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		if sameObject(info, ix.X, lhs.X) && !sameObject(info, ix.Index, lhs.Index) {
+			safe = false
+		}
+		return safe
+	})
+	return safe
+}
+
+// collectThenSort recognizes `for k := range m { s = append(s, k) }`
+// followed by sort.*(… s …) later in the same function: collecting keys
+// (or values) for sorted iteration is THE sanctioned idiom.
+func collectThenSort(info *types.Info, rs *ast.RangeStmt, fd *ast.FuncDecl, keyObj types.Object) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 || (asg.Tok != token.ASSIGN && asg.Tok != token.DEFINE) {
+		return false
+	}
+	call, ok := unparen(asg.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	if fn, ok := unparen(call.Fun).(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	} else if b, ok := info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	dst, ok := unparen(asg.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	dstObj := info.ObjectOf(dst)
+	if dstObj == nil {
+		return false
+	}
+	// The appended element must involve the key or value variable (we are
+	// collecting the map's contents, not something else).
+	valObj := rangeVarObject(info, rs.Value)
+	elem := call.Args[len(call.Args)-1]
+	if !usesObject(info, elem, keyObj) && !usesObject(info, elem, valObj) {
+		return false
+	}
+	// A later sort call in the same function must mention the slice.
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok || c.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := unparen(c.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := info.Uses[pkgID].(*types.PkgName); !ok || pn.Imported().Path() != "sort" {
+			return true
+		}
+		for _, a := range c.Args {
+			if usesObject(info, a, dstObj) {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}

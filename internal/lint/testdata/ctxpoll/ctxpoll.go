@@ -1,0 +1,127 @@
+// Fixture for the ctxpoll analyzer: tuple loops without a cancellation
+// poll are flagged; the sanctioned poll shapes and the nopoll annotation
+// are not.
+package ctxpoll
+
+import "context"
+
+type Tuple struct{ id int }
+
+type rowPair struct{ left, right Tuple }
+
+// sumBad burns CPU with no way to stop it.
+func sumBad(rows []Tuple) int {
+	n := 0
+	for _, t := range rows { // want `tuple loop without a cancellation poll`
+		n += t.id
+	}
+	return n
+}
+
+// pairBad: the element type matches row, so pair loops are covered too.
+func pairBad(pairs []rowPair) int {
+	n := 0
+	for _, p := range pairs { // want `tuple loop without a cancellation poll`
+		n += p.left.id
+	}
+	return n
+}
+
+// sumCtx polls the context directly.
+func sumCtx(ctx context.Context, rows []Tuple) int {
+	n := 0
+	for i, t := range rows {
+		if i%1024 == 0 && ctx.Err() != nil {
+			return n
+		}
+		n += t.id
+	}
+	return n
+}
+
+// sumHelper polls through a probe callback named like the project's
+// helpers.
+func sumHelper(rows []Tuple, cancelled func() bool) int {
+	n := 0
+	for _, t := range rows {
+		if cancelled() {
+			break
+		}
+		n += t.id
+	}
+	return n
+}
+
+// sumSelect polls a done channel.
+func sumSelect(done chan struct{}, rows []Tuple) int {
+	n := 0
+	for _, t := range rows {
+		select {
+		case <-done:
+			return n
+		default:
+		}
+		n += t.id
+	}
+	return n
+}
+
+// nested: a poll in the enclosing loop bounds the unpolled inner work by
+// one block, which is the project's accepted granularity.
+func nested(ctx context.Context, blocks [][]Tuple) int {
+	n := 0
+	for _, block := range blocks {
+		if ctx.Err() != nil {
+			return n
+		}
+		for _, t := range block {
+			n += t.id
+		}
+	}
+	return n
+}
+
+// closureResets: a poll OUTSIDE a function literal does not cover loops
+// inside it — the literal may run on another goroutine.
+func closureResets(ctx context.Context, rows []Tuple) func() int {
+	if ctx.Err() != nil {
+		return nil
+	}
+	return func() int {
+		n := 0
+		for _, t := range rows { // want `tuple loop without a cancellation poll`
+			n += t.id
+		}
+		return n
+	}
+}
+
+// applyAll must not be interrupted; the annotation names the reason.
+//
+//xvlint:nopoll applies under the store lock; aborting would leave half-applied state
+func applyAll(rows []Tuple) int {
+	n := 0
+	for _, t := range rows {
+		n += t.id
+	}
+	return n
+}
+
+// loopAnnotated carries the annotation on the loop itself.
+func loopAnnotated(rows []Tuple) int {
+	n := 0
+	//xvlint:nopoll bounded by the caller's batch cap
+	for _, t := range rows {
+		n += t.id
+	}
+	return n
+}
+
+// notTuples ranges ints: out of scope regardless of polling.
+func notTuples(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

@@ -1,0 +1,47 @@
+package ctxpoll
+
+// padOuterBuggy reproduces the pre-fix shape of algebra.padOuter (one of
+// the defects this analyzer caught in this PR): the outer-join padding
+// pass walked every joined row and every left row with no stop probe,
+// so a disconnected client kept paying for the padding of an arbitrarily
+// large join.
+func padOuterBuggy(rows []rowPair, left []Tuple) []rowPair {
+	seen := map[int]bool{}
+	for _, jr := range rows { // want `tuple loop without a cancellation poll`
+		seen[jr.left.id] = true
+	}
+	for _, lrow := range left { // want `tuple loop without a cancellation poll`
+		if !seen[lrow.id] {
+			rows = append(rows, rowPair{left: lrow})
+		}
+	}
+	return rows
+}
+
+// padOuterFixed is the shipped fix: both passes poll through the same
+// stop probe the join kernels use, returning partial output the caller's
+// cancellation check discards.
+func padOuterFixed(rows []rowPair, left []Tuple, stop func() bool) []rowPair {
+	shouldStop := func(i int) bool { return stop != nil && i%4096 == 0 && stop() }
+	seen := map[int]bool{}
+	for i, jr := range rows {
+		if shouldStop(i) {
+			return rows
+		}
+		seen[jr.left.id] = true
+	}
+	for i, lrow := range left {
+		if shouldStop(i) {
+			return rows
+		}
+		rows = appendMissing(rows, seen, lrow)
+	}
+	return rows
+}
+
+func appendMissing(rows []rowPair, seen map[int]bool, lrow Tuple) []rowPair {
+	if !seen[lrow.id] {
+		rows = append(rows, rowPair{left: lrow})
+	}
+	return rows
+}

@@ -1,0 +1,122 @@
+// Fixture for the detorder analyzer: map-range loops that must be
+// flagged, the order-independent shapes that must not be, and the
+// annotation escape hatch.
+package detorder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// renderBad leaks map iteration order into a rendered string.
+func renderBad(m map[string]int) string {
+	out := ""
+	for k, v := range m { // want `map iteration order is random`
+		out += fmt.Sprintf("%s=%d;", k, v)
+	}
+	return out
+}
+
+// sumFloats leaks iteration order into a float accumulation (float
+// addition does not commute in rounding).
+func sumFloats(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want `map iteration order is random`
+		s += v
+	}
+	return s
+}
+
+// renderSorted is the sanctioned idiom: collect keys, sort, iterate.
+func renderSorted(m map[string]int) string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for _, k := range keys {
+		out += fmt.Sprintf("%s=%d;", k, m[k])
+	}
+	return out
+}
+
+// scale writes one distinct key per iteration: order cannot matter.
+func scale(d map[int]float64, f float64) map[int]float64 {
+	nd := make(map[int]float64, len(d))
+	for sid, v := range d {
+		nd[sid] = v * f
+	}
+	return nd
+}
+
+// merge accumulates per distinct key: also order-free.
+func merge(dst, src map[int]float64) {
+	for sid, v := range src {
+		dst[sid] += v
+	}
+}
+
+// mergeIndirect writes dst under a key that is NOT the range key: two
+// iterations may collide on remap[sid], so the winner is order-dependent.
+func mergeIndirect(dst, src map[int]float64, remap map[int]int) {
+	for sid, v := range src { // want `map iteration order is random`
+		dst[remap[sid]] = v
+	}
+}
+
+// readOther reads the written map under another key on the RHS: the read
+// observes earlier iterations' writes, so order matters.
+func readOther(m map[int]float64) map[int]float64 {
+	nd := map[int]float64{}
+	for sid, v := range m { // want `map iteration order is random`
+		nd[sid] = v + nd[sid-1]
+	}
+	return nd
+}
+
+// anyNegative is an existence scan: constant return, order-free.
+func anyNegative(m map[int]float64) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// pruneZeros deletes the range key per iteration: order-free.
+func pruneZeros(m map[int]float64) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// nestedExistence mirrors joinFeasible's ancestor scan: a nested map
+// range whose only effect is a constant return.
+func nestedExistence(lp, rp map[int]bool) bool {
+	for x := range lp {
+		for y := range rp {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// countMatches increments a plain scalar — commutative, but beyond what
+// the recognizers prove — so the reviewed justification rides on an
+// annotation.
+func countMatches(m map[int]bool) int {
+	n := 0
+	//xvlint:orderindependent integer increment commutes across iterations
+	for _, ok := range m {
+		if ok {
+			n++
+		}
+	}
+	return n
+}

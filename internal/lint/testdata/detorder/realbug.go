@@ -1,0 +1,51 @@
+package detorder
+
+import "sort"
+
+// fillColumns reproduces the pre-fix shape of algebra.fillVirtualIDs
+// (the defect this analyzer caught in this PR): resolving virtual slots
+// by ranging the pending map appended the derived columns in map
+// iteration order, and the column list is rendered verbatim into the
+// /query response — the same query could answer with differently ordered
+// columns on different runs.
+type relation struct {
+	cols []string
+	rows [][]int
+}
+
+func fillColumnsBuggy(rel *relation, virtual map[int]string) {
+	pending := map[int]string{}
+	for k, name := range virtual {
+		pending[k] = name
+	}
+	for len(pending) > 0 {
+		for k, name := range pending { // want `map iteration order is random`
+			rel.cols = append(rel.cols, name)
+			delete(pending, k)
+		}
+	}
+}
+
+// fillColumnsFixed is the shipped fix: each round tries the slots in
+// ascending order, so inserted columns land identically on every run.
+func fillColumnsFixed(rel *relation, virtual map[int]string) {
+	pending := map[int]string{}
+	for k, name := range virtual {
+		pending[k] = name
+	}
+	slots := make([]int, 0, len(pending))
+	for k := range pending {
+		slots = append(slots, k)
+	}
+	sort.Ints(slots)
+	for len(pending) > 0 {
+		for _, k := range slots {
+			name, ok := pending[k]
+			if !ok {
+				continue
+			}
+			rel.cols = append(rel.cols, name)
+			delete(pending, k)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Fixture for the errclose analyzer: discarded Close/Sync/WriteFile
+// errors are flagged; handled errors, visible blank assigns, closers
+// without error results, and annotated sites are not.
+package errclose
+
+type file struct{}
+
+func (f *file) Close() error { return nil }
+func (f *file) Sync() error  { return nil }
+
+// notifier's Close returns nothing: never flagged.
+type notifier struct{}
+
+func (n *notifier) Close() {}
+
+func writeBad(f *file) {
+	f.Sync()  // want `error from Sync discarded`
+	f.Close() // want `error from Close discarded`
+}
+
+func deferBad(f *file) {
+	defer f.Close() // want `error from Close discarded by defer`
+}
+
+func goBad(f *file) {
+	go f.Close() // want `error from Close discarded by go`
+}
+
+func writeHandled(f *file) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// blankAssign is visible in review: allowed without annotation.
+func blankAssign(f *file) {
+	_ = f.Close()
+}
+
+// annotated records why the error may drop.
+func annotated(f *file) error {
+	err := f.Sync()
+	if err != nil {
+		f.Close() //xvlint:errok primary error wins; nothing was renamed into place
+		return err
+	}
+	return f.Close()
+}
+
+func noErrorResult(n *notifier) {
+	n.Close()
+}
+
+// WriteFile is flagged by name+signature wherever it is defined.
+func WriteFile(path string, b []byte) error { _ = path; _ = b; return nil }
+
+func callWriteFile() {
+	WriteFile("x", nil) // want `error from WriteFile discarded`
+}

@@ -1,0 +1,47 @@
+package errclose
+
+import "os"
+
+// writeFileAtomicBuggy reproduces the pre-fix shape of
+// store.writeFileAtomic (the defect this analyzer caught in this PR):
+// the write-error path dropped tmp.Close()'s error silently — invisible
+// in review, unlike a blank assign — on the exact path where the persist
+// protocol depends on every error surfacing.
+func writeFileAtomicBuggy(path string, data []byte) error {
+	tmp, err := os.CreateTemp(".", ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close() // want `error from Close discarded`
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// writeFileAtomicFixed is the shipped fix: the close on the error path
+// carries a reviewed annotation (the write error is the root cause and
+// the temp file is removed), and the success path syncs before renaming.
+func writeFileAtomicFixed(path string, data []byte) error {
+	tmp, err := os.CreateTemp(".", ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close() //xvlint:errok primary error wins; the temp file is removed
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close() //xvlint:errok primary error wins; the temp file is removed
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

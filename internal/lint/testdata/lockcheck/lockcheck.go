@@ -1,0 +1,69 @@
+// Fixture for the lockcheck analyzer: calls to //xvlint:requires(mu)
+// functions from callers that hold the lock, callers that don't, and the
+// two sanctioned escapes (propagating the annotation, waiving the site).
+package lockcheck
+
+import "sync"
+
+type catalog struct {
+	updMu sync.Mutex
+	mu    sync.RWMutex
+	n     int
+}
+
+// applyLocked mutates catalog state serialized by updMu.
+//
+//xvlint:requires(updMu)
+func (c *catalog) applyLocked() { c.n++ }
+
+// compactLocked also runs under updMu.
+//
+//xvlint:requires(updMu)
+func (c *catalog) compactLocked() { c.n = 0 }
+
+// good takes the lock before the call.
+func (c *catalog) good() {
+	c.updMu.Lock()
+	defer c.updMu.Unlock()
+	c.applyLocked()
+}
+
+// bad calls without the lock.
+func (c *catalog) bad() {
+	c.applyLocked() // want `requires holding updMu`
+}
+
+// wrongLock holds a different mutex: not good enough.
+func (c *catalog) wrongLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.applyLocked() // want `requires holding updMu`
+}
+
+// propagated is itself annotated, pushing the obligation to ITS callers.
+//
+//xvlint:requires(updMu)
+func (c *catalog) propagated() {
+	c.applyLocked()
+	c.compactLocked()
+}
+
+// waived asserts the discipline holds by other means.
+func newCatalog() *catalog {
+	c := &catalog{}
+	c.applyLocked() //xvlint:lockheld(updMu) single-threaded construction, c has not escaped
+	return c
+}
+
+// waiverWrongName does not discharge a requirement on a different mutex.
+func (c *catalog) waiverWrongName() {
+	c.applyLocked() //xvlint:lockheld(mu) // want `requires holding updMu`
+}
+
+// lockAfter takes the lock only after the call: positional detection
+// must still flag it.
+func (c *catalog) lockAfter() {
+	c.applyLocked() // want `requires holding updMu`
+	c.updMu.Lock()
+	c.updMu.Unlock()
+}

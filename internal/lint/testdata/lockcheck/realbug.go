@@ -1,0 +1,32 @@
+package lockcheck
+
+import "sync"
+
+// server reproduces the pre-fix shape of serve.New (the defect this
+// analyzer caught in this PR): construction called refreshChainGauges —
+// documented as "callers hold updMu" — without taking the lock, leaving
+// the discipline unenforceable the moment anyone copied the pattern into
+// a concurrent path.
+type server struct {
+	updMu    sync.Mutex
+	maxChain int64
+}
+
+//xvlint:requires(updMu)
+func (s *server) refreshChainGauges() { s.maxChain++ }
+
+func newServerBuggy() *server {
+	s := &server{}
+	s.refreshChainGauges() // want `requires holding updMu`
+	return s
+}
+
+// newServerFixed is the shipped fix: take the uncontended lock so the
+// invariant is uniform and machine-checkable.
+func newServerFixed() *server {
+	s := &server{}
+	s.updMu.Lock()
+	s.refreshChainGauges()
+	s.updMu.Unlock()
+	return s
+}

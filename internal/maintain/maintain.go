@@ -257,9 +257,14 @@ func ComputeDeltas(doc *xmltree.Document, views []*core.View, updates []xmltree.
 				st.net = newNetDelta()
 			}
 			added, deleted := spliceSorted(st.working, adds, dels)
+			// Net-delta folding must run to completion once the splice
+			// mutated st.working, or working and net disagree; both loops
+			// are bounded by one update's scoped delta.
+			//xvlint:nopoll splice already applied; aborting desyncs working from net
 			for _, row := range deleted {
 				st.net.delRow(row)
 			}
+			//xvlint:nopoll splice already applied; aborting desyncs working from net
 			for _, row := range added {
 				st.net.addRow(row)
 			}
@@ -370,6 +375,8 @@ func applyWithUndo(doc *xmltree.Document, u xmltree.Update) (*xmltree.Node, func
 
 // diffRelations returns the rows of new missing from old (adds) and the
 // rows of old missing from new (dels), under set semantics.
+//
+//xvlint:nopoll runs under the batch's update lock; a partial diff would persist a hole
 func diffRelations(old, new *nrel.Relation) (adds, dels *nrel.Relation) {
 	adds, dels = nrel.NewRelation(new.Cols...), nrel.NewRelation(new.Cols...)
 	oldKeys := make(map[string]bool, old.Len())
@@ -395,6 +402,8 @@ func diffRelations(old, new *nrel.Relation) (adds, dels *nrel.Relation) {
 // FoldDelta applies a delta to an extent: rows in dels leave, rows in adds
 // enter (ignored when already present), preserving storage order. It is
 // the replay primitive for delta segments.
+//
+//xvlint:nopoll replay primitive for store open and compaction; a partial fold is a corrupt extent
 func FoldDelta(base, adds, dels *nrel.Relation) *nrel.Relation {
 	out := nrel.NewRelation(base.Cols...)
 	delKeys := make(map[string]bool, dels.Len())

@@ -16,6 +16,8 @@ import (
 // rendered keys. Keys are computed once per row (O(n) renders, not
 // O(n log n)). view.Store establishes the maintained-extent invariant with
 // it when updates begin.
+//
+//xvlint:nopoll runs once per view under the update lock when updates begin; sorts cannot be resumed
 func SortByKey(r *nrel.Relation) *nrel.Relation {
 	out := nrel.NewRelation(r.Cols...)
 	out.Rows = append([]nrel.Tuple(nil), r.Rows...)
@@ -67,6 +69,8 @@ func (kc keyCache) key(row nrel.Tuple) string {
 // can accumulate exact net deltas under set semantics. Cost per delta row
 // is O(log n) key comparisons (probed keys render once per splice) plus
 // the memmove.
+//
+//xvlint:nopoll in-place extent mutation under the update lock; a partial splice is a corrupt extent
 func spliceSorted(rel *nrel.Relation, adds, dels *nrel.Relation) (added, deleted []nrel.Tuple) {
 	kc := keyCache{}
 	search := func(key string) (int, bool) {
@@ -95,6 +99,8 @@ func spliceSorted(rel *nrel.Relation, adds, dels *nrel.Relation) (added, deleted
 // absent from b (dels), under set semantics; a may be nil (everything in b
 // is an add). Both inputs are small scoped relations, so plain maps are
 // fine here.
+//
+//xvlint:nopoll inputs are one update's scoped evaluations, bounded by scope size, under the update lock
 func diffKeyed(a, b *nrel.Relation) (adds, dels *nrel.Relation) {
 	adds, dels = nrel.NewRelation(b.Cols...), nrel.NewRelation(b.Cols...)
 	var aKeys map[string]bool

@@ -186,7 +186,11 @@ func New(cfg Config) (*Server, error) {
 		compactCh:   make(chan struct{}, 1),
 		compactStop: make(chan struct{}),
 	}
+	// Uncontended here (nothing else has the *Server yet), but taking the
+	// lock keeps refreshChainGauges's contract uniform for every caller.
+	s.updMu.Lock()
 	s.refreshChainGauges()
+	s.updMu.Unlock()
 	if !cfg.ReadOnly && !cfg.CompactDisabled {
 		s.compactWG.Add(1)
 		go s.compactLoop()
@@ -208,8 +212,10 @@ func (s *Server) Close() {
 	})
 }
 
-// refreshChainGauges recomputes the delta-chain stats from the catalog;
-// callers hold updMu (or are still constructing the server).
+// refreshChainGauges recomputes the delta-chain stats from the catalog.
+// Callers hold updMu — it reads s.cat, which updates mutate.
+//
+//xvlint:requires(updMu)
 func (s *Server) refreshChainGauges() {
 	var longest int64
 	var total int64
@@ -684,6 +690,8 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 
 // loadDocument attaches the persisted source document to the open store;
 // callers hold updMu.
+//
+//xvlint:requires(updMu)
 func (s *Server) loadDocument() error {
 	if s.cat.DocSegment == "" {
 		return fmt.Errorf("no document segment in catalog (store built before updates existed); rebuild with xvstore build")

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"xmlviews/internal/nrel"
 )
@@ -18,9 +19,11 @@ func WriteFile(path string, r *nrel.Relation) (int64, error) {
 	return int64(len(data)), nil
 }
 
-// writeFileAtomic writes data to a temp file in path's directory and
-// renames it into place, so a crash never leaves a half-written file
-// behind a valid name. Segments and the catalog share this path.
+// writeFileAtomic writes data to a temp file in path's directory, syncs
+// it, and renames it into place, so a crash never leaves a half-written
+// file behind a valid name. Segments and the catalog share this path:
+// the catalog is written last and references segments by name, so every
+// segment must be durable before its name can appear in a catalog.
 func writeFileAtomic(path string, data []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".xvtmp-*")
 	if err != nil {
@@ -28,13 +31,42 @@ func writeFileAtomic(path string, data []byte) error {
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		// The write error is the root cause; Close on a broken temp file
+		// adds nothing and the deferred Remove discards it anyway.
+		tmp.Close() //xvlint:errok primary error wins; the temp file is removed
+		return err
+	}
+	// Flush file contents before the rename: rename is atomic with respect
+	// to the name, not the data.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close() //xvlint:errok primary error wins; the temp file is removed
 		return err
 	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir flushes the directory entry created by a rename. Without it a
+// crash can lose the file's NAME even though its contents were synced.
+// Windows does not support (or need) opening directories for sync.
+func syncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close() //xvlint:errok primary error wins; the directory handle is read-only
+		return err
+	}
+	return d.Close()
 }
 
 // ReadFile loads a segment file into memory, verifying every block

@@ -300,8 +300,17 @@ func (m *Maintained) addCounts(sid int, d *xmltree.Node) {
 	for _, c := range d.Children {
 		perLabel[c.Label]++
 	}
-	for label, cnt := range perLabel {
-		cid := m.ensureChild(sid, label)
+	// Visit labels in document child order, not map order: ensureChild
+	// allocates summary ids, so replaying the same update stream must
+	// assign the same ids (the differential harness compares maintained
+	// state across runs, and reproducible ids keep diagnostics stable).
+	for _, c := range d.Children {
+		cnt, ok := perLabel[c.Label]
+		if !ok {
+			continue // label already handled at its first occurrence
+		}
+		delete(perLabel, c.Label)
+		cid := m.ensureChild(sid, c.Label)
 		m.withChild[cid]++
 		if cnt > 1 {
 			m.withMany[cid]++
@@ -353,8 +362,14 @@ func (m *Maintained) removeCounts(sid int, d *xmltree.Node) {
 	for _, c := range d.Children {
 		perLabel[c.Label]++
 	}
-	for label, cnt := range perLabel {
-		cid := m.child[sid][label]
+	// Document child order, mirroring addCounts (see the note there).
+	for _, c := range d.Children {
+		cnt, ok := perLabel[c.Label]
+		if !ok {
+			continue
+		}
+		delete(perLabel, c.Label)
+		cid := m.child[sid][c.Label]
 		m.withChild[cid]--
 		if cnt > 1 {
 			m.withMany[cid]--

@@ -61,7 +61,11 @@ func (e *PersistError) Unwrap() error { return e.Err }
 // in-memory store has advanced and the directory has not.
 //
 // Callers persisting to the same directory must serialize their calls;
-// the serving layer and CLI both do.
+// the serving layer and CLI both do. The annotation below makes xvlint
+// enforce it: every call must come from under the serving layer's update
+// lock or carry an explicit waiver.
+//
+//xvlint:requires(updMu)
 func ApplyAndPersist(dir string, cat *store.Catalog, st *Store, updates []xmltree.Update) (*UpdateResult, error) {
 	batch, err := st.ApplyUpdates(updates)
 	if err != nil {
@@ -153,6 +157,7 @@ func UpdateStore(dir string, updates []xmltree.Update) (*UpdateResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	//xvlint:lockheld(updMu) offline CLI path: the store was opened here, nothing else holds it
 	return ApplyAndPersist(dir, cat, st, updates)
 }
 
@@ -175,6 +180,7 @@ func CompactStore(dir string) (*CompactResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	//xvlint:lockheld(updMu) offline CLI path: the catalog was opened here, nothing else holds it
 	return CompactCatalog(dir, cat)
 }
 
@@ -191,6 +197,8 @@ func CompactStore(dir string) (*CompactResult, error) {
 // untouched files (plus unreferenced new-base files a later compaction
 // run cannot collide with, since the epoch has to advance before chains
 // regrow); a crash after it leaves only removable garbage.
+//
+//xvlint:requires(updMu)
 func CompactCatalog(dir string, cat *store.Catalog) (*CompactResult, error) {
 	res := &CompactResult{}
 	type obsolete struct {

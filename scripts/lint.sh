@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# lint.sh — the project's single lint entry point; CI runs this file
+# verbatim (.github/workflows/ci.yml, job "lint"), so a local run means
+# exactly what CI will say.
+#
+#   scripts/lint.sh            run xvlint + staticcheck (if available)
+#   XVLINT_ONLY=1 scripts/lint.sh   skip staticcheck
+#
+# xvlint (cmd/xvlint) is the in-repo invariant checker — determinism,
+# lock discipline, cancellation polls, persist-path errors; see
+# docs/lint.md. It builds with the standard library alone and must be run
+# from inside the module (its loader type-checks from source).
+#
+# staticcheck is version-pinned below. It is not vendored: when the
+# binary is absent locally we warn and skip, but CI installs it and
+# hard-fails if that install breaks, so the pin cannot silently rot.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+STATICCHECK_VERSION="2024.1.1" # last line compatible with go 1.21 sources
+
+echo "== xvlint =="
+go run ./cmd/xvlint ./...
+
+if [ "${XVLINT_ONLY:-0}" = "1" ]; then
+    exit 0
+fi
+
+echo "== staticcheck ${STATICCHECK_VERSION} =="
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+elif [ "${CI:-false}" = "true" ]; then
+    echo "staticcheck missing in CI (the workflow installs it before calling this script)" >&2
+    exit 1
+else
+    echo "staticcheck not installed; skipping locally." >&2
+    echo "install: go install honnef.co/go/tools/cmd/staticcheck@${STATICCHECK_VERSION}" >&2
+fi
