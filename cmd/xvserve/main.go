@@ -7,6 +7,13 @@
 //	curl 'localhost:8080/query?q=site(/item[id](/name[v]))&explain=1'
 //	curl 'localhost:8080/healthz'
 //	curl 'localhost:8080/stats'
+//	curl 'localhost:8080/metrics'          # Prometheus text exposition
+//	curl 'localhost:8080/debug/traces'     # recent request traces
+//
+// Observability: -log routes structured JSON logs to stderr, stdout or a
+// file; -slowquery logs requests over a latency threshold; -debugaddr
+// opens a second, non-public listener with the Go pprof profiler (plus
+// /metrics and /debug/traces).
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener closes
 // immediately, in-flight queries drain (bounded by -drain), then the
@@ -19,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -51,16 +59,28 @@ func run(args []string, stdout io.Writer) error {
 	compactBytes := fs.Int64("compactbytes", 0, "fold delta chains online once their total size reaches this many bytes (0: default 32 MiB)")
 	noCompact := fs.Bool("nocompact", false, "disable online compaction (chains then grow until xvstore compact)")
 	drain := fs.Duration("drain", 15*time.Second, "graceful shutdown drain timeout")
+	slowQuery := fs.Duration("slowquery", 0, "log /query and /update requests slower than this (0: disabled; requires -log)")
+	logDest := fs.String("log", "", "structured JSON log destination: stderr, stdout or a file path (empty: logging off)")
+	debugAddr := fs.String("debugaddr", "", "separate listener serving /debug/pprof, /metrics and /debug/traces (empty: off; keep it non-public)")
+	traceRing := fs.Int("tracering", 0, "recent request traces kept for /debug/traces (0: default 128)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dir == "" {
 		return fmt.Errorf("missing -dir (a store directory built by xvstore)")
 	}
+	logger, logClose, err := openLogger(*logDest, stdout)
+	if err != nil {
+		return err
+	}
+	if logClose != nil {
+		defer logClose.Close()
+	}
 	srv, err := serve.New(serve.Config{Dir: *dir, Workers: *workers, PlanCacheSize: *planCache,
 		ReadOnly: *readOnly, MaxUpdateBytes: *maxUpdate, MaxResponseRows: *maxRows,
 		MaxRewritings:   *maxRewritings,
-		CompactMaxChain: *compactChain, CompactMaxBytes: *compactBytes, CompactDisabled: *noCompact})
+		CompactMaxChain: *compactChain, CompactMaxBytes: *compactBytes, CompactDisabled: *noCompact,
+		SlowQuery: *slowQuery, Logger: logger, TraceRingSize: *traceRing})
 	if err != nil {
 		return err
 	}
@@ -72,6 +92,19 @@ func run(args []string, stdout io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fmt.Fprintf(stdout, "xvserve: serving %d view(s) from %s on %s\n", srv.Views(), *dir, ln.Addr())
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		dbg := &http.Server{Handler: srv.DebugHandler(), ReadHeaderTimeout: 10 * time.Second}
+		defer dbg.Close()
+		// Debug serving is best-effort: a failure there must not take the
+		// query daemon down.
+		go func() { _ = dbg.Serve(dln) }()
+		fmt.Fprintf(stdout, "xvserve: debug listener (pprof, metrics, traces) on %s\n", dln.Addr())
+	}
 
 	hs := &http.Server{
 		Handler: srv.Handler(),
@@ -104,4 +137,26 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	return nil
+}
+
+// openLogger resolves the -log destination into a JSON slog logger. A nil
+// logger (empty destination) makes the server discard its log lines. The
+// returned closer is non-nil only for file destinations.
+func openLogger(dest string, stdout io.Writer) (*slog.Logger, io.Closer, error) {
+	var w io.Writer
+	switch dest {
+	case "":
+		return nil, nil, nil
+	case "stderr":
+		w = os.Stderr
+	case "stdout":
+		w = stdout
+	default:
+		f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("opening log file: %w", err)
+		}
+		return slog.New(slog.NewJSONHandler(f, nil)), f, nil
+	}
+	return slog.New(slog.NewJSONHandler(w, nil)), nil, nil
 }

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xmlviews/internal/core"
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/view"
+	"xmlviews/internal/xmltree"
+)
+
+func TestOpenLogger(t *testing.T) {
+	if l, c, err := openLogger("", nil); l != nil || c != nil || err != nil {
+		t.Fatalf("empty destination must disable logging, got %v %v %v", l, c, err)
+	}
+	var buf strings.Builder
+	l, c, err := openLogger("stdout", &buf)
+	if err != nil || l == nil || c != nil {
+		t.Fatalf("stdout: %v %v %v", l, c, err)
+	}
+	l.Info("hello", "k", "v")
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(buf.String())), &entry); err != nil {
+		t.Fatalf("stdout log line is not JSON: %v (%q)", err, buf.String())
+	}
+	if entry["msg"] != "hello" || entry["k"] != "v" {
+		t.Fatalf("log entry = %v", entry)
+	}
+
+	path := filepath.Join(t.TempDir(), "xv.log")
+	l, c, err = openLogger(path, nil)
+	if err != nil || c == nil {
+		t.Fatalf("file destination: %v %v", c, err)
+	}
+	l.Warn("to file")
+	c.Close()
+	data, err := os.ReadFile(path)
+	if err != nil || !strings.Contains(string(data), "to file") {
+		t.Fatalf("file log: %v %q", err, data)
+	}
+
+	if _, _, err := openLogger(filepath.Join(t.TempDir(), "no", "such", "dir", "x.log"), nil); err == nil {
+		t.Fatal("unwritable log path not rejected")
+	}
+}
+
+// TestRunObservabilityFlags boots the daemon with the observability flags
+// on: a slow-query log file, a tiny threshold so every request logs, and a
+// separate debug listener. It then drives one query and asserts the log
+// line, the debug pprof index and the debug /metrics page all exist.
+func TestRunObservabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	doc := xmltree.MustParseParen(`site(item(name "pen") item(name "ink"))`)
+	views := []*core.View{{Name: "v1", Pattern: pattern.MustParse(`site(/item[id](/name[v]))`), DerivableParentIDs: true}}
+	if _, err := view.BuildStore(dir, doc, views); err != nil {
+		t.Fatal(err)
+	}
+	logFile := filepath.Join(t.TempDir(), "slow.log")
+
+	out := &lockedBuf{}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-dir", dir, "-addr", "127.0.0.1:0",
+			"-debugaddr", "127.0.0.1:0", "-log", logFile, "-slowquery", "1ns"}, out)
+	}()
+
+	// The daemon announces both listeners, one per line.
+	addrFor := func(marker string) string {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			for _, line := range strings.Split(out.String(), "\n") {
+				if strings.Contains(line, marker) {
+					if i := strings.LastIndex(line, " on "); i >= 0 {
+						return strings.TrimSpace(line[i+4:])
+					}
+				}
+			}
+			select {
+			case err := <-errc:
+				t.Fatalf("daemon exited: %v\n%s", err, out.String())
+			default:
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("daemon never announced %q:\n%s", marker, out.String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	addr := addrFor("serving")
+	debugAddr := addrFor("debug listener")
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/query?q=%s", addr, "site(/item[id](/name[v]))"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	reqID := resp.Header.Get("X-Request-Id")
+	if reqID == "" {
+		t.Fatal("no X-Request-Id on response")
+	}
+
+	// The slow-query threshold was 1ns: the query must have logged exactly
+	// one line carrying the same request id.
+	var logged map[string]any
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		data, _ := os.ReadFile(logFile)
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) == 1 && lines[0] != "" {
+			if err := json.Unmarshal([]byte(lines[0]), &logged); err != nil {
+				t.Fatalf("slow log line is not JSON: %v (%q)", err, lines[0])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slow log never appeared (have %q)", data)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if logged["request_id"] != reqID || logged["path"] != "/query" {
+		t.Fatalf("slow log entry = %v, want request_id %s on /query", logged, reqID)
+	}
+
+	// The debug listener serves pprof and the metrics page.
+	for _, path := range []string{"/debug/pprof/", "/metrics", "/debug/traces"} {
+		resp, err := http.Get("http://" + debugAddr + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d: %s", path, resp.StatusCode, body)
+		}
+		if path == "/metrics" && !strings.Contains(string(body), "xvserve_queries_total 1") {
+			t.Errorf("/metrics on debug listener does not reflect the query:\n%s", body)
+		}
+	}
+
+	// The serving mux must not expose the profiler.
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof leaked onto the public listener")
+	}
+}

@@ -8,17 +8,23 @@
 //	xvstore apply -dir store/ -f updates.json
 //	xvstore compact -dir store/
 //	xvstore info -dir store/
+//	xvstore stats -addr localhost:8080
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"xmlviews/internal/core"
 	"xmlviews/internal/maintain"
+	"xmlviews/internal/obs"
 	"xmlviews/internal/pattern"
 	"xmlviews/internal/store"
 	"xmlviews/internal/summary"
@@ -51,8 +57,10 @@ func run(args []string, stdout io.Writer) error {
 		return runCompact(args[1:], stdout)
 	case "info":
 		return runInfo(args[1:], stdout)
+	case "stats":
+		return runStats(args[1:], stdout)
 	}
-	return fmt.Errorf("unknown subcommand %q (want build, apply, compact or info)", args[0])
+	return fmt.Errorf("unknown subcommand %q (want build, apply, compact, info or stats)", args[0])
 }
 
 func runBuild(args []string, stdout io.Writer) error {
@@ -206,6 +214,100 @@ func runInfo(args []string, stdout io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// statsQuantiles lists the phase histograms the stats summary reports,
+// in display order.
+var statsQuantiles = []struct{ metric, label string }{
+	{"xvserve_rewrite_seconds", "rewrite"},
+	{"xvserve_cost_seconds", "cost"},
+	{"xvserve_snapshot_seconds", "snapshot"},
+	{"xvserve_exec_seconds", "exec"},
+	{"xvserve_encode_seconds", "encode"},
+	{"xvserve_maintain_seconds", "maintain"},
+	{"xvserve_maintain_apply_seconds", "maintain/apply"},
+	{"xvserve_maintain_persist_seconds", "maintain/persist"},
+	{"xvserve_compact_seconds", "compact"},
+}
+
+// runStats scrapes a live xvserve daemon: the /stats JSON counters plus
+// per-phase latency quantiles estimated from the /metrics histograms.
+func runStats(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("xvstore stats", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	addr := fs.String("addr", "localhost:8080", "address (or base URL) of a running xvserve")
+	raw := fs.Bool("metrics", false, "dump the raw Prometheus exposition instead of the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := strings.TrimSuffix(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	get := func(path string) ([]byte, error) {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+		}
+		return body, nil
+	}
+	if *raw {
+		body, err := get("/metrics")
+		if err != nil {
+			return err
+		}
+		_, err = stdout.Write(body)
+		return err
+	}
+	statsBody, err := get("/stats")
+	if err != nil {
+		return err
+	}
+	var stats map[string]any
+	if err := json.Unmarshal(statsBody, &stats); err != nil {
+		return fmt.Errorf("decoding /stats: %w", err)
+	}
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(stdout, "%s: %v\n", k, stats[k])
+	}
+	metricsBody, err := get("/metrics")
+	if err != nil {
+		return err
+	}
+	hists, err := obs.ParseHistograms(metricsBody)
+	if err != nil {
+		return fmt.Errorf("parsing /metrics: %w", err)
+	}
+	fmt.Fprintln(stdout, "\nphase latencies (from histogram buckets):")
+	for _, q := range statsQuantiles {
+		h, ok := hists[q.metric]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(stdout, "  %-17s n=%-7d p50=%-10s p90=%-10s p99=%s\n",
+			q.label, h.Count,
+			quantileString(h, 0.50), quantileString(h, 0.90), quantileString(h, 0.99))
+	}
+	return nil
+}
+
+func quantileString(h obs.HistogramSnapshot, q float64) string {
+	v := h.Quantile(q)
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
 }
 
 func parseViews(defs []string) ([]*core.View, error) {

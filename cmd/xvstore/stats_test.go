@@ -1,0 +1,94 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"xmlviews/internal/core"
+	"xmlviews/internal/pattern"
+	"xmlviews/internal/serve"
+	"xmlviews/internal/view"
+	"xmlviews/internal/xmltree"
+)
+
+// statsDaemon serves a small store over HTTP, the way a live xvserve
+// would, and runs one query so the metrics are non-trivial.
+func statsDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	dir := t.TempDir()
+	doc := xmltree.MustParseParen(`site(item(name "pen") item(name "ink"))`)
+	views := []*core.View{{Name: "v1", Pattern: pattern.MustParse(`site(/item[id](/name[v]))`), DerivableParentIDs: true}}
+	if _, err := view.BuildStore(dir, doc, views); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{Dir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/query?q=" + "site(/item[id](/name[v]))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up query status %d", resp.StatusCode)
+	}
+	return ts
+}
+
+func TestRunStatsSummary(t *testing.T) {
+	ts := statsDaemon(t)
+	var out strings.Builder
+	if err := run([]string{"stats", "-addr", ts.URL}, &out); err != nil {
+		t.Fatalf("stats: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"queries: 1",
+		"plan_cache_misses: 1",
+		"epoch: 0",
+		"phase latencies",
+		"rewrite",
+		"p50=",
+		"p99=",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stats output lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunStatsRawMetrics(t *testing.T) {
+	ts := statsDaemon(t)
+	var out strings.Builder
+	// The bare host:port form (no scheme) must work too.
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	if err := run([]string{"stats", "-addr", addr, "-metrics"}, &out); err != nil {
+		t.Fatalf("stats -metrics: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"# HELP xvserve_queries_total",
+		"# TYPE xvserve_rewrite_seconds histogram",
+		`xvserve_rewrite_seconds_bucket{le="+Inf"} 1`,
+		"xvserve_queries_total 1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunStatsUnreachable(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"stats", "-addr", "127.0.0.1:1"}, &out); err == nil {
+		t.Fatal("unreachable daemon not reported")
+	}
+}

@@ -32,12 +32,14 @@ import (
 // reviewed decision with a written justification.
 var DetOrder = &Analyzer{
 	Name: "detorder",
-	Doc: "flags map-range loops in determinism-critical packages (cost, core, summary, serve) " +
-		"whose iteration order could reach plan text, cost estimates, rendered summaries or HTTP bodies",
+	Doc: "flags map-range loops in determinism-critical packages (cost, core, summary, serve, obs) " +
+		"whose iteration order could reach plan text, cost estimates, rendered summaries, HTTP bodies " +
+		"or the Prometheus exposition",
 	Roots: []string{
 		"xmlviews/internal/algebra",
 		"xmlviews/internal/cost",
 		"xmlviews/internal/core",
+		"xmlviews/internal/obs",
 		"xmlviews/internal/summary",
 		"xmlviews/internal/serve",
 	},

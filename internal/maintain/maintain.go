@@ -28,12 +28,15 @@
 package maintain
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"xmlviews/internal/core"
 	"xmlviews/internal/nodeid"
 	"xmlviews/internal/nrel"
+	"xmlviews/internal/obs"
 	"xmlviews/internal/pattern"
 	"xmlviews/internal/summary"
 	"xmlviews/internal/xmltree"
@@ -70,6 +73,20 @@ type Engine struct {
 	// taken when this is set; view.Store establishes the invariant before
 	// its first batch.
 	SortedExtents bool
+	// Ctx, when it carries an obs.Trace, makes the engine record aggregate
+	// "diff" and "splice" spans for the batch (the scoped evaluations +
+	// extent diffing, and the sorted splices + net-delta folds). nil or an
+	// untraced context costs nothing.
+	Ctx context.Context
+}
+
+// trace returns the engine context's trace (nil when absent: every
+// obs.Trace method is a no-op on nil).
+func (e Engine) trace() *obs.Trace {
+	if e.Ctx == nil {
+		return nil
+	}
+	return obs.FromContext(e.Ctx)
 }
 
 // Delta is the tuple-level change to one view's flat extent.
@@ -133,6 +150,12 @@ func ComputeDeltas(doc *xmltree.Document, views []*core.View, updates []xmltree.
 	work := msum.Clone()
 	fastOK := eng.MatScoped != nil && eng.SortedExtents
 
+	// Aggregate phase timings for the batch's trace; timed only when the
+	// engine context actually carries one.
+	tr := eng.trace()
+	var diffDur, spliceDur time.Duration
+	var t0 time.Time
+
 	states := make([]*viewState, len(views))
 	for i := range states {
 		states[i] = &viewState{}
@@ -186,7 +209,13 @@ func ComputeDeltas(doc *xmltree.Document, views []*core.View, updates []xmltree.
 			}
 			p := pending{j: j, scope: sc}
 			if sc.pre != nil {
+				if tr != nil {
+					t0 = time.Now()
+				}
 				p.old = eng.MatScoped(v, doc, sc.pre, st.fast.witnessReturn)
+				if tr != nil {
+					diffDur += time.Since(t0)
+				}
 			}
 			pend = append(pend, p)
 		}
@@ -245,8 +274,14 @@ func ComputeDeltas(doc *xmltree.Document, views []*core.View, updates []xmltree.
 			if p.scope.postFromInserted {
 				root = node.ID
 			}
+			if tr != nil {
+				t0 = time.Now()
+			}
 			newRel := eng.MatScoped(v, doc, root, st.fast.witnessReturn)
 			adds, dels := diffKeyed(p.old, newRel)
+			if tr != nil {
+				diffDur += time.Since(t0)
+			}
 			if adds.Len() == 0 && dels.Len() == 0 {
 				continue
 			}
@@ -255,6 +290,9 @@ func ComputeDeltas(doc *xmltree.Document, views []*core.View, updates []xmltree.
 				st.working = nrel.NewRelation(cur.Cols...)
 				st.working.Rows = append([]nrel.Tuple(nil), cur.Rows...)
 				st.net = newNetDelta()
+			}
+			if tr != nil {
+				t0 = time.Now()
 			}
 			added, deleted := spliceSorted(st.working, adds, dels)
 			// Net-delta folding must run to completion once the splice
@@ -268,6 +306,9 @@ func ComputeDeltas(doc *xmltree.Document, views []*core.View, updates []xmltree.
 			for _, row := range added {
 				st.net.addRow(row)
 			}
+			if tr != nil {
+				spliceDur += time.Since(t0)
+			}
 		}
 	}
 
@@ -280,8 +321,14 @@ func ComputeDeltas(doc *xmltree.Document, views []*core.View, updates []xmltree.
 			continue
 		}
 		if st.full {
+			if tr != nil {
+				t0 = time.Now()
+			}
 			newRel := SortByKey(eng.Mat(v, doc))
 			adds, dels := diffRelations(current(v), newRel)
+			if tr != nil {
+				diffDur += time.Since(t0)
+			}
 			if adds.Len() == 0 && dels.Len() == 0 {
 				continue
 			}
@@ -294,6 +341,15 @@ func ComputeDeltas(doc *xmltree.Document, views []*core.View, updates []xmltree.
 		}
 		adds, dels := st.net.relations(st.working.Cols)
 		batch.Deltas = append(batch.Deltas, &Delta{View: v, Adds: adds, Dels: dels, New: st.working})
+	}
+	if tr != nil {
+		end := time.Now()
+		if diffDur > 0 {
+			tr.AddSpan("diff", end.Add(-diffDur), diffDur)
+		}
+		if spliceDur > 0 {
+			tr.AddSpan("splice", end.Add(-spliceDur), spliceDur)
+		}
 	}
 	return batch, nil
 }

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestParseHistogramsRoundTrip scrapes back what WritePrometheus emitted.
+func TestParseHistogramsRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rt_seconds", "round trip", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	r.Counter("plain_total", "not a histogram").Inc()
+	r.Gauge("g", "gauge").Set(3)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	hs, err := ParseHistograms([]byte(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 1 {
+		t.Fatalf("parsed %d histograms, want 1: %v", len(hs), hs)
+	}
+	got, ok := hs["rt_seconds"]
+	if !ok {
+		t.Fatalf("rt_seconds missing: %v", hs)
+	}
+	want := h.Snapshot()
+	if got.Count != want.Count || math.Abs(got.Sum-want.Sum) > 1e-9 {
+		t.Fatalf("count/sum: got %+v want %+v", got, want)
+	}
+	for i := range want.Counts {
+		if got.Counts[i] != want.Counts[i] {
+			t.Fatalf("bucket %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if q := got.Quantile(0.5); math.IsNaN(q) {
+		t.Fatal("quantile over scraped histogram is NaN")
+	}
+}
+
+func TestParseHistogramsErrors(t *testing.T) {
+	cases := map[string]string{
+		"non-monotone": "h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"inf-vs-count": "h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 9\n",
+		"missing-inf":  "h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"bad-le":       "h_bucket{le=\"xx\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+		"bad-sample":   "h_bucket{le=\"1\"} notanumber\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseHistograms([]byte(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+	// Comments, blanks and unrelated series are skipped quietly.
+	ok := "# HELP x y\n\nplain_total 3\nother_sum 1\n"
+	hs, err := ParseHistograms([]byte(ok))
+	if err != nil || len(hs) != 0 {
+		t.Fatalf("benign input: %v %v", hs, err)
+	}
+}

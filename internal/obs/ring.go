@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// TraceRecord is a finished request's trace as kept in the ring and served
+// by GET /debug/traces: correlation id, route, outcome, wall time, the
+// handler's annotations (query text, plan, epoch, ...) and the recorded
+// spans.
+type TraceRecord struct {
+	ID        string            `json:"request_id"`
+	Time      time.Time         `json:"time"`
+	Path      string            `json:"path"`
+	Status    int               `json:"status"`
+	DurMicros int64             `json:"dur_us"`
+	Attrs     map[string]string `json:"attrs,omitempty"`
+	Spans     []Span            `json:"spans,omitempty"`
+}
+
+// Ring is a bounded, concurrency-safe buffer of recent trace records; when
+// full, the oldest record is overwritten.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []TraceRecord
+	next int
+	n    int
+}
+
+// DefaultRingSize bounds the trace ring when the caller passes no size.
+const DefaultRingSize = 128
+
+// NewRing returns a ring holding up to n records (n <= 0: DefaultRingSize).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &Ring{buf: make([]TraceRecord, n)}
+}
+
+// Add appends a record, evicting the oldest when full.
+func (r *Ring) Add(rec TraceRecord) {
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of records held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Snapshot returns the held records, newest first.
+func (r *Ring) Snapshot() []TraceRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceRecord, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}

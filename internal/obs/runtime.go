@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// runtimeSampler caches one runtime.MemStats read per sampling window so a
+// scrape of several memory gauges pays for a single (stop-the-world-ish)
+// ReadMemStats, and scrape storms cannot turn the gauges into a GC
+// pressure source of their own.
+type runtimeSampler struct {
+	mu   sync.Mutex
+	last time.Time
+	ms   runtime.MemStats
+}
+
+const runtimeSampleWindow = time.Second
+
+func (rs *runtimeSampler) get(f func(*runtime.MemStats) float64) float64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if time.Since(rs.last) > runtimeSampleWindow {
+		runtime.ReadMemStats(&rs.ms)
+		rs.last = time.Now()
+	}
+	return f(&rs.ms)
+}
+
+// RegisterRuntimeMetrics adds the Go runtime gauges — goroutines, heap,
+// GC — to the registry. Memory gauges share one cached MemStats sample
+// (refreshed at most once per second).
+func RegisterRuntimeMetrics(r *Registry) {
+	rs := &runtimeSampler{}
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return rs.get(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }) })
+	r.GaugeFunc("go_heap_objects", "Number of allocated heap objects.",
+		func() float64 { return rs.get(func(m *runtime.MemStats) float64 { return float64(m.HeapObjects) }) })
+	r.GaugeFunc("go_sys_bytes", "Bytes of memory obtained from the OS.",
+		func() float64 { return rs.get(func(m *runtime.MemStats) float64 { return float64(m.Sys) }) })
+	r.GaugeFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 { return rs.get(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }) })
+	r.GaugeFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		func() float64 {
+			return rs.get(func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 })
+		})
+}

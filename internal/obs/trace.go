@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one named, timed segment of a request's pipeline. Start is the
+// offset from the trace's begin time, so spans order and nest naturally
+// without carrying absolute clocks.
+type Span struct {
+	Name  string
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// MarshalJSON renders the span with microsecond offsets, the resolution
+// the serving layer reports everywhere else.
+func (s Span) MarshalJSON() ([]byte, error) {
+	type spanJSON struct {
+		Name        string `json:"name"`
+		StartMicros int64  `json:"start_us"`
+		DurMicros   int64  `json:"dur_us"`
+	}
+	return json.Marshal(spanJSON{s.Name, s.Start.Microseconds(), s.Dur.Microseconds()})
+}
+
+// Trace collects the spans and annotations of one request. All methods are
+// safe for concurrent use and safe on a nil receiver (they no-op), so
+// library code can record spans unconditionally: code running outside a
+// traced request pays one nil check.
+type Trace struct {
+	// ID is the request correlation id (client-supplied X-Request-Id or
+	// generated).
+	ID string
+	// Begin anchors the span offsets.
+	Begin time.Time
+
+	mu    sync.Mutex
+	spans []Span
+	attrs map[string]string
+}
+
+// NewTrace starts a trace now.
+func NewTrace(id string) *Trace {
+	return &Trace{ID: id, Begin: time.Now()}
+}
+
+type traceKey struct{}
+
+// WithTrace attaches the trace to the context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil when the request is not
+// traced.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// StartSpan opens a named span on the context's trace and returns the
+// function that closes it. Without a trace both calls are no-ops, so call
+// sites need no conditionals:
+//
+//	done := obs.StartSpan(ctx, "execute")
+//	defer done()
+func StartSpan(ctx context.Context, name string) func() {
+	return FromContext(ctx).StartSpan(name)
+}
+
+// StartSpan opens a named span; the returned function records it.
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		end := time.Now()
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{Name: name, Start: start.Sub(t.Begin), Dur: end.Sub(start)})
+		t.mu.Unlock()
+	}
+}
+
+// AddSpan records an already-measured span (aggregated timings, e.g. the
+// maintenance engine's total splice time across a batch).
+func (t *Trace) AddSpan(name string, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Name: name, Start: start.Sub(t.Begin), Dur: d})
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the spans recorded so far, in recording order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// SpanTotal sums the durations of all spans with the given name.
+func (t *Trace) SpanTotal(name string) time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total time.Duration
+	for _, s := range t.spans {
+		if s.Name == name {
+			total += s.Dur
+		}
+	}
+	return total
+}
+
+// Annotate attaches a key/value pair to the trace (query text, chosen
+// plan, epoch): the slow-query log and the trace ring render them.
+func (t *Trace) Annotate(key, value string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.attrs == nil {
+		t.attrs = map[string]string{}
+	}
+	t.attrs[key] = value
+	t.mu.Unlock()
+}
+
+// Annotations returns a copy of the trace's annotations.
+func (t *Trace) Annotations() map[string]string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]string, len(t.attrs))
+	for k, v := range t.attrs {
+		out[k] = v
+	}
+	return out
+}
+
+// reqSeq backs the request-id fallback when the system randomness source
+// fails (it practically cannot; the counter keeps ids unique regardless).
+var reqSeq atomic.Int64
+
+// NewRequestID returns a fresh 16-hex-digit request id.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "req-" + hex.EncodeToString(timeSeed()) + "-" + hex.EncodeToString([]byte{byte(reqSeq.Add(1))})
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func timeSeed() []byte {
+	n := time.Now().UnixNano()
+	return []byte{byte(n >> 40), byte(n >> 32), byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
+}
+
+// ValidRequestID reports whether a client-supplied request id is printable
+// ASCII of sane length, i.e. safe to echo into headers, JSON and logs.
+func ValidRequestID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' || id[i] == '"' {
+			return false
+		}
+	}
+	return true
+}

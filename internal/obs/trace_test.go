@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("abc123")
+	ctx := WithTrace(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("FromContext lost the trace")
+	}
+	done := StartSpan(ctx, "rewrite")
+	time.Sleep(time.Millisecond)
+	done()
+	tr.AddSpan("splice", time.Now(), 5*time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "rewrite" || spans[1].Name != "splice" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Dur <= 0 || spans[0].Start < 0 {
+		t.Fatalf("rewrite span not timed: %+v", spans[0])
+	}
+	if got := tr.SpanTotal("splice"); got != 5*time.Millisecond {
+		t.Fatalf("SpanTotal = %v", got)
+	}
+	if got := tr.SpanTotal("missing"); got != 0 {
+		t.Fatalf("SpanTotal of absent span = %v", got)
+	}
+
+	data, err := json.Marshal(spans[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"name":"splice","start_us"`; !strings.Contains(string(data), want) {
+		t.Fatalf("span JSON %s missing %q", data, want)
+	}
+	if !strings.Contains(string(data), `"dur_us":5000`) {
+		t.Fatalf("span JSON %s: wrong dur", data)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.StartSpan("x")()
+	tr.AddSpan("y", time.Now(), time.Second)
+	tr.Annotate("k", "v")
+	if tr.Spans() != nil || tr.Annotations() != nil || tr.SpanTotal("x") != 0 {
+		t.Fatal("nil trace must be inert")
+	}
+	// A context without a trace: StartSpan is a no-op closure.
+	StartSpan(context.Background(), "z")()
+}
+
+func TestTraceAnnotations(t *testing.T) {
+	tr := NewTrace("id")
+	tr.Annotate("query", "site(/a)")
+	tr.Annotate("epoch", "3")
+	tr.Annotate("query", "site(/b)") // overwrite wins
+	got := tr.Annotations()
+	if got["query"] != "site(/b)" || got["epoch"] != "3" {
+		t.Fatalf("annotations = %v", got)
+	}
+	got["query"] = "mutated"
+	if tr.Annotations()["query"] != "site(/b)" {
+		t.Fatal("Annotations must return a copy")
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace("race")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				end := tr.StartSpan("s")
+				tr.Annotate(fmt.Sprintf("k%d", i), "v")
+				end()
+				_ = tr.Spans()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n := len(tr.Spans()); n != 800 {
+		t.Fatalf("spans = %d, want 800", n)
+	}
+}
+
+func TestRequestIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if !ValidRequestID(id) {
+			t.Fatalf("generated id %q not valid", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+	for id, want := range map[string]bool{
+		"abc-123":                true,
+		"ABC_def.456":            true,
+		"":                       false,
+		"has space":              false,
+		"has\"quote":             false,
+		"ctrl\x01char":           false,
+		strings.Repeat("x", 129): false,
+		strings.Repeat("y", 128): true,
+		"non-ascii-\xc3\xa9":     false,
+	} {
+		if got := ValidRequestID(id); got != want {
+			t.Errorf("ValidRequestID(%q) = %v, want %v", id, got, want)
+		}
+	}
+}
+
+func TestRing(t *testing.T) {
+	r := NewRing(3)
+	if r.Len() != 0 || len(r.Snapshot()) != 0 {
+		t.Fatal("fresh ring not empty")
+	}
+	for i := 1; i <= 5; i++ {
+		r.Add(TraceRecord{ID: fmt.Sprintf("r%d", i)})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	snap := r.Snapshot()
+	want := []string{"r5", "r4", "r3"} // newest first, oldest evicted
+	for i, w := range want {
+		if snap[i].ID != w {
+			t.Fatalf("snapshot = %v, want %v", snap, want)
+		}
+	}
+	if NewRing(0).Len() != 0 {
+		t.Fatal("default-size ring unusable")
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(16)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Add(TraceRecord{ID: "x"})
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", r.Len())
+	}
+}

@@ -178,18 +178,18 @@ func TestServeSingleflight(t *testing.T) {
 	for err := range errs {
 		t.Fatalf("concurrent query failed: %v", err)
 	}
-	if got := srv.rewritesRun.Load(); got != 1 {
+	if got := srv.met.rewritesRun.Value(); got != 1 {
 		t.Fatalf("rewrites run = %d, want 1 (singleflight must collapse the stampede)", got)
 	}
-	if got := srv.queries.Load(); got != clients {
+	if got := srv.met.queries.Value(); got != clients {
 		t.Fatalf("queries = %d, want %d", got, clients)
 	}
 	// Only the leader is a plan-cache miss; followers obtained the shared
 	// verdict without a search and count as hits.
-	if got := srv.planMisses.Load(); got != 1 {
+	if got := srv.met.planMisses.Value(); got != 1 {
 		t.Fatalf("plan-cache misses = %d, want 1", got)
 	}
-	if got := srv.planHits.Load(); got != clients-1 {
+	if got := srv.met.planHits.Value(); got != clients-1 {
 		t.Fatalf("plan-cache hits = %d, want %d", got, clients-1)
 	}
 }

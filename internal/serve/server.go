@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"path/filepath"
@@ -39,6 +40,7 @@ import (
 	"xmlviews/internal/core"
 	"xmlviews/internal/cost"
 	"xmlviews/internal/maintain"
+	"xmlviews/internal/obs"
 	"xmlviews/internal/pattern"
 	"xmlviews/internal/store"
 	"xmlviews/internal/summary"
@@ -82,6 +84,15 @@ type Config struct {
 	// until an offline `xvstore compact`). Read-only servers never
 	// compact.
 	CompactDisabled bool
+	// SlowQuery, when > 0, logs every /query or /update slower than this
+	// threshold as one structured log line carrying the request id, the
+	// trace's annotations and its span timings.
+	SlowQuery time.Duration
+	// Logger receives the structured log lines; nil discards them.
+	Logger *slog.Logger
+	// TraceRingSize bounds the /debug/traces ring of recent request traces
+	// (<= 0: obs.DefaultRingSize).
+	TraceRingSize int
 }
 
 const (
@@ -130,29 +141,14 @@ type Server struct {
 	compactWG   sync.WaitGroup
 	closeOnce   sync.Once
 
-	// Chain gauges (refreshed after every update/compaction) and
-	// compaction counters for /stats.
-	maxChain         atomic.Int64
-	deltaBytes       atomic.Int64
-	compactions      atomic.Int64
-	compactFolded    atomic.Int64
-	compactReclaimed atomic.Int64
-	compactErrors    atomic.Int64
-
-	queries       atomic.Int64
-	rewritesRun   atomic.Int64
-	clientsGone   atomic.Int64
-	errors        atomic.Int64
-	planHits      atomic.Int64
-	planMisses    atomic.Int64
-	rowsServed    atomic.Int64
-	rewriteNanos  atomic.Int64
-	execNanos     atomic.Int64
-	updates       atomic.Int64
-	tuplesAdded   atomic.Int64
-	tuplesDeleted atomic.Int64
-	invalidations atomic.Int64
-	maintainNanos atomic.Int64
+	// Observability: one registry holds every instrument (counters,
+	// gauges, per-phase latency histograms) and backs both GET /metrics
+	// and the /stats JSON; the ring keeps the most recent request traces
+	// for GET /debug/traces.
+	reg  *obs.Registry
+	met  *metricsSet
+	ring *obs.Ring
+	log  *slog.Logger
 }
 
 // New opens the store directory and builds a ready-to-serve Server.
@@ -173,6 +169,11 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	reg := obs.NewRegistry()
 	s := &Server{
 		cfg:         cfg,
 		cat:         cat,
@@ -185,7 +186,13 @@ func New(cfg Config) (*Server, error) {
 		started:     time.Now(),
 		compactCh:   make(chan struct{}, 1),
 		compactStop: make(chan struct{}),
+		reg:         reg,
+		met:         newMetricsSet(reg),
+		ring:        obs.NewRing(cfg.TraceRingSize),
+		log:         logger,
 	}
+	s.registerGauges()
+	obs.RegisterRuntimeMetrics(reg)
 	// Uncontended here (nothing else has the *Server yet), but taking the
 	// lock keeps refreshChainGauges's contract uniform for every caller.
 	s.updMu.Lock()
@@ -201,6 +208,36 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	return s, nil
+}
+
+// registerGauges adds the gauges that sample live server state at scrape
+// time: epoch, degraded flag, cache sizes, view count and uptime.
+func (s *Server) registerGauges() {
+	s.reg.GaugeFunc("xvserve_epoch", "Current store epoch.",
+		func() float64 { return float64(s.st.Epoch()) })
+	s.reg.GaugeFunc("xvserve_degraded", "1 when an update batch was applied in memory but not persisted (updates disabled).",
+		func() float64 {
+			if s.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
+	s.reg.GaugeFunc("xvserve_plan_cache_entries", "Plans and negative verdicts held by the epoch's plan cache.",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(s.plans.len())
+		})
+	s.reg.GaugeFunc("xvserve_subsume_cache_entries", "Verdicts held by the epoch's summary-implication cache.",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(s.subsume.Len())
+		})
+	s.reg.GaugeFunc("xvserve_views", "Materialized views served.",
+		func() float64 { return float64(len(s.views)) })
+	s.reg.GaugeFunc("xvserve_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
 }
 
 // Close stops the background compactor. The HTTP handler remains usable;
@@ -228,8 +265,8 @@ func (s *Server) refreshChainGauges() {
 			total += d.Bytes
 		}
 	}
-	s.maxChain.Store(longest)
-	s.deltaBytes.Store(total)
+	s.met.maxChain.SetInt(longest)
+	s.met.deltaBytes.SetInt(total)
 }
 
 func (s *Server) compactMaxChain() int64 {
@@ -247,7 +284,8 @@ func (s *Server) compactMaxBytes() int64 {
 }
 
 func (s *Server) overThreshold() bool {
-	return s.maxChain.Load() >= s.compactMaxChain() || s.deltaBytes.Load() >= s.compactMaxBytes()
+	return int64(s.met.maxChain.Value()) >= s.compactMaxChain() ||
+		int64(s.met.deltaBytes.Value()) >= s.compactMaxBytes()
 }
 
 func (s *Server) signalCompact() {
@@ -282,27 +320,34 @@ func (s *Server) compactOnce() {
 	if s.degraded.Load() || !s.overThreshold() {
 		return
 	}
+	start := time.Now()
 	res, err := view.CompactCatalog(s.cfg.Dir, s.cat)
+	s.met.compactSeconds.ObserveDuration(time.Since(start))
 	if err != nil {
-		s.compactErrors.Add(1)
+		s.met.compactErrors.Inc()
 		return
 	}
-	s.compactions.Add(1)
-	s.compactFolded.Add(int64(res.Folded))
-	s.compactReclaimed.Add(res.BytesReclaimed)
+	s.met.compactions.Inc()
+	s.met.compactFolded.Add(int64(res.Folded))
+	s.met.compactReclaimed.Add(res.BytesReclaimed)
 	s.refreshChainGauges()
 }
 
 // Views returns the number of views served.
 func (s *Server) Views() int { return len(s.views) }
 
-// Handler returns the server's HTTP routes.
+// Handler returns the server's HTTP routes. Every route runs inside the
+// instrument middleware: the response carries an X-Request-Id header (the
+// client's, when valid, else generated), the request runs with a trace on
+// its context, and the per-route request counter is observed.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/update", s.handleUpdate)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/query", s.instrument("/query", s.handleQuery))
+	mux.HandleFunc("/update", s.instrument("/update", s.handleUpdate))
+	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("/stats", s.instrument("/stats", s.handleStats))
+	mux.HandleFunc("/metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.HandleFunc("/debug/traces", s.instrument("/debug/traces", s.handleTraces))
 	return mux
 }
 
@@ -353,6 +398,26 @@ type QueryResponse struct {
 	// rewrite time is ~0 on plan-cache hits.
 	RewriteMicros int64 `json:"rewrite_us"`
 	ExecMicros    int64 `json:"exec_us"`
+	// Trace carries the request's span timings when the request asked for
+	// them with trace=1.
+	Trace *TraceInfo `json:"trace,omitempty"`
+}
+
+// TraceInfo is the in-response rendering of a request's trace: the
+// correlation id and the pipeline span timings recorded so far.
+type TraceInfo struct {
+	RequestID string     `json:"request_id"`
+	Spans     []obs.Span `json:"spans"`
+}
+
+// traceInfo snapshots the context's trace for a response body; nil when
+// the request is untraced.
+func traceInfo(ctx context.Context) *TraceInfo {
+	tr := obs.FromContext(ctx)
+	if tr == nil {
+		return nil
+	}
+	return &TraceInfo{RequestID: tr.ID, Spans: tr.Spans()}
 }
 
 // ExplainResponse is the JSON answer to /query?...&explain=1: the chosen
@@ -370,10 +435,17 @@ type ExplainResponse struct {
 	PlanCached    bool  `json:"plan_cached"`
 	Epoch         int64 `json:"epoch"`
 	RewriteMicros int64 `json:"rewrite_us"`
+	// Trace is always present on explain answers: explain exists to show
+	// how the answer would be produced, and the span timings are part of
+	// that story.
+	Trace *TraceInfo `json:"trace,omitempty"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// RequestID correlates the error with the X-Request-Id header, the
+	// trace ring and the slow-request log.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // statusClientClosedRequest is the nginx-convention status for a client
@@ -386,31 +458,37 @@ const defaultMaxResponseRows = 10000
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "use GET or POST")
+		s.fail(w, r, http.StatusMethodNotAllowed, "use GET or POST")
 		return
 	}
 	if err := r.ParseForm(); err != nil {
-		s.fail(w, http.StatusBadRequest, "bad form: %v", err)
+		s.fail(w, r, http.StatusBadRequest, "bad form: %v", err)
 		return
 	}
+	ctx := r.Context()
+	tr := obs.FromContext(ctx)
+	snapStart := time.Now()
 	es := s.snapshot()
+	snapDur := time.Since(snapStart)
+	s.met.snapshotSeconds.ObserveDuration(snapDur)
+	tr.AddSpan("snapshot", snapStart, snapDur)
 	qSrc, xqSrc := r.Form.Get("q"), r.Form.Get("xq")
 	var q *pattern.Pattern
 	var err error
 	switch {
 	case qSrc != "" && xqSrc != "":
-		s.fail(w, http.StatusBadRequest, "pass either q (tree pattern) or xq (XQuery), not both")
+		s.fail(w, r, http.StatusBadRequest, "pass either q (tree pattern) or xq (XQuery), not both")
 		return
 	case qSrc != "":
 		q, err = pattern.Parse(qSrc)
 	case xqSrc != "":
 		q, err = xquery.Translate(xqSrc, es.sum.Node(summary.RootID).Label)
 	default:
-		s.fail(w, http.StatusBadRequest, "missing query: pass q (tree pattern) or xq (XQuery)")
+		s.fail(w, r, http.StatusBadRequest, "missing query: pass q (tree pattern) or xq (XQuery)")
 		return
 	}
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "query does not parse: %v", err)
+		s.fail(w, r, http.StatusBadRequest, "query does not parse: %v", err)
 		return
 	}
 	maxRows := s.cfg.MaxResponseRows
@@ -419,7 +497,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	limit, err := intParam(r, "limit", maxRows)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if limit > maxRows {
@@ -427,19 +505,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	offset, err := intParam(r, "offset", 0)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 
-	s.queries.Add(1)
-	ctx := r.Context()
+	s.met.queries.Inc()
 	key := q.String()
+	tr.Annotate("query", key)
+	tr.Annotate("epoch", strconv.FormatInt(es.epoch, 10))
 	rewriteStart := time.Now()
 	verdict, hit := es.plans.get(key)
 	cacheHit := hit
 	var leader bool
 	if hit {
-		s.planHits.Add(1)
+		s.met.planHits.Inc()
 	} else {
 		for {
 			// Per-attempt timer: a retry after a cancelled leader's dead
@@ -454,7 +533,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				if ctx.Err() != nil {
 					// This request's own client went away mid-rewrite.
-					s.clientGone(w, "client closed request during rewrite")
+					s.clientGone(w, r, "client closed request during rewrite")
 					return
 				}
 				if !leader {
@@ -464,35 +543,39 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 					continue
 				}
 			}
-			s.fail(w, http.StatusInternalServerError, "rewrite: %v", err)
+			s.fail(w, r, http.StatusInternalServerError, "rewrite: %v", err)
 			return
 		}
 		if leader {
-			s.planMisses.Add(1)
+			s.met.planMisses.Inc()
 		} else {
 			// A singleflight follower (or the verdict landed in the cache
 			// while this request queued): the search was skipped, which is
 			// what the hit/miss stats and plan_cached field measure.
-			s.planHits.Add(1)
+			s.met.planHits.Inc()
 			hit = true
 		}
 	}
 	rewriteDur := time.Since(rewriteStart)
+	tr.AddSpan("rewrite", rewriteStart, rewriteDur)
 	// Singleflight followers spent this time waiting on the leader's
 	// search, not searching; counting them would multiply one search's
-	// cost by the stampede size in /stats.
+	// cost by the stampede size in the latency totals.
 	if cacheHit || leader {
-		s.rewriteNanos.Add(rewriteDur.Nanoseconds())
+		s.met.rewriteSeconds.ObserveDuration(rewriteDur)
 	}
 	if verdict.unsatisfiable {
-		s.fail(w, http.StatusUnprocessableEntity, "%v", core.ErrUnsatisfiable)
+		s.fail(w, r, http.StatusUnprocessableEntity, "%v", core.ErrUnsatisfiable)
 		return
 	}
 	plan := verdict.plan
 	if plan == nil {
-		s.fail(w, http.StatusUnprocessableEntity, "no equivalent rewriting of %s over the stored views", key)
+		s.fail(w, r, http.StatusUnprocessableEntity, "no equivalent rewriting of %s over the stored views", key)
 		return
 	}
+	tr.Annotate("plan", plan.String())
+	tr.Annotate("cost", strconv.FormatFloat(verdict.cost, 'g', -1, 64))
+	tr.Annotate("plan_cached", strconv.FormatBool(hit))
 
 	if r.Form.Get("explain") == "1" {
 		writeJSON(w, http.StatusOK, &ExplainResponse{
@@ -503,6 +586,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			PlanCached:    hit,
 			Epoch:         es.epoch,
 			RewriteMicros: rewriteDur.Microseconds(),
+			Trace:         traceInfo(ctx),
 		})
 		return
 	}
@@ -510,17 +594,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	execStart := time.Now()
 	out, err := algebra.ExecuteWith(plan, es.st, algebra.Options{Workers: s.workers(), Ctx: ctx})
 	execDur := time.Since(execStart)
+	tr.AddSpan("execute", execStart, execDur)
 	if err != nil {
 		if ctx.Err() != nil {
-			s.clientGone(w, "client closed request during execution")
+			s.clientGone(w, r, "client closed request during execution")
 			return
 		}
-		s.fail(w, http.StatusInternalServerError, "execute: %v", err)
+		s.fail(w, r, http.StatusInternalServerError, "execute: %v", err)
 		return
 	}
 	// Count only completed executions: the partial duration of an
 	// abandoned or failed run would skew the average operators alert on.
-	s.execNanos.Add(execDur.Nanoseconds())
+	s.met.execSeconds.ObserveDuration(execDur)
+	scannedViews(plan, func(name string) { s.met.viewReads.With(name).Inc() })
+	encodeStart := time.Now()
 	rel := out.Rel.Sorted()
 	total := rel.Len()
 	if offset > total {
@@ -539,8 +626,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		rows = append(rows, rendered)
 	}
-	s.rowsServed.Add(int64(len(rows)))
-	writeJSON(w, http.StatusOK, &QueryResponse{
+	s.met.rowsServed.Add(int64(len(rows)))
+	encodeDur := time.Since(encodeStart)
+	s.met.encodeSeconds.ObserveDuration(encodeDur)
+	tr.AddSpan("encode", encodeStart, encodeDur)
+	resp := &QueryResponse{
 		Query:         key,
 		Plan:          plan.String(),
 		Cost:          verdict.cost,
@@ -553,7 +643,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Offset:        offset,
 		RewriteMicros: rewriteDur.Microseconds(),
 		ExecMicros:    execDur.Microseconds(),
-	})
+	}
+	if r.Form.Get("trace") == "1" {
+		resp.Trace = traceInfo(ctx)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // intParam parses a non-negative integer query parameter, with a default
@@ -589,11 +683,11 @@ const defaultMaxUpdateBytes = 8 << 20
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		s.fail(w, http.StatusMethodNotAllowed, "use POST")
+		s.fail(w, r, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
 	if s.cfg.ReadOnly {
-		s.fail(w, http.StatusForbidden, "server is read-only")
+		s.fail(w, r, http.StatusForbidden, "server is read-only")
 		return
 	}
 	limit := s.cfg.MaxUpdateBytes
@@ -602,46 +696,60 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "reading body: %v", err)
+		s.fail(w, r, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
 	if int64(len(body)) > limit {
-		s.fail(w, http.StatusRequestEntityTooLarge, "update batch exceeds %d bytes", limit)
+		s.fail(w, r, http.StatusRequestEntityTooLarge, "update batch exceeds %d bytes", limit)
 		return
 	}
 	updates, err := maintain.ParseUpdates(body)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if len(updates) == 0 {
-		s.fail(w, http.StatusBadRequest, "empty update batch")
+		s.fail(w, r, http.StatusBadRequest, "empty update batch")
 		return
 	}
 
 	if s.degraded.Load() {
-		s.fail(w, http.StatusServiceUnavailable, "updates disabled: an earlier batch was applied in memory but not persisted; restart the server against the store directory")
+		s.fail(w, r, http.StatusServiceUnavailable, "updates disabled: an earlier batch was applied in memory but not persisted; restart the server against the store directory")
 		return
 	}
 
+	ctx := r.Context()
+	tr := obs.FromContext(ctx)
+	tr.Annotate("updates", strconv.Itoa(len(updates)))
 	start := time.Now()
 	s.updMu.Lock()
 	defer s.updMu.Unlock()
 	if s.st.Document() == nil {
 		if err := s.loadDocument(); err != nil {
-			s.fail(w, http.StatusConflict, "store is not updatable: %v", err)
+			s.fail(w, r, http.StatusConflict, "store is not updatable: %v", err)
 			return
 		}
 	}
 	// Hold the epoch lock across apply + cache swap, so no query can
 	// observe post-batch extents with pre-batch caches (or vice versa).
 	s.mu.Lock()
-	res, err := view.ApplyAndPersist(s.cfg.Dir, s.cat, s.st, updates)
+	res, err := view.ApplyAndPersistCtx(ctx, s.cfg.Dir, s.cat, s.st, updates)
+	if tr != nil {
+		// The pipeline recorded "apply", "persist" and "catalog" spans on
+		// the trace (plus the engine's diff/splice aggregates under apply);
+		// feed the phase histograms from the same measurements.
+		if d := tr.SpanTotal("apply"); d > 0 {
+			s.met.applySeconds.ObserveDuration(d)
+		}
+		if d := tr.SpanTotal("persist") + tr.SpanTotal("catalog"); d > 0 {
+			s.met.persistSeconds.ObserveDuration(d)
+		}
+	}
 	var perr *view.PersistError
 	if err != nil && !errors.As(err, &perr) {
 		// The batch did not apply; memory and directory are unchanged.
 		s.mu.Unlock()
-		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		s.fail(w, r, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	// The batch applied in memory: advance the epoch-scoped caches —
@@ -656,17 +764,21 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	// server is degraded anyway.)
 	s.est = cost.NewEstimator(cost.FromCatalog(s.cat, res.Summary))
 	s.mu.Unlock()
-	s.invalidations.Add(1)
-	s.updates.Add(1)
+	s.met.invalidations.Inc()
+	s.met.updates.Inc()
 	for _, c := range res.Changed {
-		s.tuplesAdded.Add(int64(c.Adds))
-		s.tuplesDeleted.Add(int64(c.Dels))
+		s.met.tuplesAdded.Add(int64(c.Adds))
+		s.met.tuplesDeleted.Add(int64(c.Dels))
 	}
 	dur := time.Since(start)
-	s.maintainNanos.Add(dur.Nanoseconds())
+	s.met.maintainSeconds.ObserveDuration(dur)
+	tr.AddSpan("maintain", start, dur)
+	tr.Annotate("epoch", strconv.FormatInt(res.Epoch, 10))
 	if perr != nil {
 		s.degraded.Store(true)
-		s.fail(w, http.StatusInternalServerError,
+		s.log.Error("update batch applied in memory but not persisted; updates disabled",
+			slog.String("request_id", requestID(r)), slog.String("error", perr.Error()))
+		s.fail(w, r, http.StatusInternalServerError,
 			"%v; queries keep serving the applied batch from memory, further updates are disabled", perr)
 		return
 	}
@@ -709,7 +821,7 @@ func (s *Server) loadDocument() error {
 // estimator. An unsatisfiable query is a cacheable negative verdict, not
 // an error; a cancelled search propagates the context error.
 func (s *Server) rewriteBest(ctx context.Context, q *pattern.Pattern, es epochState) (cachedPlan, error) {
-	s.rewritesRun.Add(1)
+	s.met.rewritesRun.Inc()
 	opts := core.DefaultRewriteOptions()
 	opts.Workers = s.workers()
 	opts.Subsume = es.subsume
@@ -725,7 +837,13 @@ func (s *Server) rewriteBest(ctx context.Context, q *pattern.Pattern, es epochSt
 	if err != nil {
 		return cachedPlan{}, err
 	}
+	// The cost span belongs to the singleflight leader's trace: followers
+	// share the verdict, not the estimation work.
+	costStart := time.Now()
 	plan, planCost, alts := core.ChooseBest(res, es.est.PlanCost)
+	costDur := time.Since(costStart)
+	s.met.costSeconds.ObserveDuration(costDur)
+	obs.FromContext(ctx).AddSpan("cost", costStart, costDur)
 	if math.IsInf(planCost, 1) {
 		planCost = -1 // no estimate possible; also keeps the JSON encodable
 	}
@@ -769,15 +887,18 @@ type Stats struct {
 	PlanCacheSize     int     `json:"plan_cache_size"`
 	PlanHitRate       float64 `json:"plan_hit_rate"`
 	SubsumeEntries    int     `json:"subsume_cache_entries"`
-	RewriteMillis     int64   `json:"rewrite_ms_total"`
-	ExecMillis        int64   `json:"exec_ms_total"`
+	// RewriteMillis and ExecMillis are fractional since the histograms
+	// behind them keep exact sums: sub-millisecond requests used to
+	// truncate to 0 and vanish from the totals.
+	RewriteMillis float64 `json:"rewrite_ms_total"`
+	ExecMillis    float64 `json:"exec_ms_total"`
 	// Update-path counters. CacheInvalidations counts epoch advances that
 	// dropped the plan and subsume caches.
-	UpdatesApplied     int64 `json:"updates_applied"`
-	TuplesAdded        int64 `json:"tuples_added"`
-	TuplesDeleted      int64 `json:"tuples_deleted"`
-	CacheInvalidations int64 `json:"cache_invalidations"`
-	MaintainMillis     int64 `json:"maintain_ms_total"`
+	UpdatesApplied     int64   `json:"updates_applied"`
+	TuplesAdded        int64   `json:"tuples_added"`
+	TuplesDeleted      int64   `json:"tuples_deleted"`
+	CacheInvalidations int64   `json:"cache_invalidations"`
+	MaintainMillis     float64 `json:"maintain_ms_total"`
 	// Online-compaction state: the current longest delta chain and total
 	// delta bytes, and what the background compactor has folded/reclaimed
 	// so far.
@@ -790,7 +911,7 @@ type Stats struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	hits, misses := s.planHits.Load(), s.planMisses.Load()
+	hits, misses := s.met.planHits.Value(), s.met.planMisses.Value()
 	rate := 0.0
 	if hits+misses > 0 {
 		rate = float64(hits) / float64(hits+misses)
@@ -801,43 +922,52 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Views:                 len(s.views),
 		Epoch:                 es.epoch,
 		Degraded:              s.degraded.Load(),
-		Queries:               s.queries.Load(),
-		RewritesRun:           s.rewritesRun.Load(),
-		ClientDisconnects:     s.clientsGone.Load(),
-		Errors:                s.errors.Load(),
-		RowsServed:            s.rowsServed.Load(),
+		Queries:               s.met.queries.Value(),
+		RewritesRun:           s.met.rewritesRun.Value(),
+		ClientDisconnects:     s.met.clientsGone.Value(),
+		Errors:                s.met.errors.Value(),
+		RowsServed:            s.met.rowsServed.Value(),
 		PlanCacheHits:         hits,
 		PlanCacheMisses:       misses,
 		PlanCacheSize:         es.plans.len(),
 		PlanHitRate:           rate,
 		SubsumeEntries:        es.subsume.Len(),
-		RewriteMillis:         s.rewriteNanos.Load() / 1e6,
-		ExecMillis:            s.execNanos.Load() / 1e6,
-		UpdatesApplied:        s.updates.Load(),
-		TuplesAdded:           s.tuplesAdded.Load(),
-		TuplesDeleted:         s.tuplesDeleted.Load(),
-		CacheInvalidations:    s.invalidations.Load(),
-		MaintainMillis:        s.maintainNanos.Load() / 1e6,
-		MaxDeltaChain:         s.maxChain.Load(),
-		DeltaBytes:            s.deltaBytes.Load(),
-		Compactions:           s.compactions.Load(),
-		DeltaSegmentsFolded:   s.compactFolded.Load(),
-		CompactBytesReclaimed: s.compactReclaimed.Load(),
-		CompactErrors:         s.compactErrors.Load(),
+		RewriteMillis:         s.met.rewriteSeconds.Sum() * 1e3,
+		ExecMillis:            s.met.execSeconds.Sum() * 1e3,
+		UpdatesApplied:        s.met.updates.Value(),
+		TuplesAdded:           s.met.tuplesAdded.Value(),
+		TuplesDeleted:         s.met.tuplesDeleted.Value(),
+		CacheInvalidations:    s.met.invalidations.Value(),
+		MaintainMillis:        s.met.maintainSeconds.Sum() * 1e3,
+		MaxDeltaChain:         int64(s.met.maxChain.Value()),
+		DeltaBytes:            int64(s.met.deltaBytes.Value()),
+		Compactions:           s.met.compactions.Value(),
+		DeltaSegmentsFolded:   s.met.compactFolded.Value(),
+		CompactBytesReclaimed: s.met.compactReclaimed.Value(),
+		CompactErrors:         s.met.compactErrors.Value(),
 	})
 }
 
-func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
-	s.errors.Add(1)
-	writeJSON(w, code, &errorResponse{Error: fmt.Sprintf(format, args...)})
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
+	s.met.errors.Inc()
+	writeJSON(w, code, &errorResponse{Error: fmt.Sprintf(format, args...), RequestID: requestID(r)})
 }
 
 // clientGone answers a request whose client disconnected: 499 by the
 // nginx convention, counted apart from server errors so the errors stat
 // stays an alertable signal.
-func (s *Server) clientGone(w http.ResponseWriter, msg string) {
-	s.clientsGone.Add(1)
-	writeJSON(w, statusClientClosedRequest, &errorResponse{Error: msg})
+func (s *Server) clientGone(w http.ResponseWriter, r *http.Request, msg string) {
+	s.met.clientsGone.Inc()
+	writeJSON(w, statusClientClosedRequest, &errorResponse{Error: msg, RequestID: requestID(r)})
+}
+
+// requestID returns the request's correlation id (empty only for requests
+// that bypassed the instrument middleware, e.g. direct handler tests).
+func requestID(r *http.Request) string {
+	if tr := obs.FromContext(r.Context()); tr != nil {
+		return tr.ID
+	}
+	return ""
 }
 
 func writeJSON(w http.ResponseWriter, code int, body any) {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -81,7 +82,10 @@ func TestServeSoakAutoCompaction(t *testing.T) {
 	if _, err := view.BuildStore(dir, doc, views); err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(Config{Dir: dir, Workers: 2, PlanCacheSize: 16, CompactMaxChain: threshold})
+	// Tracing and slow-request logging run at full throttle during the
+	// soak: observability must not perturb the pipeline under race.
+	srv, err := New(Config{Dir: dir, Workers: 2, PlanCacheSize: 16, CompactMaxChain: threshold,
+		SlowQuery: time.Nanosecond, Logger: slog.New(slog.NewJSONHandler(io.Discard, nil))})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,12 +165,16 @@ func TestServeSoakAutoCompaction(t *testing.T) {
 				default:
 				}
 				var resp QueryResponse
-				if err := fetch(ts.URL+"/query?q="+q, &resp); err != nil {
+				if err := fetch(ts.URL+"/query?trace=1&q="+q, &resp); err != nil {
 					errs <- err
 					return
 				}
 				if resp.TotalRows < 1 {
 					errs <- fmt.Errorf("implausible result: %+v", resp)
+					return
+				}
+				if resp.Trace == nil || len(resp.Trace.Spans) == 0 {
+					errs <- fmt.Errorf("traced query returned no spans: %+v", resp.Trace)
 					return
 				}
 				var st Stats

@@ -1,12 +1,14 @@
 package view
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"xmlviews/internal/maintain"
+	"xmlviews/internal/obs"
 	"xmlviews/internal/store"
 	"xmlviews/internal/summary"
 	"xmlviews/internal/xmltree"
@@ -67,12 +69,29 @@ func (e *PersistError) Unwrap() error { return e.Err }
 //
 //xvlint:requires(updMu)
 func ApplyAndPersist(dir string, cat *store.Catalog, st *Store, updates []xmltree.Update) (*UpdateResult, error) {
-	batch, err := st.ApplyUpdates(updates)
+	//xvlint:lockheld(updMu) annotated wrapper: every caller of ApplyAndPersist already holds or waives updMu
+	return ApplyAndPersistCtx(context.Background(), dir, cat, st, updates)
+}
+
+// ApplyAndPersistCtx is ApplyAndPersist with a context. When ctx carries an
+// obs.Trace, the pipeline records "apply" (in-memory maintenance, including
+// the engine's diff/splice sub-spans), "persist" (delta and document file
+// writes) and "catalog" (commit write) spans. The context does not cancel
+// the batch: aborting between apply and catalog-write is exactly the
+// memory-ahead-of-disk state PersistError exists to report, so the batch
+// always runs to completion or error.
+//
+//xvlint:requires(updMu)
+func ApplyAndPersistCtx(ctx context.Context, dir string, cat *store.Catalog, st *Store, updates []xmltree.Update) (*UpdateResult, error) {
+	endApply := obs.StartSpan(ctx, "apply")
+	batch, err := st.ApplyUpdatesCtx(ctx, updates)
+	endApply()
 	if err != nil {
 		return nil, err
 	}
 	epoch := st.Epoch()
 	res := &UpdateResult{Epoch: epoch, Skipped: len(batch.Skipped), Summary: batch.Summary}
+	endPersist := obs.StartSpan(ctx, "persist")
 	// Stage: write every delta file before touching the catalog object.
 	type staged struct {
 		entry *store.Entry
@@ -83,12 +102,14 @@ func ApplyAndPersist(dir string, cat *store.Catalog, st *Store, updates []xmltre
 	for _, d := range batch.Deltas {
 		e := cat.Entry(d.View.Name)
 		if e == nil {
+			endPersist()
 			return res, &PersistError{fmt.Errorf("changed view %q not in catalog", d.View.Name)}
 		}
 		base := strings.TrimSuffix(e.Segment, ".xvs")
 		seg := fmt.Sprintf("%s.d%04d.xvs", base, epoch)
 		n, err := store.WriteDeltaFile(filepath.Join(dir, seg), d.Adds, d.Dels)
 		if err != nil {
+			endPersist()
 			return res, &PersistError{fmt.Errorf("writing delta for %q: %w", d.View.Name, err)}
 		}
 		stage = append(stage, staged{entry: e, rows: d.New.Len(),
@@ -105,12 +126,17 @@ func ApplyAndPersist(dir string, cat *store.Catalog, st *Store, updates []xmltre
 	// longer touches those, so refresh them from the batch's summary
 	// before encoding (the write below walks the whole document anyway).
 	if err := batch.Summary.Annotate(st.Document()); err != nil {
+		endPersist()
 		return res, &PersistError{fmt.Errorf("annotating document: %w", err)}
 	}
 	if _, err := store.WriteDocumentFile(filepath.Join(dir, docSeg), st.Document()); err != nil {
+		endPersist()
 		return res, &PersistError{fmt.Errorf("persisting document: %w", err)}
 	}
+	endPersist()
 	// Commit: all files durable; mutate the catalog and write it.
+	endCatalog := obs.StartSpan(ctx, "catalog")
+	defer endCatalog()
 	for _, s := range stage {
 		s.entry.Deltas = append(s.entry.Deltas, s.ref)
 		s.entry.Rows = s.rows

@@ -9,6 +9,7 @@
 package view
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -212,6 +213,15 @@ func (st *Store) Snapshot() *Store {
 // callers that also persist the batch must serialize ApplyUpdates calls
 // among themselves so delta chains append in epoch order.
 func (st *Store) ApplyUpdates(updates []xmltree.Update) (*maintain.Batch, error) {
+	return st.ApplyUpdatesCtx(context.Background(), updates)
+}
+
+// ApplyUpdatesCtx is ApplyUpdates with a context. When ctx carries an
+// obs.Trace, the maintenance engine records aggregate "diff" and "splice"
+// spans on it; the context is otherwise unused (maintenance is not
+// cancellable mid-batch — a partial apply would desync extents from the
+// document).
+func (st *Store) ApplyUpdatesCtx(ctx context.Context, updates []xmltree.Update) (*maintain.Batch, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.doc == nil {
@@ -244,6 +254,7 @@ func (st *Store) ApplyUpdates(updates []xmltree.Update) (*maintain.Batch, error)
 			MatScoped:     MaterializeFlatScoped,
 			Summary:       st.msum,
 			SortedExtents: true,
+			Ctx:           ctx,
 		})
 	if err != nil {
 		return nil, err

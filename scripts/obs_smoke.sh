@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — end-to-end observability smoke test.
+#
+# Builds the real binaries, generates an XMark document, materializes a
+# store, boots xvserve with the observability flags on (slow-query log,
+# debug listener), drives queries and an update over HTTP, then asserts:
+#
+#   - GET /metrics serves the key series with non-zero values,
+#     including the per-view read counter and a latency histogram count;
+#   - the slow-query log captured structured lines (threshold 1ns);
+#   - the debug listener serves /debug/pprof/ and /debug/traces,
+#     and the public listener does NOT serve the profiler;
+#   - `xvstore stats` scrapes the live daemon.
+#
+# CI runs this after the unit tests; it needs nothing beyond the Go
+# toolchain, curl and a POSIX shell.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+mkdir -p "$tmp/bin"
+go build -o "$tmp/bin" ./cmd/xvgen ./cmd/xvstore ./cmd/xvserve
+
+"$tmp/bin/xvgen" -corpus xmark -scale 1 >"$tmp/doc.xml"
+"$tmp/bin/xvstore" build -doc "$tmp/doc.xml" -out "$tmp/store" \
+    -v 'VNAME=site(//item[id](/name[v]))' >/dev/null
+
+# -maxrewritings 2 keeps the cold-query search short: the smoke test
+# exercises the observability surfaces, not the rewriting enumerator.
+"$tmp/bin/xvserve" -dir "$tmp/store" -addr 127.0.0.1:0 -maxrewritings 2 \
+    -debugaddr 127.0.0.1:0 -slowquery 1ns -log "$tmp/slow.log" \
+    >"$tmp/serve.log" &
+pid=$!
+
+# The daemon announces both listeners, one per line, with ephemeral ports.
+addr="" debug=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^xvserve: serving .* on //p' "$tmp/serve.log")
+    debug=$(sed -n 's/^xvserve: debug listener .* on //p' "$tmp/serve.log")
+    [ -n "$addr" ] && [ -n "$debug" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "obs_smoke: daemon died:"; cat "$tmp/serve.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] && [ -n "$debug" ] || { echo "obs_smoke: daemon never announced its listeners"; exit 1; }
+
+# Drive the pipeline: two queries (miss then hit), one traced, one update.
+curl -fsS -G --data-urlencode 'q=site(//item[id](/name[v]))' "http://$addr/query" >/dev/null
+traced=$(curl -fsS -G --data-urlencode 'q=site(//item[id](/name[v]))' --data-urlencode 'trace=1' \
+    "http://$addr/query")
+case "$traced" in
+*'"trace"'*) ;;
+*) echo "obs_smoke: trace=1 returned no trace"; exit 1 ;;
+esac
+curl -fsS -X POST -d '[{"op":"insert","parent":"1","subtree":"item(name \"smoke\")"}]' \
+    "http://$addr/update" >/dev/null
+
+# Key series must be present and non-zero on the scrape.
+metrics=$(curl -fsS "http://$addr/metrics")
+for series in \
+    'xvserve_queries_total' \
+    'xvserve_rows_served_total' \
+    'xvserve_rewrites_run_total' \
+    'xvserve_updates_applied_total' \
+    'xvserve_tuples_added_total' \
+    'xvserve_rewrite_seconds_count' \
+    'xvserve_exec_seconds_count' \
+    'xvserve_maintain_seconds_count' \
+    'xvserve_view_reads_total{view="VNAME"}' \
+    'xvserve_http_requests_total{path="/query",code="200"}' \
+    'go_goroutines'; do
+    val=$(printf '%s\n' "$metrics" | awk -v s="$series" '$1 == s { print $2 }')
+    case "$val" in
+    '' | 0) echo "obs_smoke: series $series missing or zero (got '$val')"; exit 1 ;;
+    esac
+done
+
+# Threshold 1ns: every pipeline request logged exactly one slog JSON line.
+lines=$(wc -l <"$tmp/slow.log")
+[ "$lines" -eq 3 ] || { echo "obs_smoke: want 3 slow-log lines, got $lines:"; cat "$tmp/slow.log"; exit 1; }
+grep -q '"request_id"' "$tmp/slow.log" || { echo "obs_smoke: slow log lacks request ids"; exit 1; }
+
+# Debug listener: profiler, metrics and traces live there...
+curl -fsS "http://$debug/debug/pprof/" >/dev/null
+curl -fsS "http://$debug/metrics" >"$tmp/debug_metrics"
+grep -q '^xvserve_queries_total' "$tmp/debug_metrics" \
+    || { echo "obs_smoke: debug /metrics empty"; exit 1; }
+curl -fsS "http://$debug/debug/traces" >"$tmp/traces.json"
+grep -q '"request_id"' "$tmp/traces.json" \
+    || { echo "obs_smoke: /debug/traces has no records"; exit 1; }
+# ...and the profiler must NOT leak onto the public listener.
+if curl -fsS "http://$addr/debug/pprof/" >/dev/null 2>&1; then
+    echo "obs_smoke: pprof exposed on the public listener"
+    exit 1
+fi
+
+# The CLI scraper summarizes the same daemon. (Capture, then grep: under
+# pipefail a quitting `grep -q` would SIGPIPE the scraper.)
+summary=$("$tmp/bin/xvstore" stats -addr "$addr")
+printf '%s\n' "$summary" | grep -q 'phase latencies' \
+    || { echo "obs_smoke: xvstore stats printed no quantiles"; exit 1; }
+
+echo "obs_smoke: OK"
