@@ -306,8 +306,14 @@ func runStats(args []string, stdout io.Writer) error {
 }
 
 func quantileString(h obs.HistogramSnapshot, q float64) string {
-	v := h.Quantile(q)
-	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+	v, overflow := h.QuantileBound(q)
+	s := time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+	if overflow {
+		// The rank fell in the +Inf bucket: the bound is a floor, not an
+		// estimate.
+		return ">" + s
+	}
+	return s
 }
 
 func parseViews(defs []string) ([]*core.View, error) {

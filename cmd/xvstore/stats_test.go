@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"xmlviews/internal/core"
+	"xmlviews/internal/obs"
 	"xmlviews/internal/pattern"
 	"xmlviews/internal/serve"
 	"xmlviews/internal/view"
@@ -83,6 +84,19 @@ func TestRunStatsRawMetrics(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Errorf("exposition lacks %q:\n%s", want, got)
 		}
+	}
+}
+
+func TestQuantileStringOverflow(t *testing.T) {
+	// Nine of ten observations land past the largest finite bound (10s):
+	// the p99 is unknown, so the summary must render it as a lower bound
+	// (">10s"), not claim p99=10s.
+	h := obs.HistogramSnapshot{Uppers: []float64{1, 10}, Counts: []int64{1, 0, 9}, Count: 10}
+	if got := quantileString(h, 0.99); got != ">10s" {
+		t.Fatalf("overflow p99 = %q, want \">10s\"", got)
+	}
+	if got := quantileString(h, 0.1); got != "1s" {
+		t.Fatalf("in-range p10 = %q, want \"1s\"", got)
 	}
 }
 

@@ -46,6 +46,15 @@ type Options struct {
 	// mid-plan; an in-progress sort still completes before the next
 	// poll. A nil context never cancels.
 	Ctx context.Context
+	// NoVectorize disables the vectorized kernels (selection on dictionary
+	// codes, zone-map block skipping), forcing row-at-a-time execution
+	// everywhere. Used by the equivalence tests and the before/after
+	// benchmarks; both paths produce byte-identical results.
+	NoVectorize bool
+	// Stats, when non-nil, accumulates vectorized-path counters for this
+	// execution (see ExecStats). The executor writes it single-threadedly;
+	// callers must not share one ExecStats across concurrent executions.
+	Stats *ExecStats
 }
 
 // effectiveWorkers resolves the Workers knob to a concrete worker count.
@@ -110,9 +119,15 @@ func (ex *executor) run(p *core.Plan) (*Result, error) {
 		return ex.union(p)
 	case core.OpProject:
 		return ex.project(p)
-	case core.OpSelectLabel:
-		return ex.selectLabel(p)
-	case core.OpSelectValue:
+	case core.OpSelectLabel, core.OpSelectValue:
+		// Selection chains over a plain view scan run vectorized on the
+		// view's columnar blocks when the store can serve them.
+		if res, ok, err := ex.vectorSelect(p); ok || err != nil {
+			return res, err
+		}
+		if p.Op == core.OpSelectLabel {
+			return ex.selectLabel(p)
+		}
 		return ex.selectValue(p)
 	case core.OpUnnest, core.OpGroupBy:
 		// Flat execution: nesting is output formatting; tuples unchanged.
@@ -320,7 +335,7 @@ func (ex *executor) join(p *core.Plan) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	right, err := ex.run(p.Right)
+	right, err := ex.joinRight(p, left)
 	if err != nil {
 		return nil, err
 	}

@@ -88,6 +88,31 @@ const (
 	valueSelectivity = 0.25
 )
 
+// vectorizableScan reports whether the executor serves selections above
+// this plan from the view's columnar block handle — any stored view scan,
+// plain or prepared; only navigation views build their rows on the fly
+// and stay row-at-a-time. This is the shape algebra's vectorSelect accepts.
+func vectorizableScan(p *core.Plan) bool {
+	return p.Op == core.OpScan && p.View != nil && p.View.Nav == nil
+}
+
+// blockPassFraction estimates the fraction of input rows a vectorized
+// selection actually visits when zone maps skip non-matching blocks.
+// Extents are document-ordered, so rows matching one summary path cluster:
+// the matching rows span about s·nblocks blocks plus one straddler, giving
+// a visited fraction of s + BlockRows/rows (capped at one). See
+// docs/cost.md for the derivation.
+func blockPassFraction(s, rows float64) float64 {
+	if rows <= 0 {
+		return 1
+	}
+	f := s + float64(store.BlockRows)/rows
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
 // Estimator estimates plan costs against one Stats snapshot. It is
 // read-only after construction and safe for concurrent use.
 type Estimator struct {
@@ -442,7 +467,14 @@ func (e *Estimator) selectLabel(p *core.Plan, memo map[*core.Plan]*nodeEst) (*no
 	}
 	slots := append([]slotDist{}, in.slots...)
 	slots[p.Slot] = nd
-	return &nodeEst{cost: in.cost + in.rows, rows: in.rows * kept, slots: slots}, nil
+	// A selection directly above a vectorizable scan runs on dictionary
+	// codes with zone-map block skipping: it only visits rows in blocks the
+	// zones cannot rule out.
+	passCost := in.rows
+	if vectorizableScan(p.Input) {
+		passCost = in.rows * blockPassFraction(kept, in.rows)
+	}
+	return &nodeEst{cost: in.cost + passCost, rows: in.rows * kept, slots: slots}, nil
 }
 
 func (e *Estimator) selectValue(p *core.Plan, memo map[*core.Plan]*nodeEst) (*nodeEst, error) {
@@ -450,7 +482,11 @@ func (e *Estimator) selectValue(p *core.Plan, memo map[*core.Plan]*nodeEst) (*no
 	if err != nil {
 		return nil, err
 	}
-	return &nodeEst{cost: in.cost + in.rows, rows: in.rows * valueSelectivity, slots: in.slots}, nil
+	passCost := in.rows
+	if vectorizableScan(p.Input) {
+		passCost = in.rows * blockPassFraction(valueSelectivity, in.rows)
+	}
+	return &nodeEst{cost: in.cost + passCost, rows: in.rows * valueSelectivity, slots: in.slots}, nil
 }
 
 // String renders a cost compactly for tooling output.

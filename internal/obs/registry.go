@@ -354,10 +354,21 @@ type HistogramSnapshot struct {
 // Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
 // within the bucket holding the target rank — the same estimate Prometheus'
 // histogram_quantile computes. It returns NaN for an empty histogram and
-// the highest finite bound when the rank falls in the +Inf bucket.
+// the highest finite bound when the rank falls in the +Inf bucket; use
+// QuantileBound to distinguish that overflow clamp from a real estimate.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
+	v, _ := s.QuantileBound(q)
+	return v
+}
+
+// QuantileBound is Quantile with an explicit overflow indicator: when the
+// target rank falls in the +Inf bucket the true quantile is unknown, so it
+// returns the highest finite bound with overflow=true, meaning "at least
+// this much". Displays should render such a value as a lower bound (e.g.
+// ">10s"), not as the estimate itself.
+func (s HistogramSnapshot) QuantileBound(q float64) (v float64, overflow bool) {
 	if s.Count == 0 || q <= 0 || q > 1 {
-		return math.NaN()
+		return math.NaN(), false
 	}
 	rank := q * float64(s.Count)
 	var cum float64
@@ -370,23 +381,23 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 		if i >= len(s.Uppers) {
 			// Target rank is past the last finite bound.
 			if len(s.Uppers) == 0 {
-				return math.NaN()
+				return math.NaN(), false
 			}
-			return s.Uppers[len(s.Uppers)-1]
+			return s.Uppers[len(s.Uppers)-1], true
 		}
 		lo := 0.0
 		if i > 0 {
 			lo = s.Uppers[i-1]
 		}
 		if c == 0 {
-			return s.Uppers[i]
+			return s.Uppers[i], false
 		}
-		return lo + (s.Uppers[i]-lo)*(rank-prev)/float64(c)
+		return lo + (s.Uppers[i]-lo)*(rank-prev)/float64(c), false
 	}
 	if len(s.Uppers) == 0 {
-		return math.NaN()
+		return math.NaN(), false
 	}
-	return s.Uppers[len(s.Uppers)-1]
+	return s.Uppers[len(s.Uppers)-1], true
 }
 
 // formatFloat renders a sample value: integers without a decimal point,

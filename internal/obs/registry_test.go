@@ -153,10 +153,21 @@ func TestQuantile(t *testing.T) {
 	if got := s.Quantile(1); math.Abs(got-2) > 1e-9 {
 		t.Fatalf("p100 = %v, want 2", got)
 	}
-	// Rank in the +Inf bucket clamps to the highest finite bound.
+	// Rank in the +Inf bucket clamps to the highest finite bound, and
+	// QuantileBound reports the clamp so callers can render ">1s" instead
+	// of claiming the bound is the estimate.
 	inf := HistogramSnapshot{Uppers: []float64{1}, Counts: []int64{1, 9}, Count: 10}
 	if got := inf.Quantile(0.99); got != 1 {
 		t.Fatalf("overflow quantile = %v, want 1", got)
+	}
+	if v, overflow := inf.QuantileBound(0.99); v != 1 || !overflow {
+		t.Fatalf("QuantileBound(0.99) = %v, %v, want 1, true", v, overflow)
+	}
+	if v, overflow := inf.QuantileBound(0.1); v != 1 || overflow {
+		t.Fatalf("QuantileBound(0.1) = %v, %v, want 1, false", v, overflow)
+	}
+	if _, overflow := s.QuantileBound(0.75); overflow {
+		t.Fatal("in-range quantile must not report overflow")
 	}
 	empty := HistogramSnapshot{Uppers: []float64{1}, Counts: []int64{0, 0}}
 	if !math.IsNaN(empty.Quantile(0.5)) {

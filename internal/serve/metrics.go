@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"xmlviews/internal/algebra"
 	"xmlviews/internal/core"
 	"xmlviews/internal/obs"
 )
@@ -17,6 +18,13 @@ type metricsSet struct {
 	// viewReads counts, per stored view, how many times an executed plan
 	// scanned it — the access pattern view selection tools want.
 	viewReads *obs.CounterVec // label: view
+	// vecKernels counts vectorized kernel executions by kernel name
+	// (select_label, select_value, join_prune); vecBlocksScanned and
+	// vecBlocksSkipped count zone-map consultations, so the skip ratio is
+	// observable per deployment.
+	vecKernels       *obs.CounterVec // label: kernel
+	vecBlocksScanned *obs.Counter
+	vecBlocksSkipped *obs.Counter
 
 	// Query-path counters (the former /stats atomics).
 	queries     *obs.Counter
@@ -65,6 +73,12 @@ func newMetricsSet(r *obs.Registry) *metricsSet {
 			"HTTP requests served, by route and status code.", "path", "code"),
 		viewReads: r.CounterVec("xvserve_view_reads_total",
 			"Materialized-view scans by executed plans, per view.", "view"),
+		vecKernels: r.CounterVec("xvserve_vec_kernels_total",
+			"Vectorized kernel executions, by kernel.", "kernel"),
+		vecBlocksScanned: r.Counter("xvserve_vec_blocks_scanned_total",
+			"Zone-map blocks the vectorized path scanned row-wise."),
+		vecBlocksSkipped: r.Counter("xvserve_vec_blocks_skipped_total",
+			"Zone-map blocks the vectorized path skipped without touching rows."),
 
 		queries:     r.Counter("xvserve_queries_total", "Queries received on /query."),
 		rewritesRun: r.Counter("xvserve_rewrites_run_total", "Rewriting searches actually run (cache hits and singleflight followers excluded)."),
@@ -97,6 +111,22 @@ func newMetricsSet(r *obs.Registry) *metricsSet {
 		maxChain:   r.Gauge("xvserve_max_delta_chain", "Longest per-view delta chain, in segments."),
 		deltaBytes: r.Gauge("xvserve_delta_bytes", "Total size of all delta segments, in bytes."),
 	}
+}
+
+// observeExecStats folds one completed execution's vectorized-path
+// counters into the metric families.
+func (m *metricsSet) observeExecStats(xs *algebra.ExecStats) {
+	if xs.VecSelectLabel > 0 {
+		m.vecKernels.With("select_label").Add(int64(xs.VecSelectLabel))
+	}
+	if xs.VecSelectValue > 0 {
+		m.vecKernels.With("select_value").Add(int64(xs.VecSelectValue))
+	}
+	if xs.VecJoinPrunes > 0 {
+		m.vecKernels.With("join_prune").Add(int64(xs.VecJoinPrunes))
+	}
+	m.vecBlocksScanned.Add(int64(xs.BlocksScanned))
+	m.vecBlocksSkipped.Add(int64(xs.BlocksSkipped))
 }
 
 // scannedViews walks an executed plan and calls f once per OpScan leaf with

@@ -40,6 +40,9 @@ type cachedPlan struct {
 	// possible); alternatives is how many rewritings ChooseBest considered.
 	cost         float64
 	alternatives int
+	// execPath records which execution path the plan's most recent run
+	// took ("vectorized" or "row"); empty until the plan first executes.
+	execPath string
 }
 
 type planEntry struct {
@@ -145,6 +148,17 @@ func (c *planCache) compute(ctx context.Context, key string, fn func() (cachedPl
 	fc.err = errPlanPanic
 	fc.val, fc.err = fn()
 	return fc.val, true, fc.err
+}
+
+// recordExecPath notes which execution path the cached plan's latest run
+// took, so explain answers and operators can see whether a plan actually
+// runs vectorized. A key evicted (or never cached) is a no-op.
+func (c *planCache) recordExecPath(key, path string) {
+	c.mu.Lock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*planEntry).val.execPath = path
+	}
+	c.mu.Unlock()
 }
 
 func (c *planCache) len() int {

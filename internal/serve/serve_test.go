@@ -95,6 +95,70 @@ func TestServeQueryAndPlanCache(t *testing.T) {
 	}
 }
 
+// TestServeExecPath pins the execution-path reporting: every /query answer
+// names the path it ran ("vectorized" or "row"), and once a plan has
+// executed, explain reports that plan's most recent path.
+func TestServeExecPath(t *testing.T) {
+	ts := newTestServer(t)
+	q := url.QueryEscape(`site(/item[id](/name[v]))`)
+
+	var ex ExplainResponse
+	if code := getJSON(t, ts.URL+"/query?explain=1&q="+q, &ex); code != http.StatusOK {
+		t.Fatalf("explain status %d", code)
+	}
+	if ex.LastExecPath != "" {
+		t.Fatalf("unexecuted plan reports last_exec_path %q", ex.LastExecPath)
+	}
+
+	var resp QueryResponse
+	if code := getJSON(t, ts.URL+"/query?q="+q, &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.ExecPath != "vectorized" && resp.ExecPath != "row" {
+		t.Fatalf("exec_path = %q, want vectorized or row", resp.ExecPath)
+	}
+
+	if code := getJSON(t, ts.URL+"/query?explain=1&q="+q, &ex); code != http.StatusOK {
+		t.Fatalf("explain status %d", code)
+	}
+	if ex.LastExecPath != resp.ExecPath {
+		t.Fatalf("last_exec_path = %q, want %q", ex.LastExecPath, resp.ExecPath)
+	}
+}
+
+// TestServeLimitWindow pins the limit parameter's semantics, in
+// particular that an explicit limit=0 is a count-only probe: the row
+// window stays empty while TotalRows still reports the full cardinality.
+func TestServeLimitWindow(t *testing.T) {
+	ts := newTestServer(t)
+	q := url.QueryEscape(`site(/item[id](/name[v]))`)
+	cases := []struct {
+		name     string
+		params   string
+		wantRows int
+	}{
+		{"absent limit serves everything", "", 3},
+		{"explicit limit=0 is a count-only probe", "&limit=0", 0},
+		{"small limit windows the result", "&limit=2", 2},
+		{"limit past the cap clamps, not errors", "&limit=999999", 3},
+		{"offset pages within the window", "&limit=2&offset=2", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var resp QueryResponse
+			if code := getJSON(t, ts.URL+"/query?q="+q+tc.params, &resp); code != http.StatusOK {
+				t.Fatalf("status %d: %+v", code, resp)
+			}
+			if len(resp.Rows) != tc.wantRows {
+				t.Fatalf("rows = %d, want %d: %+v", len(resp.Rows), tc.wantRows, resp.Rows)
+			}
+			if resp.TotalRows != 3 {
+				t.Fatalf("total_rows = %d, want 3", resp.TotalRows)
+			}
+		})
+	}
+}
+
 func TestServeXQuery(t *testing.T) {
 	ts := newTestServer(t)
 	xq := url.QueryEscape(`for $x in doc("d.xml")/item return <r> {$x/name/text()} </r>`)

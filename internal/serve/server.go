@@ -389,11 +389,16 @@ type QueryResponse struct {
 	// Columns and Rows are the result: one rendered string per value.
 	// Rows is the window selected by the limit/offset parameters (capped
 	// at the server's maximum response size); TotalRows is the full result
-	// cardinality and Offset the window's first row index.
+	// cardinality and Offset the window's first row index. An explicit
+	// limit=0 is a count-only probe: Rows stays empty while TotalRows
+	// reports the full cardinality.
 	Columns   []string   `json:"columns"`
 	Rows      [][]string `json:"rows"`
 	TotalRows int        `json:"total_rows"`
 	Offset    int        `json:"offset"`
+	// ExecPath reports which execution path this run took: "vectorized"
+	// when any batch kernel ran, "row" otherwise.
+	ExecPath string `json:"exec_path"`
 	// RewriteMicros and ExecMicros are this request's latencies; the
 	// rewrite time is ~0 on plan-cache hits.
 	RewriteMicros int64 `json:"rewrite_us"`
@@ -435,6 +440,10 @@ type ExplainResponse struct {
 	PlanCached    bool  `json:"plan_cached"`
 	Epoch         int64 `json:"epoch"`
 	RewriteMicros int64 `json:"rewrite_us"`
+	// LastExecPath is the execution path the cached plan's most recent run
+	// took ("vectorized" or "row"); empty when the plan has not executed
+	// since entering the cache.
+	LastExecPath string `json:"last_exec_path,omitempty"`
 	// Trace is always present on explain answers: explain exists to show
 	// how the answer would be produced, and the span timings are part of
 	// that story.
@@ -586,13 +595,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			PlanCached:    hit,
 			Epoch:         es.epoch,
 			RewriteMicros: rewriteDur.Microseconds(),
+			LastExecPath:  verdict.execPath,
 			Trace:         traceInfo(ctx),
 		})
 		return
 	}
 
 	execStart := time.Now()
-	out, err := algebra.ExecuteWith(plan, es.st, algebra.Options{Workers: s.workers(), Ctx: ctx})
+	var xs algebra.ExecStats
+	out, err := algebra.ExecuteWith(plan, es.st, algebra.Options{Workers: s.workers(), Ctx: ctx, Stats: &xs})
 	execDur := time.Since(execStart)
 	tr.AddSpan("execute", execStart, execDur)
 	if err != nil {
@@ -607,12 +618,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// abandoned or failed run would skew the average operators alert on.
 	s.met.execSeconds.ObserveDuration(execDur)
 	scannedViews(plan, func(name string) { s.met.viewReads.With(name).Inc() })
+	s.met.observeExecStats(&xs)
+	execPath := "row"
+	if xs.Vectorized() {
+		execPath = "vectorized"
+	}
+	tr.Annotate("exec_path", execPath)
+	if xs.BlocksScanned+xs.BlocksSkipped > 0 {
+		tr.Annotate("vec_blocks", fmt.Sprintf("%d scanned, %d skipped", xs.BlocksScanned, xs.BlocksSkipped))
+	}
+	es.plans.recordExecPath(key, execPath)
 	encodeStart := time.Now()
-	rel := out.Rel.Sorted()
+	rel := out.Rel
+	if limit > 0 {
+		rel = rel.Sorted()
+	}
 	total := rel.Len()
 	if offset > total {
 		offset = total
 	}
+	// An explicit limit=0 is a count-only probe: the window stays empty,
+	// TotalRows still reports the full cardinality, and the result is
+	// never sorted or rendered.
 	end := offset + limit
 	if end > total || end < offset { // overflow-safe
 		end = total
@@ -641,6 +668,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Rows:          rows,
 		TotalRows:     total,
 		Offset:        offset,
+		ExecPath:      execPath,
 		RewriteMicros: rewriteDur.Microseconds(),
 		ExecMicros:    execDur.Microseconds(),
 	}

@@ -1,0 +1,314 @@
+// Columnar block access over relations and segments.
+//
+// A Blocks handle exposes a relation column-wise, in fixed-size row blocks,
+// without materializing per-row strings: each column carries a per-row kind
+// vector, a structural-ID vector, and dictionary codes (ints) pointing into
+// a per-column dictionary in first-occurrence order — the same order
+// encodeColumn persists, so codes computed here agree with codes recorded
+// in segment zone maps. Per block and column a Zone records the min/max
+// structural ID and the sorted set of distinct dictionary codes, letting
+// executors skip whole blocks during ID-range probes and dictionary-code
+// filters. Zones are persisted at segment-build time (format version 3)
+// and recomputed from the rows when a segment predates them.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"xmlviews/internal/nodeid"
+	"xmlviews/internal/nrel"
+)
+
+// BlockRows is the number of rows per zone-map block. It is small enough
+// that a selective predicate skips most of a large extent and large enough
+// that per-block bookkeeping stays negligible next to the row data.
+const BlockRows = 1024
+
+// Zone summarizes one block of one column: the lexicographic min/max over
+// the block's structural IDs (HasID false when the block holds none) and
+// the strictly increasing set of distinct dictionary codes its string rows
+// use (empty when the block holds no string rows).
+type Zone struct {
+	HasID bool
+	MinID nodeid.ID
+	MaxID nodeid.ID
+	Codes []uint32
+}
+
+// OverlapsRange reports whether the block may hold a structural ID in the
+// half-open lexicographic range [lo, hi). An unbounded upper end is passed
+// as hiUnbounded. Blocks without IDs never overlap.
+func (z Zone) OverlapsRange(lo, hi nodeid.ID, hiUnbounded bool) bool {
+	if !z.HasID {
+		return false
+	}
+	if z.MaxID.Compare(lo) < 0 {
+		return false
+	}
+	if !hiUnbounded && z.MinID.Compare(hi) >= 0 {
+		return false
+	}
+	return true
+}
+
+// HasCode reports whether the block's string rows use the dictionary code.
+func (z Zone) HasCode(code uint32) bool {
+	i := sort.Search(len(z.Codes), func(i int) bool { return z.Codes[i] >= code })
+	return i < len(z.Codes) && z.Codes[i] == code
+}
+
+// ZoneMap is the persisted zone index of a segment: one Zone per column per
+// block of BlockRows rows, in column-major order.
+type ZoneMap struct {
+	// BlockRows is the block size the zones were computed over (always the
+	// package constant for segments this build writes; kept explicit so a
+	// future block-size change stays readable).
+	BlockRows int
+	// Cols holds, per column, one Zone per block.
+	Cols [][]Zone
+}
+
+// Column is one column of a Blocks handle: parallel per-row vectors plus
+// the column's dictionary and zones.
+type Column struct {
+	Name string
+	// Kinds is the per-row value kind.
+	Kinds []nrel.Kind
+	// IDs holds the structural ID of KindID rows; nil elsewhere.
+	IDs []nodeid.ID
+	// Codes holds the dictionary code of KindString rows; -1 elsewhere.
+	Codes []int32
+	// Dict is the column's string dictionary in first-occurrence order.
+	Dict []string
+	// Zones has one entry per block of BlockRows rows.
+	Zones []Zone
+
+	dictIdx map[string]int32
+}
+
+// Code translates a predicate constant into the column's dictionary once;
+// ok is false when the string never occurs in the column.
+func (c *Column) Code(s string) (uint32, bool) {
+	i, ok := c.dictIdx[s]
+	return uint32(i), ok
+}
+
+// Blocks is a columnar view of a relation, built once and shared by
+// concurrent executors (it is read-only after construction). Rel is the
+// backing relation: surviving rows are late-materialized from it by index,
+// so vectorized and row-at-a-time execution share tuple storage.
+type Blocks struct {
+	Rel     *nrel.Relation
+	Columns []Column
+	// SeededZones records that the zones came from the segment file rather
+	// than a recomputation (observable in tests and diagnostics).
+	SeededZones bool
+}
+
+// NumBlocks returns the handle's block count.
+func (b *Blocks) NumBlocks() int { return numBlocks(len(b.Rel.Rows)) }
+
+func numBlocks(nrows int) int { return (nrows + BlockRows - 1) / BlockRows }
+
+// BlocksFromRelation builds a columnar handle over the relation. When seed
+// carries the segment's persisted zone map and still matches the relation's
+// shape (same block size, column count and block count — updates or
+// re-sorts invalidate it), the persisted zones are used; otherwise zones
+// are recomputed from the rows.
+func BlocksFromRelation(r *nrel.Relation, seed *ZoneMap) *Blocks {
+	b := &Blocks{Rel: r, Columns: make([]Column, len(r.Cols))}
+	nb := numBlocks(len(r.Rows))
+	useSeed := seed != nil && seed.BlockRows == BlockRows && len(seed.Cols) == len(r.Cols)
+	if useSeed {
+		for _, zs := range seed.Cols {
+			if len(zs) != nb {
+				useSeed = false
+				break
+			}
+		}
+	}
+	for j := range r.Cols {
+		c := &b.Columns[j]
+		c.Name = r.Cols[j]
+		c.Kinds = make([]nrel.Kind, len(r.Rows))
+		c.IDs = make([]nodeid.ID, len(r.Rows))
+		c.Codes = make([]int32, len(r.Rows))
+		c.dictIdx = map[string]int32{}
+		for i, row := range r.Rows {
+			v := row[j]
+			c.Kinds[i] = v.Kind
+			c.Codes[i] = -1
+			switch v.Kind {
+			case nrel.KindID:
+				c.IDs[i] = v.ID
+			case nrel.KindString:
+				code, ok := c.dictIdx[v.Str]
+				if !ok {
+					code = int32(len(c.Dict))
+					c.dictIdx[v.Str] = code
+					c.Dict = append(c.Dict, v.Str)
+				}
+				c.Codes[i] = code
+			}
+		}
+		if useSeed {
+			c.Zones = seed.Cols[j]
+		} else {
+			c.Zones = computeZones(c.Kinds, c.IDs, c.Codes)
+		}
+	}
+	b.SeededZones = useSeed && len(r.Cols) > 0
+	return b
+}
+
+// computeZones derives the per-block zones of one column from its vectors.
+func computeZones(kinds []nrel.Kind, ids []nodeid.ID, codes []int32) []Zone {
+	zones := make([]Zone, numBlocks(len(kinds)))
+	for bi := range zones {
+		lo, hi := bi*BlockRows, (bi+1)*BlockRows
+		if hi > len(kinds) {
+			hi = len(kinds)
+		}
+		z := &zones[bi]
+		seen := map[uint32]bool{}
+		for i := lo; i < hi; i++ {
+			switch kinds[i] {
+			case nrel.KindID:
+				if !z.HasID {
+					z.HasID, z.MinID, z.MaxID = true, ids[i], ids[i]
+					continue
+				}
+				if ids[i].Compare(z.MinID) < 0 {
+					z.MinID = ids[i]
+				}
+				if ids[i].Compare(z.MaxID) > 0 {
+					z.MaxID = ids[i]
+				}
+			case nrel.KindString:
+				seen[uint32(codes[i])] = true
+			}
+		}
+		if len(seen) > 0 {
+			z.Codes = make([]uint32, 0, len(seen))
+			for code := range seen {
+				z.Codes = append(z.Codes, code)
+			}
+			sort.Slice(z.Codes, func(a, b int) bool { return z.Codes[a] < z.Codes[b] })
+		}
+	}
+	return zones
+}
+
+// encodeZoneMap serializes the relation's zone map (recomputed from the
+// rows, which reproduces the dictionary codes encodeColumn assigns) as the
+// segment's trailing block payload.
+func encodeZoneMap(r *nrel.Relation) []byte {
+	blocks := BlocksFromRelation(r, nil)
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(BlockRows))
+	b = binary.AppendUvarint(b, uint64(numBlocks(len(r.Rows))))
+	for j := range blocks.Columns {
+		for _, z := range blocks.Columns[j].Zones {
+			if !z.HasID {
+				b = append(b, 0)
+			} else {
+				b = append(b, 1)
+				b = appendID(b, z.MinID)
+				b = appendID(b, z.MaxID)
+			}
+			b = binary.AppendUvarint(b, uint64(len(z.Codes)))
+			prev := uint64(0)
+			for i, code := range z.Codes {
+				// Codes are strictly increasing: store the first raw, then
+				// gaps minus one, so corruption cannot smuggle duplicates in.
+				if i == 0 {
+					b = binary.AppendUvarint(b, uint64(code))
+				} else {
+					b = binary.AppendUvarint(b, uint64(code)-prev-1)
+				}
+				prev = uint64(code)
+			}
+		}
+	}
+	return b
+}
+
+func appendID(dst []byte, id nodeid.ID) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(id)))
+	for _, c := range id {
+		dst = binary.AppendUvarint(dst, uint64(c))
+	}
+	return dst
+}
+
+// decodeZoneMap parses a zone-map block payload for a segment with the
+// given shape, validating block counts, ID ordering and code monotonicity.
+func decodeZoneMap(rd *reader, ncols, nrows int) (*ZoneMap, error) {
+	blockRows := int(rd.uvarint())
+	nb := int(rd.uvarint())
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	if blockRows <= 0 {
+		return nil, fmt.Errorf("store: zone map block size %d", blockRows)
+	}
+	if want := (nrows + blockRows - 1) / blockRows; nb != want {
+		return nil, fmt.Errorf("store: zone map has %d blocks, segment shape needs %d", nb, want)
+	}
+	zm := &ZoneMap{BlockRows: blockRows, Cols: make([][]Zone, ncols)}
+	for j := 0; j < ncols; j++ {
+		zm.Cols[j] = make([]Zone, nb)
+		for bi := 0; bi < nb; bi++ {
+			z := &zm.Cols[j][bi]
+			switch rd.byte() {
+			case 0:
+			case 1:
+				z.HasID = true
+				z.MinID = readID(rd)
+				z.MaxID = readID(rd)
+				if rd.err == nil && z.MinID.Compare(z.MaxID) > 0 {
+					return nil, fmt.Errorf("store: zone map min ID after max ID (column %d, block %d)", j, bi)
+				}
+			default:
+				if rd.err == nil {
+					return nil, fmt.Errorf("store: zone map ID flag out of range (column %d, block %d)", j, bi)
+				}
+			}
+			ncodes := rd.length()
+			if ncodes > 0 {
+				z.Codes = make([]uint32, 0, ncodes)
+				prev := uint64(0)
+				for i := 0; i < ncodes; i++ {
+					d := rd.uvarint()
+					code := d
+					if i > 0 {
+						code = prev + 1 + d
+					}
+					if code > uint64(^uint32(0)) {
+						return nil, fmt.Errorf("store: zone map code overflow (column %d, block %d)", j, bi)
+					}
+					z.Codes = append(z.Codes, uint32(code))
+					prev = code
+				}
+			}
+			if rd.err != nil {
+				return nil, rd.err
+			}
+		}
+	}
+	return zm, nil
+}
+
+func readID(rd *reader) nodeid.ID {
+	n := rd.length()
+	if rd.err != nil || n == 0 {
+		return nil
+	}
+	id := make(nodeid.ID, 0, n)
+	for i := 0; i < n; i++ {
+		id = append(id, uint32(rd.uvarint()))
+	}
+	return id
+}

@@ -25,17 +25,22 @@ import (
 )
 
 // Magic identifies a segment file; Version is the format version encoded
-// after it. Decoders reject other versions. Version 2 marks the caret
-// (ORDPATH-style) reinterpretation of Dewey components — odd components
-// terminate levels — under which version-1 segments' sequential ordinals
-// would be silently misread, so they are refused instead.
+// after it. Version 2 marks the caret (ORDPATH-style) reinterpretation of
+// Dewey components — odd components terminate levels — under which
+// version-1 segments' sequential ordinals would be silently misread, so
+// they are refused. Version 3 appends a zone-map block after the column
+// blocks; the column encoding is unchanged, so decoders accept versions 2
+// (no zones) through 3 and writers always emit the current version.
 const (
 	Magic   = "XVSG"
-	Version = 2
+	Version = 3
+	// MinReadVersion is the oldest segment version decoders accept.
+	MinReadVersion = 2
 )
 
 // EncodeRelation serializes a relation into the segment byte format
 // (including magic and version). Nested tables are encoded recursively.
+// The trailing block is the zone map (see blocks.go).
 func EncodeRelation(r *nrel.Relation) []byte {
 	var out []byte
 	out = append(out, Magic...)
@@ -44,6 +49,7 @@ func EncodeRelation(r *nrel.Relation) []byte {
 	for j := range r.Cols {
 		out = appendBlock(out, encodeColumn(r, j))
 	}
+	out = appendBlock(out, encodeZoneMap(r))
 	return out
 }
 
@@ -315,19 +321,56 @@ func (rd *reader) block() *reader {
 // DecodeRelation parses segment bytes produced by EncodeRelation,
 // verifying magic, version and every block checksum.
 func DecodeRelation(data []byte) (*nrel.Relation, error) {
+	r, _, err := decodeSegment(data, nil)
+	return r, err
+}
+
+// DecodeRelationZones is DecodeRelation plus the segment's persisted zone
+// map; the zone map is nil for version-2 segments, which predate zones.
+func DecodeRelationZones(data []byte) (*nrel.Relation, *ZoneMap, error) {
+	return decodeSegment(data, nil)
+}
+
+// DecodeRelationCols decodes only the named columns of a segment: the
+// payloads of unprojected column blocks are CRC-verified but never decoded
+// (no string, content or nested-table materialization). The returned
+// relation holds the projected columns in segment order; a requested
+// column the segment lacks is an error.
+func DecodeRelationCols(data []byte, cols []string) (*nrel.Relation, error) {
+	keep := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		keep[c] = true
+	}
+	r, _, err := decodeSegment(data, keep)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cols {
+		if r.ColIndex(c) < 0 {
+			return nil, fmt.Errorf("store: segment has no column %q", c)
+		}
+	}
+	return r, nil
+}
+
+// decodeSegment is the shared decode path: keep == nil decodes every
+// column, otherwise only columns whose name keep maps to true (the rest
+// are checksum-verified and skipped). The zone map is returned for
+// version-3 segments, restricted to the decoded columns.
+func decodeSegment(data []byte, keep map[string]bool) (*nrel.Relation, *ZoneMap, error) {
 	rd := &reader{data: data}
 	if string(rd.bytes(len(Magic))) != Magic {
 		if rd.err != nil {
-			return nil, rd.err
+			return nil, nil, rd.err
 		}
-		return nil, fmt.Errorf("store: bad magic (not a segment)")
+		return nil, nil, fmt.Errorf("store: bad magic (not a segment)")
 	}
 	ver := rd.u16()
 	if rd.err != nil {
-		return nil, rd.err
+		return nil, nil, rd.err
 	}
-	if ver != Version {
-		return nil, fmt.Errorf("store: unsupported segment version %d (want %d)", ver, Version)
+	if ver < MinReadVersion || ver > Version {
+		return nil, nil, fmt.Errorf("store: unsupported segment version %d (want %d..%d)", ver, MinReadVersion, Version)
 	}
 	hdr := rd.block()
 	ncols := hdr.length()
@@ -340,33 +383,69 @@ func DecodeRelation(data []byte) (*nrel.Relation, error) {
 	// kind byte per row, so the whole input bounds it instead.
 	nrows := int(hdr.uvarint())
 	if hdr.err != nil {
-		return nil, hdr.err
+		return nil, nil, hdr.err
 	}
 	// Every column block spends at least one kind byte per row, so the
 	// whole input also bounds the tuple-allocation product ncols*nrows —
 	// without this a small crafted header could demand terabytes.
 	if ncols > 0 && (nrows > len(data) || uint64(nrows)*uint64(ncols) > uint64(len(data))) {
-		return nil, fmt.Errorf("store: implausible size %d rows x %d cols for %d-byte segment", nrows, ncols, len(data))
+		return nil, nil, fmt.Errorf("store: implausible size %d rows x %d cols for %d-byte segment", nrows, ncols, len(data))
 	}
 	const maxColumnlessRows = 1 << 20
 	if ncols == 0 && nrows > maxColumnlessRows {
-		return nil, fmt.Errorf("store: implausible row count %d for zero-column segment", nrows)
+		return nil, nil, fmt.Errorf("store: implausible row count %d for zero-column segment", nrows)
 	}
-	r := nrel.NewRelation(cols...)
+	// colMap maps segment column position to output position, -1 to skip.
+	colMap := make([]int, ncols)
+	var outCols []string
+	for j, c := range cols {
+		if keep != nil && !keep[c] {
+			colMap[j] = -1
+			continue
+		}
+		colMap[j] = len(outCols)
+		outCols = append(outCols, c)
+	}
+	r := nrel.NewRelation(outCols...)
 	r.Rows = make([]nrel.Tuple, nrows)
 	for i := range r.Rows {
-		r.Rows[i] = make(nrel.Tuple, ncols)
+		r.Rows[i] = make(nrel.Tuple, len(outCols))
 	}
 	for j := 0; j < ncols; j++ {
 		cb := rd.block()
-		if err := decodeColumn(cb, r, j); err != nil {
-			return nil, fmt.Errorf("column %q: %w", cols[j], err)
+		if colMap[j] < 0 {
+			// Skipped projection: the block() call above already verified
+			// the payload checksum, so corruption is still detected.
+			if cb.err != nil {
+				return nil, nil, cb.err
+			}
+			continue
+		}
+		if err := decodeColumn(cb, r, colMap[j]); err != nil {
+			return nil, nil, fmt.Errorf("column %q: %w", cols[j], err)
 		}
 	}
 	if rd.err != nil {
-		return nil, rd.err
+		return nil, nil, rd.err
 	}
-	return r, nil
+	var zm *ZoneMap
+	if ver >= 3 {
+		zb := rd.block()
+		if zb.err != nil {
+			return nil, nil, fmt.Errorf("zone map: %w", zb.err)
+		}
+		full, err := decodeZoneMap(zb, ncols, nrows)
+		if err != nil {
+			return nil, nil, err
+		}
+		zm = &ZoneMap{BlockRows: full.BlockRows, Cols: make([][]Zone, len(outCols))}
+		for j := 0; j < ncols; j++ {
+			if colMap[j] >= 0 {
+				zm.Cols[colMap[j]] = full.Cols[j]
+			}
+		}
+	}
+	return r, zm, nil
 }
 
 func decodeColumn(rd *reader, r *nrel.Relation, j int) error {

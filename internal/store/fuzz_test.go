@@ -35,6 +35,9 @@ func FuzzSegmentRead(f *testing.F) {
 	f.Add(EncodeRelation(fuzzSeedRelation()))
 	f.Add(EncodeRelation(nrel.NewRelation()))
 	f.Add(EncodeRelation(nrel.NewRelation("a", "b")))
+	// The version-2 layout (no trailing zone-map block) must stay readable.
+	f.Add(toV2Segment(f, EncodeRelation(fuzzSeedRelation())))
+	f.Add(toV2Segment(f, EncodeRelation(nrel.NewRelation())))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		const maxInput = 1 << 20
 		if len(data) > maxInput {

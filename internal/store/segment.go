@@ -72,11 +72,33 @@ func syncDir(dir string) error {
 // ReadFile loads a segment file into memory, verifying every block
 // checksum, and returns the decoded relation.
 func ReadFile(path string) (*nrel.Relation, error) {
+	r, _, err := ReadFileZones(path)
+	return r, err
+}
+
+// ReadFileZones is ReadFile plus the segment's persisted zone map (nil for
+// segments written before format version 3).
+func ReadFileZones(path string) (*nrel.Relation, *ZoneMap, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, zm, err := DecodeRelationZones(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, zm, nil
+}
+
+// ReadFileCols loads only the named columns of a segment file: every block
+// is still CRC-verified, but unprojected columns are never decoded — their
+// strings, content subtrees and nested tables are not materialized.
+func ReadFileCols(path string, cols []string) (*nrel.Relation, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	r, err := DecodeRelation(data)
+	r, err := DecodeRelationCols(data, cols)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
@@ -92,6 +114,21 @@ func Scan(path string, fn func(cols []string, row nrel.Tuple) error) error {
 	if err != nil {
 		return err
 	}
+	return scanRows(r, fn)
+}
+
+// ScanCols is Scan restricted to a column projection: rows carry only the
+// projected columns (in segment order) and unprojected column payloads are
+// never decoded. Old segments without zone maps read via the same path.
+func ScanCols(path string, cols []string, fn func(cols []string, row nrel.Tuple) error) error {
+	r, err := ReadFileCols(path, cols)
+	if err != nil {
+		return err
+	}
+	return scanRows(r, fn)
+}
+
+func scanRows(r *nrel.Relation, fn func(cols []string, row nrel.Tuple) error) error {
 	for _, row := range r.Rows {
 		if err := fn(r.Cols, row); err != nil {
 			return err

@@ -93,9 +93,18 @@ func OpenStoreWithCatalog(dir string, cat *store.Catalog, views []*core.View) (*
 		if got := v.Pattern.String(); got != e.Pattern {
 			return nil, fmt.Errorf("view: definition of %q does not match catalog (have %s, catalog has %s); rebuild the store", v.Name, got, e.Pattern)
 		}
-		rel, err := store.ReadFile(filepath.Join(dir, e.Segment))
+		rel, zones, err := store.ReadFileZones(filepath.Join(dir, e.Segment))
 		if err != nil {
 			return nil, err
+		}
+		if zones != nil && len(e.Deltas) == 0 {
+			// The extent keeps the segment's row order, so the persisted
+			// zone maps describe it exactly; replayed deltas reorder rows
+			// and void them (Blocks recomputes zones in that case).
+			if st.zoneSeeds == nil {
+				st.zoneSeeds = map[string]*store.ZoneMap{}
+			}
+			st.zoneSeeds[v.Name] = zones
 		}
 		for _, d := range e.Deltas {
 			adds, dels, err := store.ReadDeltaFile(filepath.Join(dir, d.Segment))

@@ -19,6 +19,7 @@ import (
 	"xmlviews/internal/nodeid"
 	"xmlviews/internal/nrel"
 	"xmlviews/internal/pattern"
+	"xmlviews/internal/store"
 	"xmlviews/internal/summary"
 	"xmlviews/internal/xmltree"
 )
@@ -145,6 +146,15 @@ type Store struct {
 	// clone. Two prepared views with equal name and pattern text have
 	// byte-identical extents.
 	prepared map[string]*nrel.Relation
+	// blocks caches columnar block handles per base view. Each handle
+	// records the exact relation it was built over; a cached handle is
+	// served only while st.rels still holds that pointer, so updates (which
+	// swap extent pointers) can never leak stale vectors.
+	blocks map[string]*store.Blocks
+	// zoneSeeds holds zone maps read from base segments at open time, valid
+	// only while the extent keeps the segment's row order (no replayed
+	// deltas, no re-sort); dropped on the first invalidation.
+	zoneSeeds map[string]*store.ZoneMap
 }
 
 // preparedKey identifies a prepared view's extent across rewriter clones.
@@ -199,6 +209,20 @@ func (st *Store) Snapshot() *Store {
 	for k, v := range st.prepared {
 		snap.prepared[k] = v
 	}
+	// Block handles and zone seeds stay valid on the snapshot: they are
+	// pinned to the frozen relation pointers copied above.
+	if len(st.blocks) > 0 {
+		snap.blocks = make(map[string]*store.Blocks, len(st.blocks))
+		for k, v := range st.blocks {
+			snap.blocks[k] = v
+		}
+	}
+	if len(st.zoneSeeds) > 0 {
+		snap.zoneSeeds = make(map[string]*store.ZoneMap, len(st.zoneSeeds))
+		for k, v := range st.zoneSeeds {
+			snap.zoneSeeds[k] = v
+		}
+	}
 	return snap
 }
 
@@ -239,6 +263,7 @@ func (st *Store) ApplyUpdatesCtx(ctx context.Context, updates []xmltree.Update) 
 		for _, v := range st.views {
 			if r, ok := st.rels[v.Name]; ok {
 				st.rels[v.Name] = maintain.SortByKey(r)
+				st.invalidateBlocks(v.Name)
 			}
 		}
 		st.sortedExt = true
@@ -262,10 +287,17 @@ func (st *Store) ApplyUpdatesCtx(ctx context.Context, updates []xmltree.Update) 
 	st.msum = batch.Maintained
 	for _, d := range batch.Deltas {
 		st.rels[d.View.Name] = d.New
+		st.invalidateBlocks(d.View.Name)
 		prefix := d.View.Name + "\x1f"
 		for k := range st.prepared {
 			if strings.HasPrefix(k, prefix) {
 				delete(st.prepared, k)
+			}
+		}
+		// Block handles over prepared extents share the same key space.
+		for k := range st.blocks {
+			if strings.HasPrefix(k, prefix) {
+				delete(st.blocks, k)
 			}
 		}
 	}
@@ -311,9 +343,70 @@ func (st *Store) Relation(v *core.View) *nrel.Relation {
 		st.prepared[preparedKey(v)] = r
 	} else {
 		st.rels[v.Name] = r
+		st.invalidateBlocks(v.Name)
 		st.sortedExt = false // fresh eval order; re-sorted on the next batch
 	}
 	return r
+}
+
+// invalidateBlocks drops the cached block handle and zone seed of one view;
+// callers hold the write lock and are about to (or just did) replace the
+// view's extent pointer, which both depend on.
+func (st *Store) invalidateBlocks(name string) {
+	delete(st.blocks, name)
+	delete(st.zoneSeeds, name)
+}
+
+// Blocks returns a columnar block handle over the view's current extent,
+// building and caching it on first use, or nil when the view cannot be
+// served column-wise (navigation views build rows on the fly) or its extent
+// is not materialized yet. Prepared views are served through their renamed
+// extent — the rows are shared with the stored base, so the base segment's
+// zone maps remain valid; virtual ID columns are NOT part of the handle
+// (the executor derives them for surviving rows only). The handle is
+// immutable and pinned to one extent pointer: after an update replaces the
+// extent, the next call rebuilds. Zone maps persisted in the base segment
+// seed the handle when the extent still has the segment's row order.
+func (st *Store) Blocks(v *core.View) *store.Blocks {
+	if v.Nav != nil {
+		return nil
+	}
+	key := v.Name
+	if v.Stored != nil {
+		key = preparedKey(v)
+	}
+	st.mu.RLock()
+	rel, ok := st.lookup(v)
+	var cached *store.Blocks
+	if ok {
+		if b := st.blocks[key]; b != nil && b.Rel == rel {
+			cached = b
+		}
+	}
+	seed := st.zoneSeeds[v.Name]
+	st.mu.RUnlock()
+	if cached != nil {
+		return cached
+	}
+	if !ok {
+		if v.Stored == nil {
+			return nil
+		}
+		// A prepared extent materializes on demand (renamed header over the
+		// base extent's shared rows); Relation caches it, pinning the handle
+		// built below to the cached pointer.
+		rel = st.Relation(v)
+	}
+	built := store.BlocksFromRelation(rel, seed)
+	st.mu.Lock()
+	if cur, stillOK := st.lookup(v); stillOK && cur == rel {
+		if st.blocks == nil {
+			st.blocks = map[string]*store.Blocks{}
+		}
+		st.blocks[key] = built
+	}
+	st.mu.Unlock()
+	return built
 }
 
 // lookup checks the caches; callers hold at least the read lock.
@@ -371,6 +464,7 @@ func renameStored(base *nrel.Relation, v *core.View) *nrel.Relation {
 func (st *Store) Put(name string, r *nrel.Relation) {
 	st.mu.Lock()
 	st.rels[name] = r
+	st.invalidateBlocks(name)
 	st.sortedExt = false
 	st.mu.Unlock()
 }

@@ -54,6 +54,13 @@ done
 curl -fsS -G --data-urlencode 'q=site(//item[id](/name[v]))' "http://$addr/query" >/dev/null
 traced=$(curl -fsS -G --data-urlencode 'q=site(//item[id](/name[v]))' --data-urlencode 'trace=1' \
     "http://$addr/query")
+# A value predicate the view does not store runs as a selection over the
+# scan — the vectorized kernel path — and must report exec_path.
+vec=$(curl -fsS -G --data-urlencode 'q=site(//item[id](/name[v]{v!=""}))' "http://$addr/query")
+case "$vec" in
+*'"exec_path":"vectorized"'*) ;;
+*) echo "obs_smoke: selective query did not run vectorized: $vec"; exit 1 ;;
+esac
 case "$traced" in
 *'"trace"'*) ;;
 *) echo "obs_smoke: trace=1 returned no trace"; exit 1 ;;
@@ -73,6 +80,8 @@ for series in \
     'xvserve_exec_seconds_count' \
     'xvserve_maintain_seconds_count' \
     'xvserve_view_reads_total{view="VNAME"}' \
+    'xvserve_vec_kernels_total{kernel="select_value"}' \
+    'xvserve_vec_blocks_scanned_total' \
     'xvserve_http_requests_total{path="/query",code="200"}' \
     'go_goroutines'; do
     val=$(printf '%s\n' "$metrics" | awk -v s="$series" '$1 == s { print $2 }')
@@ -83,7 +92,7 @@ done
 
 # Threshold 1ns: every pipeline request logged exactly one slog JSON line.
 lines=$(wc -l <"$tmp/slow.log")
-[ "$lines" -eq 3 ] || { echo "obs_smoke: want 3 slow-log lines, got $lines:"; cat "$tmp/slow.log"; exit 1; }
+[ "$lines" -eq 4 ] || { echo "obs_smoke: want 4 slow-log lines, got $lines:"; cat "$tmp/slow.log"; exit 1; }
 grep -q '"request_id"' "$tmp/slow.log" || { echo "obs_smoke: slow log lacks request ids"; exit 1; }
 
 # Debug listener: profiler, metrics and traces live there...
