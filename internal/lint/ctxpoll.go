@@ -27,7 +27,8 @@ import (
 // than a slow one — carry //xvlint:nopoll on the loop or on the enclosing
 // function's doc comment, with the reason alongside.
 var CtxPoll = &Analyzer{
-	Name: "ctxpoll",
+	Name:    "ctxpoll",
+	Summary: "tuple/row loops in the engines must poll cancellation",
 	Doc: "flags tuple/row loops in the rewrite/execution/maintenance engines " +
 		"(algebra, core, maintain) that lack a cancellation poll",
 	Roots: []string{
@@ -75,7 +76,7 @@ func ctxPollFunc(pass *Pass, fd *ast.FuncDecl) {
 			walkChildren(s.Body, func(c ast.Node) { walk(c, false) })
 			return
 		case *ast.RangeStmt:
-			polled := enclosingPolled || containsPoll(pass.Pkg.Info, s.Body)
+			polled := enclosingPolled || bodyPolled(pass, s.Body)
 			if !polled && isTupleLoop(pass.Pkg.Info, s) && !pass.Pkg.stmtAnnotated(s.Pos(), "nopoll") {
 				pass.Reportf(s.Pos(),
 					"tuple loop without a cancellation poll: check a ctx/stop probe every few thousand rows "+
@@ -84,7 +85,7 @@ func ctxPollFunc(pass *Pass, fd *ast.FuncDecl) {
 			walkChildren(s.Body, func(c ast.Node) { walk(c, polled) })
 			return
 		case *ast.ForStmt:
-			polled := enclosingPolled || containsPoll(pass.Pkg.Info, s.Body)
+			polled := enclosingPolled || bodyPolled(pass, s.Body)
 			walkChildren(s.Body, func(c ast.Node) { walk(c, polled) })
 			return
 		}
@@ -126,6 +127,34 @@ func isTupleLoop(info *types.Info, rs *ast.RangeStmt) bool {
 	}
 	named := namedType(elem)
 	return named != nil && tupleTypeRE.MatchString(named.Obj().Name())
+}
+
+// bodyPolled reports whether the block polls cancellation directly or
+// calls (outside function literals) a function the polls-ctx fact says
+// reaches a poll — the v2 interprocedural upgrade, so extracting a
+// loop's poll into a helper keeps the loop legal.
+func bodyPolled(pass *Pass, body *ast.BlockStmt) bool {
+	if containsPoll(pass.Pkg.Info, body) {
+		return true
+	}
+	facts := pass.Prog.Facts()
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn, _ := resolveCall(pass.Pkg.Info, call); fn != nil && facts.PollsCtx[funcKey(fn)] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
 }
 
 // containsPoll reports whether the block contains a cancellation poll,

@@ -31,7 +31,8 @@ import (
 // the loop (same line or the line above), so every suppression is a
 // reviewed decision with a written justification.
 var DetOrder = &Analyzer{
-	Name: "detorder",
+	Name:    "detorder",
+	Summary: "map-range order must not reach rendered output or cost accumulation",
 	Doc: "flags map-range loops in determinism-critical packages (cost, core, summary, serve, obs) " +
 		"whose iteration order could reach plan text, cost estimates, rendered summaries, HTTP bodies " +
 		"or the Prometheus exposition",

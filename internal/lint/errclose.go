@@ -24,7 +24,8 @@ import (
 // //xvlint:errok with a justification (read-path close where the data has
 // already been validated, error path where the primary error wins).
 var ErrClose = &Analyzer{
-	Name: "errclose",
+	Name:    "errclose",
+	Summary: "persist-path Close/Sync/WriteFile errors must not be discarded",
 	Doc: "flags discarded errors from Close/Sync/WriteFile in the persistence layers " +
 		"(store, serve), where a dropped error can break the write-catalog-last protocol",
 	Roots: []string{

@@ -1,0 +1,445 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Facts is phase 1's per-function summary layer, modeled on go/analysis
+// facts but computed eagerly over the whole program (the module is small
+// enough that a fixpoint over every function costs less than the type
+// check that precedes it). Phase 2 analyzers consume facts across
+// package boundaries: sharemut asks "does this callee mutate its
+// argument", snapdiscipline asks "does this callee read extents from the
+// store I hand it", ctxpoll asks "does this helper poll cancellation".
+//
+// All facts are keyed by funcKey (pkgpath.Func / pkgpath.Recv.Method).
+// Parameter indices count declared parameters left to right from 0; the
+// receiver is index -1.
+type Facts struct {
+	// SharedReturn marks functions whose return value aliases storage
+	// shared beyond the call (seeded by //xvlint:sharedreturn doc
+	// directives, propagated through trivial wrappers that `return` a
+	// shared-returning call — the facade's re-exports).
+	SharedReturn map[string]bool
+	// Mutates records which parameters a function writes through:
+	// element/field/deref assignment, copy into, or passing the parameter
+	// onward to a callee that mutates it.
+	Mutates map[string]map[int]bool
+	// ReadsExtents records parameters through which the function
+	// (transitively) calls a SharedReturn accessor, or which escape into
+	// storage the analysis cannot follow. snapdiscipline uses it to stop
+	// the live store from being handed to extent readers.
+	ReadsExtents map[string]map[int]bool
+	// HoldsLock lists the mutex names a function requires via
+	// //xvlint:requires or visibly acquires in its body.
+	HoldsLock map[string][]string
+	// PollsCtx marks functions whose body (or a callee's, outside
+	// function literals) reaches a cancellation poll.
+	PollsCtx map[string]bool
+}
+
+// Facts returns the program's fact set, computing it on first use.
+func (p *Program) Facts() *Facts {
+	p.factsOnce.Do(func() { p.facts = computeFacts(p) })
+	return p.facts
+}
+
+// argFlow is one "caller parameter flows into callee parameter" record,
+// the substrate both propagation fixpoints run on.
+type argFlow struct {
+	caller    string
+	callerIdx int
+	callee    string
+	calleeIdx int // -1 = callee receiver
+}
+
+func computeFacts(prog *Program) *Facts {
+	facts := &Facts{
+		SharedReturn: map[string]bool{},
+		Mutates:      map[string]map[int]bool{},
+		ReadsExtents: map[string]map[int]bool{},
+		HoldsLock:    map[string][]string{},
+		PollsCtx:     map[string]bool{},
+	}
+	g := prog.CallGraph()
+
+	returnedCallees := map[string][]string{}
+	var flows []argFlow
+	declared := map[string]bool{}
+	for key, node := range g.Nodes {
+		if node.Decl != nil {
+			declared[key] = true
+		}
+	}
+
+	for _, key := range g.Keys() {
+		node := g.Nodes[key]
+		if node.Decl == nil {
+			continue
+		}
+		pkg, fd := node.Pkg, node.Decl
+
+		if _, ok := funcDirective(pkg.Fset, fd, "sharedreturn"); ok {
+			facts.SharedReturn[key] = true
+		}
+		if d, ok := funcDirective(pkg.Fset, fd, "requires"); ok && d.Arg != "" {
+			facts.HoldsLock[key] = append(facts.HoldsLock[key], d.Arg)
+		}
+		if fd.Body == nil {
+			continue
+		}
+		for mu := range lockAcquisitions(fd) {
+			facts.HoldsLock[key] = append(facts.HoldsLock[key], mu)
+		}
+		sort.Strings(facts.HoldsLock[key])
+		if containsPoll(pkg.Info, fd.Body) {
+			facts.PollsCtx[key] = true
+		}
+		returnedCallees[key] = directReturnedCallees(pkg.Info, fd)
+
+		params := paramObjects(pkg.Info, fd)
+		if m := directMutations(pkg.Info, fd, params); len(m) > 0 {
+			facts.Mutates[key] = m
+		}
+		flows = append(flows, paramFlows(pkg.Info, key, fd, params)...)
+	}
+
+	// SharedReturn fixpoint: a wrapper that returns a shared-returning
+	// call shares the same storage (xmlviews.NewStore -> view.NewStore
+	// style re-exports keep their callee's fact).
+	for changed := true; changed; {
+		changed = false
+		for key, callees := range returnedCallees {
+			if facts.SharedReturn[key] {
+				continue
+			}
+			for _, callee := range callees {
+				if facts.SharedReturn[callee] {
+					facts.SharedReturn[key] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Mutates fixpoint over argument flows.
+	for changed := true; changed; {
+		changed = false
+		for _, fl := range flows {
+			if facts.Mutates[fl.callee][fl.calleeIdx] && !facts.Mutates[fl.caller][fl.callerIdx] {
+				if facts.Mutates[fl.caller] == nil {
+					facts.Mutates[fl.caller] = map[int]bool{}
+				}
+				facts.Mutates[fl.caller][fl.callerIdx] = true
+				changed = true
+			}
+		}
+	}
+
+	// ReadsExtents: direct uses first (needs the final SharedReturn set),
+	// then the same flow fixpoint.
+	for _, key := range g.Keys() {
+		node := g.Nodes[key]
+		if node.Decl == nil || node.Decl.Body == nil {
+			continue
+		}
+		params := paramObjects(node.Pkg.Info, node.Decl)
+		if r := directExtentReads(node.Pkg.Info, node.Decl, params, facts.SharedReturn, declared); len(r) > 0 {
+			facts.ReadsExtents[key] = r
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fl := range flows {
+			if fl.calleeIdx < 0 {
+				continue
+			}
+			if facts.ReadsExtents[fl.callee][fl.calleeIdx] && !facts.ReadsExtents[fl.caller][fl.callerIdx] {
+				if facts.ReadsExtents[fl.caller] == nil {
+					facts.ReadsExtents[fl.caller] = map[int]bool{}
+				}
+				facts.ReadsExtents[fl.caller][fl.callerIdx] = true
+				changed = true
+			}
+		}
+	}
+
+	// PollsCtx fixpoint: a call (outside function literals, which may run
+	// on another goroutine) to a polling function polls.
+	for changed := true; changed; {
+		changed = false
+		for _, key := range g.Keys() {
+			if facts.PollsCtx[key] {
+				continue
+			}
+			for _, e := range g.Nodes[key].Out {
+				if e.Kind == EdgeCall && !e.InFuncLit && facts.PollsCtx[e.Callee] {
+					facts.PollsCtx[key] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return facts
+}
+
+// paramObjects maps the function's receiver (-1) and parameters (0..n-1)
+// to their declared objects. Blank and unnamed parameters are skipped —
+// nothing can flow through a name that does not exist.
+func paramObjects(info *types.Info, fd *ast.FuncDecl) map[types.Object]int {
+	out := map[types.Object]int{}
+	add := func(names []*ast.Ident, idx int) {
+		for _, name := range names {
+			if name.Name == "_" {
+				continue
+			}
+			if obj := info.Defs[name]; obj != nil {
+				out[obj] = idx
+			}
+		}
+	}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		add(fd.Recv.List[0].Names, -1)
+	}
+	if fd.Type.Params != nil {
+		idx := 0
+		for _, field := range fd.Type.Params.List {
+			if len(field.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, name := range field.Names {
+				add([]*ast.Ident{name}, idx)
+				idx++
+			}
+		}
+	}
+	return out
+}
+
+// pathBase unwraps a selector/index/slice/deref chain to its base
+// identifier (rel.Rows[i] -> rel), or nil for anything else.
+func pathBase(e ast.Expr) *ast.Ident {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// directMutations finds the parameters this body writes through: an
+// assignment or ++/-- whose left side is a selector/index/deref path
+// rooted at the parameter (a bare `p = x` rebinds the local copy and is
+// not a mutation), or a copy() with the parameter's data as destination.
+func directMutations(info *types.Info, fd *ast.FuncDecl, params map[types.Object]int) map[int]bool {
+	out := map[int]bool{}
+	through := func(e ast.Expr) {
+		if base := pathBase(e); base != nil && unparen(e) != ast.Expr(base) {
+			if idx, ok := params[info.ObjectOf(base)]; ok {
+				out[idx] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				through(lhs)
+			}
+		case *ast.IncDecStmt:
+			through(s.X)
+		case *ast.CallExpr:
+			if id, ok := unparen(s.Fun).(*ast.Ident); ok && id.Name == "copy" && len(s.Args) == 2 {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					if base := pathBase(s.Args[0]); base != nil {
+						if idx, ok := params[info.ObjectOf(base)]; ok {
+							out[idx] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// paramFlows records every call argument (and method receiver) that is a
+// path rooted at one of the caller's parameters, so the Mutates and
+// ReadsExtents fixpoints can walk caller->callee. Taking the address of
+// the parameter flows the parameter itself.
+func paramFlows(info *types.Info, callerKey string, fd *ast.FuncDecl, params map[types.Object]int) []argFlow {
+	var flows []argFlow
+	flowBase := func(e ast.Expr) (int, bool) {
+		e = unparen(e)
+		if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+			e = unparen(ue.X)
+		}
+		base := pathBase(e)
+		if base == nil {
+			return 0, false
+		}
+		idx, ok := params[info.ObjectOf(base)]
+		return idx, ok
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, _ := resolveCall(info, call)
+		if fn == nil {
+			return true
+		}
+		calleeKey := funcKey(fn)
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if i, ok := flowBase(sel.X); ok {
+					flows = append(flows, argFlow{callerKey, i, calleeKey, -1})
+				}
+			}
+		}
+		for j, arg := range call.Args {
+			if i, ok := flowBase(arg); ok {
+				flows = append(flows, argFlow{callerKey, i, calleeKey, j})
+			}
+		}
+		return true
+	})
+	return flows
+}
+
+// directReturnedCallees lists functions whose result this function
+// returns directly (`return f(...)` with a single result), outside any
+// function literal — the shape of the facade's re-exports.
+func directReturnedCallees(info *types.Info, fd *ast.FuncDecl) []string {
+	var out []string
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		for _, anc := range stack[:len(stack)-1] {
+			if _, ok := anc.(*ast.FuncLit); ok {
+				return true
+			}
+		}
+		if call, ok := unparen(ret.Results[0]).(*ast.CallExpr); ok {
+			if fn, _ := resolveCall(info, call); fn != nil {
+				out = append(out, funcKey(fn))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// directExtentReads classifies every use of each parameter. A parameter
+// "reads extents" when a SharedReturn accessor is called on it, or when
+// it escapes into storage the analysis cannot follow (assigned away,
+// stored in a composite literal, returned, sent on a channel, or passed
+// to a function without a declaration in the program). Flow into
+// declared callees is handled by the fixpoint, not here.
+func directExtentReads(info *types.Info, fd *ast.FuncDecl, params map[types.Object]int, shared, declared map[string]bool) map[int]bool {
+	out := map[int]bool{}
+	var stack []ast.Node
+	// parentOf returns the nearest non-paren ancestor above the node at
+	// the top of the stack.
+	parentOf := func() ast.Node {
+		for i := len(stack) - 2; i >= 0; i-- {
+			if _, ok := stack[i].(*ast.ParenExpr); ok {
+				continue
+			}
+			return stack[i]
+		}
+		return nil
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		idx, isParam := params[info.ObjectOf(id)]
+		if !isParam {
+			return true
+		}
+		switch p := parentOf().(type) {
+		case *ast.SelectorExpr:
+			// p.Method(...) or p.Field: a shared-returning accessor call
+			// (or its method value — the receiver escapes into the bound
+			// value) reads extents; everything else through the selector
+			// is the callee's business (method) or a plain field read.
+			if fn, _ := info.Uses[p.Sel].(*types.Func); fn != nil && shared[funcKey(fn)] {
+				out[idx] = true
+			}
+		case *ast.CallExpr:
+			// A call argument (the callee position is a SelectorExpr or
+			// Ident parent, handled above/below). Declared callees are
+			// covered by the flow fixpoint; undeclared or unresolvable
+			// callees swallow the value — treat as an extent read unless
+			// it is a harmless builtin.
+			if unparen(p.Fun) == ast.Expr(id) {
+				break // calling the parameter itself
+			}
+			fn, _ := resolveCall(info, p)
+			if fn == nil {
+				if hid, ok := unparen(p.Fun).(*ast.Ident); ok {
+					if _, isB := info.Uses[hid].(*types.Builtin); isB && (hid.Name == "len" || hid.Name == "cap") {
+						break
+					}
+				}
+				out[idx] = true
+			} else if !declared[funcKey(fn)] {
+				// Standard-library or otherwise undeclared callee: the
+				// flow fixpoint has no facts to consult, so assume the
+				// worst of the argument.
+				out[idx] = true
+			}
+		case *ast.BinaryExpr, *ast.SwitchStmt, *ast.CaseClause, *ast.RangeStmt, *ast.IfStmt:
+			// Comparisons and iteration read, they do not alias.
+		case *ast.AssignStmt:
+			onLHS := false
+			for _, lhs := range p.Lhs {
+				if unparen(lhs) == ast.Expr(id) {
+					onLHS = true
+				}
+			}
+			if !onLHS {
+				out[idx] = true // q := p aliases the parameter away
+			}
+		default:
+			out[idx] = true
+		}
+		return true
+	})
+	// The flow fixpoint needs arg-position uses resolved against the
+	// callee's facts; undeclared callee args were already marked above.
+	return out
+}

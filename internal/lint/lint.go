@@ -31,6 +31,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Analyzer is one named check. Run reports diagnostics for a single
@@ -39,6 +40,9 @@ import (
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and test fixtures.
 	Name string
+	// Summary is the one-line description shown by `xvlint help` and as
+	// the rule description in SARIF output.
+	Summary string
 	// Doc is the one-paragraph description printed by `xvlint help`.
 	Doc string
 	// Roots restricts where diagnostics are REPORTED: a package is checked
@@ -50,9 +54,14 @@ type Analyzer struct {
 	Run func(pass *Pass)
 }
 
-// All returns the full xvlint suite in the order diagnostics are grouped.
+// All returns the full xvlint suite in the order diagnostics are grouped:
+// the four intraprocedural v1 analyzers, then the four interprocedural v2
+// analyzers built on the call-graph/facts layer.
 func All() []*Analyzer {
-	return []*Analyzer{DetOrder, LockCheck, CtxPoll, ErrClose}
+	return []*Analyzer{
+		DetOrder, LockCheck, CtxPoll, ErrClose,
+		ShareMut, SnapDiscipline, MetricCheck, VerGate,
+	}
 }
 
 // AppliesTo reports whether the analyzer checks the given import path.
@@ -96,6 +105,13 @@ type Package struct {
 type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package
+
+	// Phase-1 interprocedural layers, built lazily and shared by every
+	// analyzer pass over this program (see callgraph.go and facts.go).
+	cgOnce    sync.Once
+	cg        *CallGraph
+	factsOnce sync.Once
+	facts     *Facts
 }
 
 // Pass carries one analyzer run over one package.
@@ -112,6 +128,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportAt records a diagnostic at an explicit file position. vergate
+// uses it to point findings into format.manifest, which has no AST.
+func (p *Pass) ReportAt(pos token.Position, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }

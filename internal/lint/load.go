@@ -106,6 +106,64 @@ func LoadDir(dir, importPath string) (*Program, error) {
 	return &Program{Fset: fset, Packages: []*Package{pkg}}, nil
 }
 
+// DirSpec names one fixture package for LoadDirs.
+type DirSpec struct {
+	Dir  string
+	Path string // import path the package type-checks under
+}
+
+// LoadDirs loads several fixture packages that may import one another,
+// in dependency order (imported packages first). The call-graph and
+// facts tests use it to model cross-package chains that LoadDir's
+// single-package loader cannot express.
+func LoadDirs(specs []DirSpec) (*Program, error) {
+	fset := token.NewFileSet()
+	imp := &chainImporter{
+		pkgs: map[string]*types.Package{},
+		next: importer.ForCompiler(fset, "source", nil),
+	}
+	prog := &Program{Fset: fset}
+	for _, spec := range specs {
+		ents, err := os.ReadDir(spec.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		var paths []string
+		for _, e := range ents {
+			name := e.Name()
+			if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+				paths = append(paths, filepath.Join(spec.Dir, name))
+			}
+		}
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("lint: no Go files in %s", spec.Dir)
+		}
+		sort.Strings(paths)
+		pkg, err := checkPackage(fset, imp, spec.Path, paths)
+		if err != nil {
+			return nil, err
+		}
+		imp.pkgs[spec.Path] = pkg.Types
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}
+
+// chainImporter serves already-checked fixture packages by import path
+// and defers everything else (the standard library) to the source
+// importer.
+type chainImporter struct {
+	pkgs map[string]*types.Package
+	next types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.pkgs[path]; ok {
+		return p, nil
+	}
+	return c.next.Import(path)
+}
+
 // checkPackage parses and type-checks one package's files.
 func checkPackage(fset *token.FileSet, imp types.Importer, importPath string, paths []string) (*Package, error) {
 	var files []*ast.File

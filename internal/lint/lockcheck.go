@@ -31,7 +31,8 @@ import (
 // CompactCatalog from new code without either taking updMu or leaving a
 // reviewable annotation behind.
 var LockCheck = &Analyzer{
-	Name: "lockcheck",
+	Name:    "lockcheck",
+	Summary: "//xvlint:requires(mu) functions may only be called with mu held",
 	Doc: "calls to functions annotated //xvlint:requires(mu) must come from callers that hold mu " +
 		"(annotated themselves, a visible mu.Lock(), or an explicit //xvlint:lockheld(mu) waiver)",
 	Roots: nil, // call sites are checked wherever the annotated functions are reachable

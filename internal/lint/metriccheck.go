@@ -1,0 +1,352 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricCheck freezes the observability surface three ways.
+//
+// Label cardinality: every argument of a CounterVec/GaugeVec .With(...)
+// call must come from a compile-time-bounded set — a constant, a local
+// variable assigned only constants (the execPath := "row" / "vectorized"
+// pattern), or a parameter whose every call site (via the call graph)
+// passes a bounded value. A request-derived string would mint one time
+// series per distinct value and blow up the exposition; sites that are
+// bounded for reasons the analysis cannot see (strconv.Itoa of an HTTP
+// status) carry //xvlint:boundedlabel with the reason.
+//
+// Registration: metric names registered on an obs Registry in the
+// serving layer must be compile-time constants matching xvserve_[a-z_]+
+// and registered exactly once program-wide (the Registry panics on
+// duplicates at runtime; the analyzer moves that to lint time).
+//
+// /stats: the Stats struct's json field set is pinned against the
+// allowlist below. Dashboards and the soak harness parse these keys;
+// renaming or dropping one is a breaking API change that must be made
+// here, deliberately, not as a side effect of a refactor.
+var MetricCheck = &Analyzer{
+	Name:    "metriccheck",
+	Summary: "metric labels bounded, names xvserve_* registered once, /stats keys pinned",
+	Doc: "flags unbounded CounterVec/GaugeVec label values (request-derived strings), " +
+		"metric names that are non-constant, mis-shaped (xvserve_[a-z_]+) or registered twice, " +
+		"and drift in the frozen /stats JSON field set",
+	Roots: []string{"xmlviews/internal/serve"},
+	Run:   runMetricCheck,
+}
+
+var metricNameRE = regexp.MustCompile(`^xvserve_[a-z_]+$`)
+
+// statsAllowlist is the frozen /stats key set. Changing the surface
+// means editing this list in the same PR — which is the point.
+var statsAllowlist = []string{
+	"uptime_seconds", "views", "epoch", "degraded", "queries",
+	"rewrites_run", "client_disconnects", "errors", "rows_served",
+	"plan_cache_hits", "plan_cache_misses", "plan_cache_size",
+	"plan_hit_rate", "subsume_cache_entries", "rewrite_ms_total",
+	"exec_ms_total", "updates_applied", "tuples_added", "tuples_deleted",
+	"cache_invalidations", "maintain_ms_total", "max_delta_chain",
+	"delta_bytes", "compactions_run", "delta_segments_folded",
+	"compact_bytes_reclaimed", "compact_errors",
+}
+
+// registrarMethods are the obs.Registry constructors; the first argument
+// is the metric name.
+var registrarMethods = map[string]bool{
+	"Counter": true, "CounterVec": true, "Gauge": true,
+	"GaugeFunc": true, "Histogram": true,
+}
+
+func runMetricCheck(pass *Pass) {
+	checkLabelBounds(pass)
+	checkRegistrations(pass)
+	checkStatsStruct(pass)
+}
+
+// --- label cardinality ---
+
+func checkLabelBounds(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "With" {
+					return true
+				}
+				tv, ok := info.Types[sel.X]
+				if !ok {
+					return true
+				}
+				named := namedType(tv.Type)
+				if named == nil {
+					return true
+				}
+				if name := named.Obj().Name(); name != "CounterVec" && name != "GaugeVec" {
+					return true
+				}
+				if pass.Pkg.stmtAnnotated(call.Pos(), "boundedlabel") {
+					return true
+				}
+				for _, arg := range call.Args {
+					if !boundedExpr(pass, pass.Pkg, fd, arg, map[string]bool{}) {
+						pass.Reportf(arg.Pos(),
+							"metric label value %s is not compile-time bounded: a request-derived label mints "+
+								"unbounded time series; map it to a fixed set first or annotate "+
+								"//xvlint:boundedlabel with why the value space is bounded",
+							types.ExprString(arg))
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// boundedExpr reports whether, in the context of fd, e can only take
+// values from a compile-time-bounded set.
+func boundedExpr(pass *Pass, pkg *Package, fd *ast.FuncDecl, e ast.Expr, seen map[string]bool) bool {
+	e = unparen(e)
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Value != nil {
+		return true // constant
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	if _, isConst := obj.(*types.Const); isConst {
+		return true
+	}
+	v, isVar := obj.(*types.Var)
+	if !isVar {
+		return false
+	}
+	if idx, isParam := paramObjects(pkg.Info, fd)[v]; isParam {
+		if idx < 0 {
+			return false // receiver
+		}
+		return boundedParam(pass, declKey(pkg.Path, fd), idx, seen)
+	}
+	// A local: bounded iff every assignment to it in this body is.
+	assigns := 0
+	bounded := true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := unparen(lhs).(*ast.Ident)
+			if !ok || pkg.Info.ObjectOf(lid) != v {
+				continue
+			}
+			assigns++
+			if len(as.Rhs) == len(as.Lhs) {
+				if !boundedExpr(pass, pkg, fd, as.Rhs[i], seen) {
+					bounded = false
+				}
+			} else {
+				bounded = false // multi-value assignment: opaque
+			}
+		}
+		return true
+	})
+	return assigns > 0 && bounded
+}
+
+// boundedParam reports whether every call site of the function passes a
+// bounded value for the parameter — the interprocedural half: a helper
+// like instrument(path, h) keeps a bounded label when all its callers
+// pass literals.
+func boundedParam(pass *Pass, fnKey string, idx int, seen map[string]bool) bool {
+	memo := fnKey + "#" + strconv.Itoa(idx)
+	if seen[memo] {
+		return true // cycle: bounded unless some site breaks it
+	}
+	seen[memo] = true
+	node := pass.Prog.CallGraph().Node(fnKey)
+	if node == nil || len(node.In) == 0 {
+		return false
+	}
+	sawCall := false
+	for _, e := range node.In {
+		if e.Kind != EdgeCall || e.Site == nil {
+			return false // method value: call sites unknowable
+		}
+		caller := pass.Prog.CallGraph().Node(e.Caller)
+		if caller == nil || caller.Decl == nil || idx >= len(e.Site.Args) {
+			return false
+		}
+		sawCall = true
+		if !boundedExpr(pass, caller.Pkg, caller.Decl, e.Site.Args[idx], seen) {
+			return false
+		}
+	}
+	return sawCall
+}
+
+// --- registration ---
+
+// metricRegistration is one Registry constructor call.
+type metricRegistration struct {
+	pkg  *Package
+	call *ast.CallExpr
+	name string // constant value, "" when non-constant
+}
+
+// collectRegistrations finds every Registry metric constructor call in
+// the program.
+func collectRegistrations(prog *Program) []metricRegistration {
+	var regs []metricRegistration
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || !registrarMethods[sel.Sel.Name] {
+					return true
+				}
+				tv, ok := pkg.Info.Types[sel.X]
+				if !ok {
+					return true
+				}
+				named := namedType(tv.Type)
+				if named == nil || named.Obj().Name() != "Registry" {
+					return true
+				}
+				reg := metricRegistration{pkg: pkg, call: call}
+				if atv, ok := pkg.Info.Types[call.Args[0]]; ok && atv.Value != nil && atv.Value.Kind() == constant.String {
+					reg.name = constant.StringVal(atv.Value)
+				}
+				regs = append(regs, reg)
+				return true
+			})
+		}
+	}
+	return regs
+}
+
+func checkRegistrations(pass *Pass) {
+	regs := collectRegistrations(pass.Prog)
+	byName := map[string]int{}
+	for _, r := range regs {
+		if r.name != "" {
+			byName[r.name]++
+		}
+	}
+	for _, r := range regs {
+		if r.pkg != pass.Pkg {
+			continue // diagnostics stay in the package under analysis
+		}
+		if r.name == "" {
+			pass.Reportf(r.call.Args[0].Pos(),
+				"metric name must be a compile-time constant so the exposition surface is reviewable in one grep")
+			continue
+		}
+		if !metricNameRE.MatchString(r.name) {
+			pass.Reportf(r.call.Args[0].Pos(),
+				"metric name %q does not match xvserve_[a-z_]+: the serving layer's exposition prefix is frozen",
+				r.name)
+		}
+		if byName[r.name] > 1 {
+			pass.Reportf(r.call.Pos(),
+				"metric %q is registered %d times; the Registry panics on duplicates at startup — register once and share the handle",
+				r.name, byName[r.name])
+		}
+	}
+}
+
+// --- /stats pin ---
+
+func checkStatsStruct(pass *Pass) {
+	allow := map[string]bool{}
+	for _, k := range statsAllowlist {
+		allow[k] = true
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != "Stats" {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			got := map[string]bool{}
+			tagged := false
+			for _, field := range st.Fields.List {
+				key := jsonKey(field)
+				if key == "" {
+					continue
+				}
+				tagged = true
+				got[key] = true
+				if !allow[key] {
+					pass.Reportf(field.Pos(),
+						"/stats key %q is not in the frozen field set: dashboards parse this surface — "+
+							"add the key to statsAllowlist in internal/lint/metriccheck.go in the same change, deliberately",
+						key)
+				}
+			}
+			if !tagged {
+				return true // an unrelated Stats type with no json surface
+			}
+			var missing []string
+			for _, k := range statsAllowlist {
+				if !got[k] {
+					missing = append(missing, k)
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				pass.Reportf(ts.Pos(),
+					"/stats is missing frozen keys %s: dashboards parse these — removing one is a breaking "+
+						"change that must also edit statsAllowlist in internal/lint/metriccheck.go",
+					strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// jsonKey extracts the json key from a struct field tag ("" for
+// untagged fields, "-", or option-only tags).
+func jsonKey(field *ast.Field) string {
+	if field.Tag == nil {
+		return ""
+	}
+	raw, err := strconv.Unquote(field.Tag.Value)
+	if err != nil {
+		return ""
+	}
+	tag := reflect.StructTag(raw).Get("json")
+	if tag == "" || tag == "-" {
+		return ""
+	}
+	if i := strings.Index(tag, ","); i >= 0 {
+		tag = tag[:i]
+	}
+	return tag
+}

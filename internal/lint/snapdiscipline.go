@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SnapDiscipline pins the PR 3 epoch-snapshot rule for the serving
+// layer: request handling must obtain extents through Snapshot(), never
+// by reading the live store directly, so one request never observes two
+// different epochs (a torn read across a concurrent update).
+//
+// The live store is marked at its declaration: the struct field holding
+// it carries //xvlint:livestore. Every use of an annotated field is then
+// classified:
+//
+//   - calling Snapshot() on it — the sanctioned read path;
+//   - calling a non-shared-returning method (Epoch, Document, the
+//     update entry points, which serialize under their own locks) — ok;
+//   - calling a //xvlint:sharedreturn accessor (Relation, Blocks), or
+//     taking its method value — a direct extent read, reported;
+//   - passing it to a callee whose reads-extents fact says the callee
+//     (transitively) reads extents from that parameter, or to a callee
+//     the analysis cannot see into — reported;
+//   - aliasing it away (assignment, composite literal, return, channel
+//     send) — reported, because the alias escapes the discipline.
+//
+// Sites that are correct for reasons the analysis cannot see (an update
+// path that holds the update lock and WANTS the live store) carry
+// //xvlint:snapok with the reason.
+var SnapDiscipline = &Analyzer{
+	Name:    "snapdiscipline",
+	Summary: "serve must read extents via Snapshot(), not the live store",
+	Doc: "flags direct extent reads from //xvlint:livestore fields in the serving layer: " +
+		"shared-returning accessor calls, passing the live store to extent-reading callees, " +
+		"and aliasing it away; reads go through Snapshot() or carry //xvlint:snapok",
+	Roots: []string{"xmlviews/internal/serve"},
+	Run:   runSnapDiscipline,
+}
+
+// liveStoreFields collects the program-wide set of struct fields
+// annotated //xvlint:livestore.
+func liveStoreFields(prog *Program) map[types.Object]bool {
+	fields := map[types.Object]bool{}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					if !fieldAnnotated(pkg, field, "livestore") {
+						continue
+					}
+					for _, name := range field.Names {
+						if obj := pkg.Info.Defs[name]; obj != nil {
+							fields[obj] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return fields
+}
+
+// fieldAnnotated reports a directive on the field's own line (trailing
+// comment) or in its doc comment. The statement-level line-above rule
+// would bleed onto the next field of the struct, so it does not apply.
+func fieldAnnotated(pkg *Package, field *ast.Field, name string) bool {
+	p := pkg.Fset.Position(field.Pos())
+	for _, d := range pkg.directives[p.Filename][p.Line] {
+		if d.Name == name {
+			return true
+		}
+	}
+	if field.Doc != nil {
+		for _, c := range field.Doc.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if m := directiveRE.FindStringSubmatch(text); m != nil && m[1] == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func runSnapDiscipline(pass *Pass) {
+	fields := liveStoreFields(pass.Prog)
+	if len(fields) == 0 {
+		return
+	}
+	facts := pass.Prog.Facts()
+	info := pass.Pkg.Info
+	declared := map[string]bool{}
+	for key, node := range pass.Prog.CallGraph().Nodes {
+		if node.Decl != nil {
+			declared[key] = true
+		}
+	}
+
+	for _, f := range pass.Pkg.Files {
+		var stack []ast.Node
+		parentOf := func() ast.Node {
+			for i := len(stack) - 2; i >= 0; i-- {
+				if _, ok := stack[i].(*ast.ParenExpr); ok {
+					continue
+				}
+				return stack[i]
+			}
+			return nil
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !fields[info.Uses[sel.Sel]] {
+				return true
+			}
+			if pass.Pkg.stmtAnnotated(sel.Pos(), "snapok") {
+				return true
+			}
+			report := func(format string, args ...any) {
+				pass.Reportf(sel.Pos(), "%s is the live store: %s — read through Snapshot() "+
+					"(one epoch per request) or annotate //xvlint:snapok with why the live store is intended",
+					types.ExprString(sel), fmt.Sprintf(format, args...))
+			}
+			switch p := parentOf().(type) {
+			case *ast.SelectorExpr:
+				// s.st.Method or s.st.Field. Snapshot and other
+				// non-shared methods are the sanctioned surface; a
+				// shared-returning accessor is a direct extent read.
+				if fn, _ := info.Uses[p.Sel].(*types.Func); fn != nil && facts.SharedReturn[funcKey(fn)] {
+					report("calling shared-returning accessor %s reads extents outside any epoch", fn.Name())
+				}
+			case *ast.CallExpr:
+				for j, arg := range p.Args {
+					if unparen(arg) != ast.Expr(sel) {
+						continue
+					}
+					fn, _ := resolveCall(info, p)
+					if fn == nil {
+						report("passed to an unresolvable callee the analysis cannot vet")
+					} else if key := funcKey(fn); !declared[key] {
+						report("passed to %s, which is outside the analyzed program", shortFuncKey(key))
+					} else if facts.ReadsExtents[key][j] {
+						report("%s reads extents from this argument (reads-extents fact)", shortFuncKey(key))
+					}
+				}
+			case *ast.BinaryExpr, *ast.SwitchStmt, *ast.CaseClause, *ast.IfStmt:
+				// Comparisons (s.st == nil) do not leak the store.
+			case *ast.AssignStmt:
+				for _, lhs := range p.Lhs {
+					if unparen(lhs) == ast.Expr(sel) {
+						return true // initializing the field itself
+					}
+				}
+				report("aliased into a variable, escaping the snapshot discipline")
+			case *ast.ReturnStmt:
+				report("returned to the caller, escaping the snapshot discipline")
+			default:
+				report("aliased away (%T), escaping the snapshot discipline", p)
+			}
+			return true
+		})
+	}
+}

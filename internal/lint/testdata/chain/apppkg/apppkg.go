@@ -1,0 +1,29 @@
+// Package apppkg is the top of the fact chain: it only ever talks to
+// wrappkg, so every diagnostic here proves a fact crossed two package
+// boundaries.
+package apppkg
+
+import (
+	"fixture/chain/storepkg"
+	"fixture/chain/wrappkg"
+)
+
+// MutateSharedBuggy obtains a shared extent through the middle package
+// and mutates it through another middle-package wrapper.
+func MutateSharedBuggy(s *storepkg.Store) {
+	rel := wrappkg.Cached(s, "v")
+	wrappkg.GrowAll(rel) // want `shared via`
+}
+
+// MutateOwnedOK builds its own relation; no shared storage involved.
+func MutateOwnedOK() *storepkg.Rel {
+	rel := &storepkg.Rel{}
+	wrappkg.GrowAll(rel)
+	return rel
+}
+
+// ExtentFn takes the accessor's method value; the call graph records
+// this as a reference edge, not a call.
+func ExtentFn(s *storepkg.Store) func(string) *storepkg.Rel {
+	return s.Extent
+}

@@ -1,0 +1,52 @@
+package sharemut
+
+// This file reproduces the defect shapes sharemut was built to catch —
+// in-place mutation of cached extents that earlier PRs hit for real.
+
+// FillVirtualIDsBuggy is the fillVirtualIDs defect shape: deriving
+// virtual ID columns by writing into the store's cached extent, so a
+// concurrent reader of the same relation observes half-rewritten rows.
+func FillVirtualIDsBuggy(s *Store) *Relation {
+	rel := s.Relation("v")
+	fill(rel) // want `shared via`
+	return rel
+}
+
+// FillVirtualIDsFixed is the shipped fix: clone the relation (header
+// and row slice) before deriving, then mutate the private copy.
+func FillVirtualIDsFixed(s *Store) *Relation {
+	rel := s.Relation("v")
+	rel = rel.Clone()
+	fill(rel)
+	return rel
+}
+
+// planEntry models the plan cache's value type; the plan tree inside is
+// shared among every cache hit.
+type planEntry struct {
+	steps []string
+	cost  float64
+}
+
+// planCache models serve's plan cache.
+type planCache struct {
+	m map[string]planEntry
+}
+
+// get returns the cached entry; hits share the plan tree.
+//
+//xvlint:sharedreturn
+func (c *planCache) get(key string) (planEntry, bool) {
+	e, ok := c.m[key]
+	return e, ok
+}
+
+// RewriteCachedPlanBuggy is the plan-cache defect shape: rewriting a
+// cached plan's step slice in place poisons every later hit.
+func RewriteCachedPlanBuggy(c *planCache) {
+	e, ok := c.get("q")
+	if !ok {
+		return
+	}
+	e.steps[0] = "rewritten" // want `shared via`
+}

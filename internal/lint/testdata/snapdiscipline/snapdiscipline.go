@@ -1,0 +1,116 @@
+// Package snapdiscipline exercises the epoch-snapshot rule: request
+// handlers must obtain extents through Snapshot(), never by reading the
+// live store directly. The types model serve's surface (a Server
+// holding a //xvlint:livestore field) without importing it.
+package snapdiscipline
+
+// Relation is a cached extent.
+type Relation struct {
+	Rows [][]string
+}
+
+// Store models the view store.
+type Store struct {
+	rels  map[string]*Relation
+	epoch int64
+}
+
+// Relation returns the live extent, shared with concurrent readers.
+//
+//xvlint:sharedreturn
+func (s *Store) Relation(name string) *Relation {
+	return s.rels[name]
+}
+
+// Snapshot freezes the store at the current epoch — the sanctioned
+// read path.
+func (s *Store) Snapshot() *Store {
+	return &Store{rels: s.rels, epoch: s.epoch}
+}
+
+// Epoch reads a counter, not extents.
+func (s *Store) Epoch() int64 {
+	return s.epoch
+}
+
+// Server holds the live store behind the annotated field.
+type Server struct {
+	// st is the live store; handlers read extents through Snapshot().
+	st *Store //xvlint:livestore
+	// started is NOT the live store: the annotation must not bleed
+	// from the field above onto this one.
+	started bool
+}
+
+// execute reads extents from whatever store it is handed; the
+// reads-extents fact marks its first parameter.
+func execute(st *Store, q string) *Relation {
+	return st.Relation(q)
+}
+
+// epochOf touches only the counter; handing it the live store is fine.
+func epochOf(st *Store) int64 {
+	return st.Epoch()
+}
+
+// HandleQueryBuggy is the pre-snapshot defect shape: reading an extent
+// straight off the live store tears across a concurrent update.
+func (s *Server) HandleQueryBuggy(q string) *Relation {
+	return s.st.Relation(q) // want `shared-returning accessor`
+}
+
+// HandleQueryFixed snapshots first: every read in the request sees one
+// epoch.
+func (s *Server) HandleQueryFixed(q string) *Relation {
+	es := s.st.Snapshot()
+	return es.Relation(q)
+}
+
+// HandleExecBuggy leaks the live store into an extent-reading callee —
+// caught transitively through the reads-extents fact.
+func (s *Server) HandleExecBuggy(q string) *Relation {
+	return execute(s.st, q) // want `reads extents from this argument`
+}
+
+func (s *Server) HandleExecFixed(q string) *Relation {
+	return execute(s.st.Snapshot(), q)
+}
+
+// AliasBuggy copies the live store into a variable, escaping the
+// discipline.
+func (s *Server) AliasBuggy() {
+	st := s.st // want `aliased into a variable`
+	_ = st
+}
+
+// ReturnBuggy hands the live store to the caller.
+func (s *Server) ReturnBuggy() *Store {
+	return s.st // want `returned to the caller`
+}
+
+// EpochOK: the callee's fact set proves it never reads extents.
+func (s *Server) EpochOK() int64 {
+	return epochOf(s.st)
+}
+
+// CompareOK: nil checks do not leak the store.
+func (s *Server) CompareOK() bool {
+	return s.st == nil
+}
+
+// InitOK: assigning the field itself is construction, not a read.
+func (s *Server) InitOK(st *Store) {
+	s.st = st
+}
+
+// UpdateWaived models the update path: it holds the update lock and
+// deliberately wants the live store, recorded by the annotation.
+func (s *Server) UpdateWaived(q string) *Relation {
+	//xvlint:snapok update path: serialized by the update lock, live store intended
+	return s.st.Relation(q)
+}
+
+// StartedOK uses the unannotated neighbour field freely.
+func (s *Server) StartedOK() bool {
+	return s.started
+}

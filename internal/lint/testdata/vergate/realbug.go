@@ -1,0 +1,24 @@
+package vergate
+
+// This file reproduces the defect that motivated the guard rule: the
+// caret-ID format change made version-1 sequential ordinals silently
+// misread as caret IDs, and the decoder of the day only checked the
+// ceiling — old files decoded as garbage instead of being refused.
+
+const (
+	// CaretVersion is the version that changed the ID encoding.
+	CaretVersion = 2
+	// MinCaretVersion still admits version 1, but no guard refuses
+	// anything below it.
+	MinCaretVersion = 1 // want `no decode guard compares the wire version against both`
+)
+
+// decodeCaretBuggy is the pre-fix shape: a ceiling check only, no
+// floor, so the readable range exists in the constants but not in the
+// code.
+func decodeCaretBuggy(ver int) string {
+	if ver > CaretVersion {
+		return "refused"
+	}
+	return "decoded"
+}

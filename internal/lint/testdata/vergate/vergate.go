@@ -1,0 +1,76 @@
+// Package vergate exercises the format-version gate: floor/current
+// ordering, range guards, per-version decode arms, the verok waiver,
+// and the format.manifest drift checks (this package's manifest is
+// deliberately stale — see the want comments inside it).
+package vergate
+
+// The healthy pair: floor below current, a range guard, and a decode
+// arm for the one readable version above the floor.
+const (
+	// Version is the current format version.
+	Version = 3
+	// MinReadVersion is the decode floor.
+	MinReadVersion = 2
+)
+
+// decode models the segment decoder: refuse out-of-range versions,
+// then branch on the readable ones.
+func decode(ver int) string {
+	if ver < MinReadVersion || ver > Version {
+		return "refused"
+	}
+	if ver >= 3 {
+		return "zones"
+	}
+	return "flat"
+}
+
+// The inverted pair: the floor exceeds the version being written.
+const (
+	BadVersion    = 2
+	MinBadVersion = 3 // want `exceeds BadVersion`
+)
+
+func decodeBad(ver int) string {
+	if ver < MinBadVersion || ver > BadVersion {
+		return "refused"
+	}
+	return "decoded"
+}
+
+// The gap pair: version 2 is readable but nothing in the decoder
+// branches on it, so it silently decodes like version 1.
+const (
+	GapVersion    = 2 // want `no decode arm mentions it`
+	MinGapVersion = 1
+)
+
+func decodeGap(ver int) string {
+	if ver < MinGapVersion || ver > GapVersion {
+		return "refused"
+	}
+	return "decoded"
+}
+
+// The waived pair: the payload is self-describing, so both readable
+// versions deliberately share one decode path.
+const (
+	// FlexVersion's readable range needs no version arm.
+	//
+	//xvlint:verok(2) payload is self-describing; v1 and v2 share one decode path
+	FlexVersion    = 2
+	MinFlexVersion = 1
+)
+
+func decodeFlex(ver int) string {
+	if ver < MinFlexVersion || ver > FlexVersion {
+		return "refused"
+	}
+	return "decoded"
+}
+
+// StaleVersion drifted from the value the manifest recorded.
+const StaleVersion = 2
+
+// OrphanVersion is missing from the manifest entirely.
+const OrphanVersion = 7 // want `not recorded in format.manifest`

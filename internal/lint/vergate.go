@@ -1,0 +1,444 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// VerGate keeps the on-disk format's version story coherent. Three
+// rules, per version-constant pair (MinXVersion / XVersion, e.g.
+// MinReadVersion+Version for segments, MinCatalogVersion+CatalogVersion
+// for the manifest):
+//
+//   - the floor may not exceed the current version (MinX <= X);
+//   - a decode guard comparing the wire version against BOTH constants
+//     must exist (the refuse-out-of-range check PR 3 introduced when
+//     version-1 ordinals became silently misreadable);
+//   - every version in the readable range (MinX+1 .. X) must have a
+//     decode arm — a comparison or switch case against that version
+//     number outside the guard itself (the `ver >= 3` zone-map arm).
+//     A version with no format-conditional decoding (readable because
+//     the payload is forward-compatible) carries //xvlint:verok(<n>)
+//     on the constant declaration with the reason.
+//
+// Independent of the pairs, the package carries a format.manifest
+// recording every version constant's value and a content hash of every
+// encode-path file. Editing an encoder without revisiting the version
+// constants now fails lint until `go run ./cmd/xvlint -writemanifest
+// <pkg>` is rerun — making "did this change the wire format?" an
+// explicit question in every such diff.
+var VerGate = &Analyzer{
+	Name:    "vergate",
+	Summary: "version floors ordered, readable versions have decode arms, format files manifest-hashed",
+	Doc: "flags version-constant pairs with MinX > X, readable versions without a decode arm, " +
+		"missing range guards, and encode-path files changed without regenerating format.manifest " +
+		"(go run ./cmd/xvlint -writemanifest <pkg>)",
+	Roots: []string{"xmlviews/internal/store"},
+	Run:   runVerGate,
+}
+
+// ManifestName is the per-package format manifest vergate checks.
+const ManifestName = "format.manifest"
+
+// versionConst is one package-level integer constant whose name ends in
+// "Version".
+type versionConst struct {
+	name string
+	val  int64
+	pos  token.Pos
+	obj  types.Object
+}
+
+func runVerGate(pass *Pass) {
+	consts := versionConsts(pass.Pkg)
+	pairs := versionPairs(consts)
+	for _, p := range pairs {
+		checkVersionPair(pass, p[0], p[1])
+	}
+	checkManifest(pass, consts)
+}
+
+// versionConsts collects the package's *Version integer constants.
+func versionConsts(pkg *Package) []versionConst {
+	var out []versionConst
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasSuffix(name.Name, "Version") {
+						continue
+					}
+					obj, ok := pkg.Info.Defs[name].(*types.Const)
+					if !ok {
+						continue
+					}
+					v, ok := constant.Int64Val(constant.ToInt(obj.Val()))
+					if !ok {
+						continue
+					}
+					out = append(out, versionConst{name.Name, v, name.Pos(), obj})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// versionPairs matches MinX floors with their current-version partner:
+// MinCatalogVersion pairs with CatalogVersion, MinReadVersion (no
+// ReadVersion exists) with Version.
+func versionPairs(consts []versionConst) [][2]versionConst {
+	byName := map[string]versionConst{}
+	for _, c := range consts {
+		byName[c.name] = c
+	}
+	var pairs [][2]versionConst
+	for _, c := range consts {
+		if !strings.HasPrefix(c.name, "Min") {
+			continue
+		}
+		base := strings.TrimPrefix(c.name, "Min")
+		cur, ok := byName[base]
+		if !ok {
+			cur, ok = byName[strings.Replace(base, "Read", "", 1)]
+		}
+		if ok {
+			pairs = append(pairs, [2]versionConst{c, cur})
+		}
+	}
+	return pairs
+}
+
+func checkVersionPair(pass *Pass, min, cur versionConst) {
+	if min.val > cur.val {
+		pass.Reportf(min.pos,
+			"%s (%d) exceeds %s (%d): the floor of the readable range is above the version being written",
+			min.name, min.val, cur.name, cur.val)
+		return
+	}
+	// Guards: expressions mentioning BOTH constants of the pair — the
+	// range check that refuses unreadable versions.
+	var guards []ast.Expr
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			if usesObject(pass.Pkg.Info, be, min.obj) && usesObject(pass.Pkg.Info, be, cur.obj) {
+				guards = append(guards, be)
+				return false
+			}
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		pass.Reportf(min.pos,
+			"no decode guard compares the wire version against both %s and %s: out-of-range versions "+
+				"would be decoded blind instead of refused",
+			min.name, cur.name)
+		return
+	}
+	inGuard := func(pos token.Pos) bool {
+		for _, g := range guards {
+			if g.Pos() <= pos && pos < g.End() {
+				return true
+			}
+		}
+		return false
+	}
+	// The wire-version expressions this pair's guards test (`ver`,
+	// `c.FormatVersion`). A decode arm counts only when it compares one
+	// of THESE, so codec's `ver >= 3` cannot satisfy the catalog pair.
+	verExprs := guardVersionExprs(pass.Pkg.Info, guards)
+	for v := min.val + 1; v <= cur.val; v++ {
+		if versionWaived(pass.Pkg, min, cur, v) || hasDecodeArm(pass, v, verExprs, inGuard) {
+			continue
+		}
+		pass.Reportf(cur.pos,
+			"version %d is readable (%s=%d .. %s=%d) but no decode arm mentions it: either the decoder "+
+				"silently treats it like another version, or the arm compares a different constant — add the "+
+				"arm or annotate the constant //xvlint:verok(%d) with why none is needed",
+			v, min.name, min.val, cur.name, cur.val, v)
+	}
+}
+
+// versionWaived reports an //xvlint:verok(<n>) annotation on either
+// constant of the pair.
+func versionWaived(pkg *Package, min, cur versionConst, v int64) bool {
+	for _, pos := range []token.Pos{min.pos, cur.pos} {
+		for _, d := range pkg.directivesAt(pos) {
+			if d.Name == "verok" && d.Arg == strconv.FormatInt(v, 10) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// guardVersionExprs extracts the non-constant operands of the guards'
+// comparisons: the expressions that carry the wire version.
+func guardVersionExprs(info *types.Info, guards []ast.Expr) []ast.Expr {
+	var out []ast.Expr
+	for _, g := range guards {
+		ast.Inspect(g, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				for _, side := range []ast.Expr{be.X, be.Y} {
+					if tv, ok := info.Types[side]; ok && tv.Value == nil {
+						out = append(out, side)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// hasDecodeArm looks for a comparison or switch case, outside any range
+// guard, that tests one of the pair's wire-version expressions against
+// the literal version value.
+func hasDecodeArm(pass *Pass, v int64, verExprs []ast.Expr, inGuard func(token.Pos) bool) bool {
+	info := pass.Pkg.Info
+	isVer := func(e ast.Expr) bool {
+		tv, ok := info.Types[e]
+		if !ok || tv.Value == nil {
+			return false
+		}
+		got, ok := constant.Int64Val(constant.ToInt(tv.Value))
+		return ok && got == v
+	}
+	isWireExpr := func(e ast.Expr) bool {
+		for _, w := range verExprs {
+			if sameObject(info, e, w) {
+				return true
+			}
+		}
+		return false
+	}
+	found := false
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch s := n.(type) {
+			case *ast.BinaryExpr:
+				switch s.Op {
+				case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+					if inGuard(s.Pos()) {
+						return true
+					}
+					if (isVer(s.X) && isWireExpr(s.Y)) || (isVer(s.Y) && isWireExpr(s.X)) {
+						found = true
+					}
+				}
+			case *ast.SwitchStmt:
+				if s.Tag == nil || !isWireExpr(s.Tag) {
+					return true
+				}
+				ast.Inspect(s.Body, func(c ast.Node) bool {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						for _, e := range cc.List {
+							if isVer(e) && !inGuard(e.Pos()) {
+								found = true
+							}
+						}
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// --- manifest ---
+
+// manifestEntry is one parsed format.manifest line.
+type manifestEntry struct {
+	line int
+	kind string // "version" or "file"
+	name string
+	val  string
+}
+
+// parseManifest reads a format.manifest, ignoring blanks and # comments
+// (fixture want-expectations ride in comments).
+func parseManifest(path string) ([]manifestEntry, bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	var out []manifestEntry
+	for i, line := range strings.Split(string(data), "\n") {
+		if j := strings.Index(line, "#"); j >= 0 {
+			line = line[:j]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 || (fields[0] != "version" && fields[0] != "file") {
+			return nil, true, fmt.Errorf("%s:%d: want `version <Name> <value>` or `file <name> <sha256>`", path, i+1)
+		}
+		out = append(out, manifestEntry{line: i + 1, kind: fields[0], name: fields[1], val: fields[2]})
+	}
+	return out, true, nil
+}
+
+func checkManifest(pass *Pass, consts []versionConst) {
+	if len(pass.Pkg.Files) == 0 {
+		return
+	}
+	dir := filepath.Dir(pass.Pkg.Fset.Position(pass.Pkg.Files[0].Pos()).Filename)
+	path := filepath.Join(dir, ManifestName)
+	entries, exists, err := parseManifest(path)
+	if err != nil {
+		pass.ReportAt(token.Position{Filename: path, Line: 1, Column: 1}, "unreadable manifest: %v", err)
+		return
+	}
+	at := func(line int) token.Position {
+		return token.Position{Filename: path, Line: line, Column: 1}
+	}
+	if !exists {
+		if len(consts) == 0 {
+			return // nothing versioned to pin
+		}
+		pass.Reportf(pass.Pkg.Files[0].Pos(),
+			"package has version constants but no %s: run `go run ./cmd/xvlint -writemanifest ./%s` so "+
+				"encode-path edits are tied to a format-version review", ManifestName, relDir(dir))
+		return
+	}
+	byName := map[string]versionConst{}
+	for _, c := range consts {
+		byName[c.name] = c
+	}
+	covered := map[string]bool{}
+	for _, e := range entries {
+		switch e.kind {
+		case "version":
+			covered["v:"+e.name] = true
+			c, ok := byName[e.name]
+			if !ok {
+				pass.ReportAt(at(e.line), "manifest lists constant %s, which no longer exists: regenerate with -writemanifest", e.name)
+				continue
+			}
+			if strconv.FormatInt(c.val, 10) != e.val {
+				pass.ReportAt(at(e.line),
+					"%s changed (%s in the manifest, %d in the code): confirm readers of the old format still "+
+						"work, then regenerate with -writemanifest", e.name, e.val, c.val)
+			}
+		case "file":
+			covered["f:"+e.name] = true
+			sum, err := fileSHA256(filepath.Join(dir, e.name))
+			if err != nil {
+				pass.ReportAt(at(e.line), "manifest lists %s, which is unreadable (%v): regenerate with -writemanifest", e.name, err)
+				continue
+			}
+			if sum != e.val {
+				pass.ReportAt(at(e.line),
+					"encode-path file %s changed without a format-version review: check whether the wire format "+
+						"moved (bump the version constants if so), then regenerate with -writemanifest", e.name)
+			}
+		}
+	}
+	for _, c := range consts {
+		if !covered["v:"+c.name] {
+			pass.Reportf(c.pos, "%s is not recorded in %s: regenerate with -writemanifest", c.name, ManifestName)
+		}
+	}
+	for _, name := range packageGoFiles(dir) {
+		if !covered["f:"+name] {
+			pass.ReportAt(at(1), "%s is not covered by the manifest: regenerate with -writemanifest", name)
+		}
+	}
+}
+
+// WriteManifest regenerates dir/format.manifest for a package with the
+// given version constants; the CLI's -writemanifest flag calls it.
+func WriteManifest(pkg *Package) (string, error) {
+	if len(pkg.Files) == 0 {
+		return "", fmt.Errorf("lint: no files in %s", pkg.Path)
+	}
+	dir := filepath.Dir(pkg.Fset.Position(pkg.Files[0].Pos()).Filename)
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Format manifest for %s, checked by xvlint's vergate analyzer.\n", pkg.Path)
+	b.WriteString("# Regenerate after any deliberate format change: go run ./cmd/xvlint -writemanifest <pkg>\n")
+	for _, c := range versionConsts(pkg) {
+		fmt.Fprintf(&b, "version %s %d\n", c.name, c.val)
+	}
+	for _, name := range packageGoFiles(dir) {
+		sum, err := fileSHA256(filepath.Join(dir, name))
+		if err != nil {
+			return "", fmt.Errorf("lint: %v", err)
+		}
+		fmt.Fprintf(&b, "file %s %s\n", name, sum)
+	}
+	path := filepath.Join(dir, ManifestName)
+	return path, os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// packageGoFiles lists the non-test Go files in dir, sorted.
+func packageGoFiles(dir string) []string {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fileSHA256(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// relDir makes dir relative to the working directory for messages.
+func relDir(dir string) string {
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, dir); err == nil {
+			return rel
+		}
+	}
+	return dir
+}

@@ -30,6 +30,22 @@ func TestErrCloseFixtures(t *testing.T) {
 	linttest.Run(t, "testdata/errclose", lint.ErrClose)
 }
 
+func TestShareMutFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/sharemut", lint.ShareMut)
+}
+
+func TestSnapDisciplineFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/snapdiscipline", lint.SnapDiscipline)
+}
+
+func TestMetricCheckFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/metriccheck", lint.MetricCheck)
+}
+
+func TestVerGateFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/vergate", lint.VerGate)
+}
+
 // TestRepoIsClean runs the full suite over the real codebase: the tree
 // must carry zero outstanding diagnostics, so a change that violates an
 // invariant fails `go test` even before the CI lint job runs.

@@ -326,6 +326,10 @@ func flatCols(v *core.View) []string {
 }
 
 // Relation returns the flat extent of a view, materializing on demand.
+// The returned relation's backing storage is shared with the store's
+// cache and every concurrent reader: callers must clone before mutating.
+//
+//xvlint:sharedreturn
 func (st *Store) Relation(v *core.View) *nrel.Relation {
 	st.mu.RLock()
 	r, ok := st.lookup(v)
@@ -367,6 +371,8 @@ func (st *Store) invalidateBlocks(name string) {
 // immutable and pinned to one extent pointer: after an update replaces the
 // extent, the next call rebuilds. Zone maps persisted in the base segment
 // seed the handle when the extent still has the segment's row order.
+//
+//xvlint:sharedreturn
 func (st *Store) Blocks(v *core.View) *store.Blocks {
 	if v.Nav != nil {
 		return nil
