@@ -58,6 +58,9 @@ func run(args []string, stdout io.Writer) error {
 	compactChain := fs.Int("compactchain", 0, "fold delta chains online once any view's chain reaches this many segments (0: default 16)")
 	compactBytes := fs.Int64("compactbytes", 0, "fold delta chains online once their total size reaches this many bytes (0: default 32 MiB)")
 	noCompact := fs.Bool("nocompact", false, "disable online compaction (chains then grow until xvstore compact)")
+	groupWait := fs.Duration("groupwait", 0, "straggler window: after the first queued update opens a commit group, wait this long for more writers to join before sealing it (0: natural batching only)")
+	groupMax := fs.Int("groupmax", 0, "maximum update requests merged into one commit group (0: default 64)")
+	maxVersions := fs.Int("maxversions", 0, "extent versions retained for in-flight snapshot readers, live version included (0: default 8)")
 	drain := fs.Duration("drain", 15*time.Second, "graceful shutdown drain timeout")
 	slowQuery := fs.Duration("slowquery", 0, "log /query and /update requests slower than this (0: disabled; requires -log)")
 	logDest := fs.String("log", "", "structured JSON log destination: stderr, stdout or a file path (empty: logging off)")
@@ -80,6 +83,7 @@ func run(args []string, stdout io.Writer) error {
 		ReadOnly: *readOnly, MaxUpdateBytes: *maxUpdate, MaxResponseRows: *maxRows,
 		MaxRewritings:   *maxRewritings,
 		CompactMaxChain: *compactChain, CompactMaxBytes: *compactBytes, CompactDisabled: *noCompact,
+		GroupWait: *groupWait, GroupMax: *groupMax, MaxVersions: *maxVersions,
 		SlowQuery: *slowQuery, Logger: logger, TraceRingSize: *traceRing})
 	if err != nil {
 		return err

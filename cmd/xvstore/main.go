@@ -16,9 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -227,6 +229,7 @@ var statsQuantiles = []struct{ metric, label string }{
 	{"xvserve_maintain_seconds", "maintain"},
 	{"xvserve_maintain_apply_seconds", "maintain/apply"},
 	{"xvserve_maintain_persist_seconds", "maintain/persist"},
+	{"xvserve_commit_queue_wait_seconds", "commit/queue-wait"},
 	{"xvserve_compact_seconds", "compact"},
 }
 
@@ -302,7 +305,26 @@ func runStats(args []string, stdout io.Writer) error {
 			q.label, h.Count,
 			quantileString(h, 0.50), quantileString(h, 0.90), quantileString(h, 0.99))
 	}
+	// Group-commit batching: the group-size histogram counts requests per
+	// committed group (a size distribution, not a latency).
+	if h, ok := hists["xvserve_commit_group_size"]; ok && h.Count > 0 {
+		fmt.Fprintf(stdout, "\ncommit groups: n=%d size p50=%s p90=%s p99=%s\n",
+			h.Count, sizeString(h, 0.50), sizeString(h, 0.90), sizeString(h, 0.99))
+	}
 	return nil
+}
+
+// sizeString renders a quantile of a count-valued histogram (group sizes)
+// as an integer: the bucket interpolation yields fractions, but sizes are
+// whole requests, so round up to the containing integer. Overflow bounds
+// are floors, as in quantileString.
+func sizeString(h obs.HistogramSnapshot, q float64) string {
+	v, overflow := h.QuantileBound(q)
+	s := strconv.FormatFloat(math.Ceil(v), 'f', -1, 64)
+	if overflow {
+		return ">" + s
+	}
+	return s
 }
 
 func quantileString(h obs.HistogramSnapshot, q float64) string {

@@ -41,6 +41,17 @@ func statsDaemon(t *testing.T) *httptest.Server {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("warm-up query status %d", resp.StatusCode)
 	}
+	// One update, so the group-commit instruments are non-trivial too.
+	ur, err := http.Post(ts.URL+"/update", "application/json",
+		strings.NewReader(`[{"op":"insert","parent":"1","subtree":"item(name \"pad\")"}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, ur.Body)
+	ur.Body.Close()
+	if ur.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up update status %d", ur.StatusCode)
+	}
 	return ts
 }
 
@@ -54,11 +65,13 @@ func TestRunStatsSummary(t *testing.T) {
 	for _, want := range []string{
 		"queries: 1",
 		"plan_cache_misses: 1",
-		"epoch: 0",
+		"epoch: 1",
 		"phase latencies",
 		"rewrite",
+		"commit/queue-wait",
 		"p50=",
 		"p99=",
+		"commit groups: n=1 size p50=1",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("stats output lacks %q:\n%s", want, got)

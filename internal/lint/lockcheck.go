@@ -30,11 +30,29 @@ import (
 // the analyzer buys is that nobody can call ApplyAndPersist or
 // CompactCatalog from new code without either taking updMu or leaving a
 // reviewable annotation behind.
+//
+// The check also enforces single-goroutine OWNERSHIP domains. A function
+// annotated //xvlint:owner(<name>) is internal to the named domain — the
+// group committer, say — and may only be called from
+//
+//   - another function annotated //xvlint:owner(<name>) with the same
+//     name (committer-internal calls); or
+//   - a call site annotated //xvlint:ownedby(<name>): the domain's
+//     sanctioned entry point, normally the one `go` statement that starts
+//     the owning goroutine.
+//
+// Holding the right mutex does NOT discharge an ownership obligation:
+// the committer owns more than a lock (the document, the batch ordering,
+// the ack protocol), so a handler that locks updMu and applies a batch
+// directly is still wrong — exactly the shape the group-commit refactor
+// removed from handleUpdate.
 var LockCheck = &Analyzer{
 	Name:    "lockcheck",
-	Summary: "//xvlint:requires(mu) functions may only be called with mu held",
+	Summary: "//xvlint:requires(mu) needs mu held; //xvlint:owner(name) functions are goroutine-internal",
 	Doc: "calls to functions annotated //xvlint:requires(mu) must come from callers that hold mu " +
-		"(annotated themselves, a visible mu.Lock(), or an explicit //xvlint:lockheld(mu) waiver)",
+		"(annotated themselves, a visible mu.Lock(), or an explicit //xvlint:lockheld(mu) waiver); " +
+		"calls to functions annotated //xvlint:owner(name) must come from same-owner functions or " +
+		"an //xvlint:ownedby(name) waived site (the owning goroutine's entry point)",
 	Roots: nil, // call sites are checked wherever the annotated functions are reachable
 	Run:   runLockCheck,
 }
@@ -42,7 +60,19 @@ var LockCheck = &Analyzer{
 // lockRequirements collects the program-wide registry of annotated
 // functions: funcKey -> required mutex name.
 func lockRequirements(prog *Program) map[string]string {
-	req := map[string]string{}
+	return funcAnnotations(prog, "requires")
+}
+
+// ownerDomains collects the program-wide ownership registry:
+// funcKey -> owning domain name.
+func ownerDomains(prog *Program) map[string]string {
+	return funcAnnotations(prog, "owner")
+}
+
+// funcAnnotations indexes every function whose doc comment carries the
+// named one-argument directive: funcKey -> argument.
+func funcAnnotations(prog *Program, name string) map[string]string {
+	out := map[string]string{}
 	for _, pkg := range prog.Packages {
 		for _, f := range pkg.Files {
 			for _, decl := range f.Decls {
@@ -50,18 +80,19 @@ func lockRequirements(prog *Program) map[string]string {
 				if !ok {
 					continue
 				}
-				if d, ok := funcDirective(pkg.Fset, fd, "requires"); ok && d.Arg != "" {
-					req[declKey(pkg.Path, fd)] = d.Arg
+				if d, ok := funcDirective(pkg.Fset, fd, name); ok && d.Arg != "" {
+					out[declKey(pkg.Path, fd)] = d.Arg
 				}
 			}
 		}
 	}
-	return req
+	return out
 }
 
 func runLockCheck(pass *Pass) {
 	req := lockRequirements(pass.Prog)
-	if len(req) == 0 {
+	own := ownerDomains(pass.Prog)
+	if len(req) == 0 && len(own) == 0 {
 		return
 	}
 	for _, f := range pass.Pkg.Files {
@@ -70,16 +101,20 @@ func runLockCheck(pass *Pass) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			lockCheckFunc(pass, fd, req)
+			lockCheckFunc(pass, fd, req, own)
 		}
 	}
 }
 
-func lockCheckFunc(pass *Pass, fd *ast.FuncDecl, req map[string]string) {
+func lockCheckFunc(pass *Pass, fd *ast.FuncDecl, req, own map[string]string) {
 	info := pass.Pkg.Info
 	callerHolds := map[string]bool{}
 	if d, ok := funcDirective(pass.Pkg.Fset, fd, "requires"); ok && d.Arg != "" {
 		callerHolds[d.Arg] = true
+	}
+	callerOwner := ""
+	if d, ok := funcDirective(pass.Pkg.Fset, fd, "owner"); ok {
+		callerOwner = d.Arg
 	}
 
 	// Positions at which each mutex name is visibly acquired in this body.
@@ -93,6 +128,14 @@ func lockCheckFunc(pass *Pass, fd *ast.FuncDecl, req map[string]string) {
 		fn := calleeFunc(info, call)
 		if fn == nil {
 			return true
+		}
+		// Ownership first: it is the stronger obligation (a held lock does
+		// not discharge it), and a call can owe both.
+		if owner, ok := own[funcKey(fn)]; ok && callerOwner != owner && !siteOwnedBy(pass.Pkg, call, owner) {
+			pass.Reportf(call.Pos(),
+				"call to %s is internal to the %s goroutine: annotate the caller //xvlint:owner(%s) "+
+					"or mark the goroutine entry point //xvlint:ownedby(%s)",
+				fn.Name(), owner, owner, owner)
 		}
 		mu, ok := req[funcKey(fn)]
 		if !ok {
@@ -157,6 +200,17 @@ func acquiredBefore(positions []token.Pos, pos token.Pos) bool {
 func siteWaived(pkg *Package, call *ast.CallExpr, mu string) bool {
 	for _, d := range pkg.directivesAt(call.Pos()) {
 		if d.Name == "lockheld" && strings.TrimSpace(d.Arg) == mu {
+			return true
+		}
+	}
+	return false
+}
+
+// siteOwnedBy reports an //xvlint:ownedby(owner) annotation at the call
+// site: the sanctioned entry point into an ownership domain.
+func siteOwnedBy(pkg *Package, call *ast.CallExpr, owner string) bool {
+	for _, d := range pkg.directivesAt(call.Pos()) {
+		if d.Name == "ownedby" && strings.TrimSpace(d.Arg) == owner {
 			return true
 		}
 	}

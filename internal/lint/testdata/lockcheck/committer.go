@@ -1,0 +1,67 @@
+// Fixture for lockcheck's ownership extension: //xvlint:owner(name)
+// functions form a single-goroutine domain reachable only from same-owner
+// functions or an //xvlint:ownedby(name) waived site (the `go` statement
+// that starts the owning goroutine). Holding the right mutex does not
+// discharge the obligation.
+package lockcheck
+
+import "sync"
+
+type daemon struct {
+	updMu sync.Mutex
+	q     chan int
+	n     int
+}
+
+// applyAndPersist is the maintenance entry point: committer-internal and
+// additionally serialized by updMu.
+//
+//xvlint:owner(committer)
+//xvlint:requires(updMu)
+func (s *daemon) applyAndPersist() { s.n++ }
+
+// commitLoop is the committer goroutine body.
+//
+//xvlint:owner(committer)
+func (s *daemon) commitLoop() {
+	for range s.q {
+		s.commitGroup()
+	}
+}
+
+// commitGroup is committer-internal: same-owner calls are free.
+//
+//xvlint:owner(committer)
+func (s *daemon) commitGroup() {
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+	s.applyAndPersist()
+}
+
+// start spawns the committer: the one sanctioned entry into the domain.
+func (s *daemon) start() {
+	//xvlint:ownedby(committer) goroutine entry point: this go statement IS the committer
+	go s.commitLoop()
+}
+
+// handleUpdateBuggy reproduces, shape for shape, what the group-commit
+// refactor removed from the /update handler: applying and persisting
+// directly under updMu instead of enqueueing for the committer. The lock
+// discharges the requires obligation but NOT the ownership one.
+func (s *daemon) handleUpdateBuggy() {
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+	s.applyAndPersist() // want `internal to the committer goroutine`
+}
+
+// wrongOwner: membership in a different domain does not help.
+//
+//xvlint:owner(compactor)
+func (s *daemon) wrongOwner() {
+	s.commitGroup() // want `internal to the committer goroutine`
+}
+
+// wrongOwnedBy names the wrong domain: not a sanctioned entry point.
+func (s *daemon) wrongOwnedBy() {
+	go s.commitLoop() //xvlint:ownedby(compactor) // want `internal to the committer goroutine`
+}

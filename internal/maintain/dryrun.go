@@ -1,0 +1,57 @@
+package maintain
+
+import (
+	"fmt"
+
+	"xmlviews/internal/xmltree"
+)
+
+// DryRun validates update batches against a document by actually applying
+// them, with full undo. A group committer uses it to give each queued
+// request its own verdict before sealing a merged batch: requests are
+// validated in queue order against the document as the earlier accepted
+// requests will have left it (an insert under a node a prior request
+// deletes must fail, exactly as the merged apply would fail), then Undo
+// restores the document so the real maintenance pass starts from the
+// original state.
+//
+// A DryRun owns the document between NewDryRun and Undo: callers must not
+// read or mutate it concurrently (the serving layer's single committer
+// goroutine satisfies this by construction).
+type DryRun struct {
+	doc  *xmltree.Document
+	undo []func()
+}
+
+// NewDryRun starts a validation pass over doc.
+func NewDryRun(doc *xmltree.Document) *DryRun {
+	return &DryRun{doc: doc}
+}
+
+// Apply applies one request's updates all-or-nothing: on error the
+// request's own partial effects are rolled back (earlier accepted
+// requests stay applied) and the error identifies the failing update with
+// the same "update %d" wording ComputeDeltas uses, so a request rejected
+// at validation reads identically to one rejected by a solo apply.
+func (d *DryRun) Apply(updates []xmltree.Update) error {
+	var local []func()
+	for i, u := range updates {
+		_, un, err := applyWithUndo(d.doc, u)
+		if err != nil {
+			rollback(local)
+			return fmt.Errorf("maintain: update %d: %w", i, err)
+		}
+		local = append(local, un)
+	}
+	d.undo = append(d.undo, local...)
+	return nil
+}
+
+// Undo restores the document to its state at NewDryRun, reversing every
+// accepted Apply. Node identity is preserved (subtrees are spliced back,
+// not re-parsed), so a subsequent real apply re-derives the same IDs.
+// Undo is idempotent.
+func (d *DryRun) Undo() {
+	rollback(d.undo)
+	d.undo = nil
+}

@@ -1,0 +1,72 @@
+package maintain
+
+import (
+	"strings"
+	"testing"
+
+	"xmlviews/internal/xmltree"
+)
+
+func TestDryRunValidatesInQueueOrder(t *testing.T) {
+	doc := xmltree.MustParseParen(`a(b "1" c "2")`)
+	b := doc.Root.Children[0]
+	c := doc.Root.Children[1]
+	before := doc.Root.String()
+
+	dry := NewDryRun(doc)
+	// Request 1: delete b — accepted.
+	if err := dry.Apply([]xmltree.Update{{Kind: xmltree.UpdateDelete, Target: b.ID}}); err != nil {
+		t.Fatalf("request 1: %v", err)
+	}
+	// Request 2: insert under the node request 1 deleted — must fail,
+	// exactly as the merged apply would.
+	err := dry.Apply([]xmltree.Update{
+		{Kind: xmltree.UpdateInsert, Parent: b.ID, Subtree: xmltree.MustParseParen(`d "3"`)},
+	})
+	if err == nil {
+		t.Fatal("insert under a deleted node validated clean")
+	}
+	if !strings.Contains(err.Error(), "update 0") {
+		t.Fatalf("error %q does not carry the per-update index wording", err)
+	}
+	// Request 3: touch a surviving node — accepted.
+	if err := dry.Apply([]xmltree.Update{{Kind: xmltree.UpdateSetValue, Target: c.ID, Value: "9"}}); err != nil {
+		t.Fatalf("request 3: %v", err)
+	}
+
+	dry.Undo()
+	if got := doc.Root.String(); got != before {
+		t.Fatalf("Undo did not restore the document:\n got %s\nwant %s", got, before)
+	}
+	if doc.Root.Children[0] != b || doc.Root.Children[1] != c {
+		t.Fatal("Undo did not restore node identity")
+	}
+	dry.Undo() // idempotent
+	if got := doc.Root.String(); got != before {
+		t.Fatalf("second Undo corrupted the document: %s", got)
+	}
+}
+
+func TestDryRunApplyIsAllOrNothingPerRequest(t *testing.T) {
+	doc := xmltree.MustParseParen(`a(b "1")`)
+	b := doc.Root.Children[0]
+	before := doc.Root.String()
+
+	dry := NewDryRun(doc)
+	err := dry.Apply([]xmltree.Update{
+		{Kind: xmltree.UpdateSetValue, Target: b.ID, Value: "2"},
+		{Kind: xmltree.UpdateDelete, Target: xmltree.MustParseParen(`z`).Root.ID}, // unknown target
+	})
+	if err == nil {
+		t.Fatal("bad second update validated clean")
+	}
+	// The failing request's first update must have been rolled back even
+	// before Undo.
+	if got := doc.Root.String(); got != before {
+		t.Fatalf("failing request leaked partial effects: %s", got)
+	}
+	dry.Undo()
+	if got := doc.Root.String(); got != before {
+		t.Fatalf("document corrupted after Undo: %s", got)
+	}
+}

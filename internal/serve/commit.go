@@ -1,0 +1,300 @@
+package serve
+
+// Group commit: /update requests no longer apply and persist their batch
+// under a handler-held lock. They enqueue into a commit queue and a
+// single committer goroutine drains it, merging every queued request into
+// one epoch — one summary clone, one diff/splice pass over the
+// concatenated update list, one staged persist + fsync — then acks each
+// waiting request individually. While one group fsyncs, the next group
+// accumulates, so update throughput scales with concurrent writers
+// instead of being 1/latency.
+//
+// Per-request semantics are preserved by validating each request with a
+// dry-run apply (maintain.DryRun) in queue order before the group seals:
+// a malformed request fails alone with 422 and is excluded from the
+// merged batch; the rest of the group still commits. Once sealed, the
+// group commits under a context detached from every member request, so a
+// client disconnect never cancels a commit it joined — the departed
+// request is answered 499 by its handler while the committer finishes
+// the group for everyone else.
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"xmlviews/internal/core"
+	"xmlviews/internal/cost"
+	"xmlviews/internal/maintain"
+	"xmlviews/internal/obs"
+	"xmlviews/internal/view"
+	"xmlviews/internal/xmltree"
+)
+
+// defaultGroupMax caps how many requests merge into one commit group.
+const defaultGroupMax = 64
+
+// commitQueueDepth bounds how many parsed requests can wait for the
+// committer before enqueueing itself blocks (backpressure).
+const commitQueueDepth = 256
+
+// commitReq is one parsed, size-checked /update request waiting for the
+// committer. done is buffered so the committer can ack without ever
+// blocking on a handler that stopped listening (client disconnect).
+type commitReq struct {
+	updates []xmltree.Update
+	tr      *obs.Trace
+	enq     time.Time
+	done    chan commitAck
+}
+
+// commitAck is the committer's per-request verdict: resp on success, an
+// HTTP status and message otherwise.
+type commitAck struct {
+	status int
+	errMsg string
+	resp   *UpdateResponse
+}
+
+func (r *commitReq) ack(a commitAck) { r.done <- a }
+
+func (s *Server) groupMax() int {
+	if s.cfg.GroupMax > 0 {
+		return s.cfg.GroupMax
+	}
+	return defaultGroupMax
+}
+
+// commitLoop is the committer goroutine: it owns the document, the
+// summary, the catalog mutation path and the epoch-scoped cache swap.
+// Every update reaching disk flows through here, one group at a time.
+//
+//xvlint:owner(committer)
+func (s *Server) commitLoop() {
+	defer s.commitWG.Done()
+	for {
+		select {
+		case <-s.commitStop:
+			s.drainQueue()
+			return
+		case first := <-s.commitQ:
+			s.commitGroup(s.collectGroup(first))
+		}
+	}
+}
+
+// collectGroup seals one commit group: the first request plus whatever
+// queued behind it (natural batching — while the previous group fsynced,
+// writers accumulated), topped up during an optional GroupWait straggler
+// window, capped at GroupMax.
+//
+//xvlint:owner(committer)
+func (s *Server) collectGroup(first *commitReq) []*commitReq {
+	group := []*commitReq{first}
+	max := s.groupMax()
+	for len(group) < max {
+		select {
+		case r := <-s.commitQ:
+			group = append(group, r)
+			continue
+		default:
+		}
+		break
+	}
+	if wait := s.cfg.GroupWait; wait > 0 && len(group) < max {
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+	straggle:
+		for len(group) < max {
+			select {
+			case r := <-s.commitQ:
+				group = append(group, r)
+			case <-timer.C:
+				break straggle
+			case <-s.commitStop:
+				break straggle
+			}
+		}
+	}
+	return group
+}
+
+// drainQueue answers every request still queued at shutdown; none of them
+// joined a sealed group, so refusing them is exact.
+//
+//xvlint:owner(committer)
+func (s *Server) drainQueue() {
+	for {
+		select {
+		case r := <-s.commitQ:
+			r.ack(commitAck{status: http.StatusServiceUnavailable, errMsg: "server is shutting down"})
+		default:
+			return
+		}
+	}
+}
+
+// commitGroup validates each member request, merges the accepted ones
+// into one batch, applies and persists it as one epoch, swaps the
+// epoch-scoped caches, and acks every member with its own result.
+//
+//xvlint:owner(committer)
+func (s *Server) commitGroup(group []*commitReq) {
+	now := time.Now()
+	for _, r := range group {
+		s.met.queueWait.ObserveDuration(now.Sub(r.enq))
+	}
+	if s.degraded.Load() {
+		for _, r := range group {
+			r.ack(commitAck{status: http.StatusServiceUnavailable,
+				errMsg: "updates disabled: an earlier batch was applied in memory but not persisted; restart the server against the store directory"})
+		}
+		return
+	}
+
+	// updMu serializes the commit against the online compactor (catalog
+	// mutation and segment files must not interleave with a fold).
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+	if s.st.Document() == nil {
+		if err := s.loadDocument(); err != nil {
+			for _, r := range group {
+				r.ack(commitAck{status: http.StatusConflict, errMsg: "store is not updatable: " + err.Error()})
+			}
+			return
+		}
+	}
+
+	// Per-request validation, in queue order, against the document as the
+	// earlier accepted requests will have left it: an insert under a node
+	// an earlier request deletes must fail exactly as the merged apply
+	// would. Rejected requests fail alone; the group commits without them.
+	dry := maintain.NewDryRun(s.st.Document())
+	var live []*commitReq
+	var merged []xmltree.Update
+	for _, r := range group {
+		if err := dry.Apply(r.updates); err != nil {
+			r.ack(commitAck{status: http.StatusUnprocessableEntity, errMsg: err.Error()})
+			continue
+		}
+		live = append(live, r)
+		merged = append(merged, r.updates...)
+	}
+	dry.Undo()
+	if len(live) == 0 {
+		return
+	}
+
+	// The group is sealed: commit under a trace and context detached from
+	// every member request, so a departing client cannot cancel work its
+	// groupmates depend on. The group trace's spans are fanned out to each
+	// member's trace below.
+	gtr := obs.NewTrace(obs.NewRequestID())
+	ctx := obs.WithTrace(context.Background(), gtr)
+
+	start := time.Now()
+	res, err := view.ApplyAndPersistStaged(ctx, s.cfg.Dir, s.cat, s.st, merged,
+		func(res *view.UpdateResult) {
+			// The merged batch is applied: the store installed the new
+			// extent version. Swap the epoch-scoped caches immediately —
+			// plans and containment verdicts computed under the old summary
+			// must not survive, and queries pin store version and caches
+			// together (see snapshot), so the swap must not wait out the
+			// disk persist. If the persist then fails, memory ahead of disk
+			// is the degraded state handled below.
+			s.mu.Lock()
+			s.sum = res.Summary
+			s.subsume = core.NewSubsumeCache(0)
+			s.plans = newPlanCache(s.cfg.PlanCacheSize)
+			s.est = cost.NewEstimator(cost.FromCatalog(s.cat, res.Summary))
+			s.cacheEpoch = res.Epoch
+			s.mu.Unlock()
+			s.met.invalidations.Inc()
+		})
+	// The pipeline recorded "apply", "persist" and "catalog" spans on the
+	// group trace (plus the engine's diff/splice aggregates under apply);
+	// feed the phase histograms from the same measurements.
+	if d := gtr.SpanTotal("apply"); d > 0 {
+		s.met.applySeconds.ObserveDuration(d)
+	}
+	if d := gtr.SpanTotal("persist") + gtr.SpanTotal("catalog"); d > 0 {
+		s.met.persistSeconds.ObserveDuration(d)
+	}
+	var perr *view.PersistError
+	if err != nil && !errors.As(err, &perr) {
+		// Validation accepted the group but the maintenance engine did
+		// not; memory and directory are unchanged (the visibility hook
+		// only runs after a successful apply), so the whole group fails
+		// without degrading the server.
+		for _, r := range live {
+			r.ack(commitAck{status: http.StatusUnprocessableEntity, errMsg: err.Error()})
+		}
+		return
+	}
+	s.met.updates.Add(int64(len(live)))
+	s.met.groupCommits.Inc()
+	s.met.groupSize.Observe(float64(len(live)))
+	for _, c := range res.Changed {
+		s.met.tuplesAdded.Add(int64(c.Adds))
+		s.met.tuplesDeleted.Add(int64(c.Dels))
+	}
+	dur := time.Since(start)
+	s.met.maintainSeconds.ObserveDuration(dur)
+	gtr.AddSpan("maintain", start, dur)
+	gtr.Annotate("epoch", strconv.FormatInt(res.Epoch, 10))
+	gtr.Annotate("group_size", strconv.Itoa(len(live)))
+
+	if perr != nil {
+		s.degraded.Store(true)
+		s.log.Error("update group applied in memory but not persisted; updates disabled",
+			slog.String("group_trace", gtr.ID), slog.Int("group_size", len(live)),
+			slog.String("error", perr.Error()))
+		for _, r := range live {
+			s.fanOutSpans(r, gtr)
+			r.ack(commitAck{status: http.StatusInternalServerError,
+				errMsg: perr.Error() + "; queries keep serving the applied batch from memory, further updates are disabled"})
+		}
+		return
+	}
+	// The group persisted: the catalog now carries the new row counts, so
+	// refresh the cost estimator built eagerly in the visibility hook
+	// (same summary, fresher cardinalities).
+	s.mu.Lock()
+	s.est = cost.NewEstimator(cost.FromCatalog(s.cat, res.Summary))
+	s.mu.Unlock()
+	// The delta chains grew by one segment per changed view. Refresh the
+	// gauges (updMu is held) and wake the compactor when the policy trips.
+	s.refreshChainGauges()
+	if !s.cfg.CompactDisabled && s.overThreshold() {
+		s.signalCompact()
+	}
+	changed := res.Changed
+	if changed == nil {
+		changed = []view.ChangedView{}
+	}
+	for _, r := range live {
+		s.fanOutSpans(r, gtr)
+		r.ack(commitAck{resp: &UpdateResponse{
+			Epoch:          res.Epoch,
+			Applied:        len(r.updates),
+			Changed:        changed,
+			Skipped:        res.Skipped,
+			MaintainMicros: dur.Microseconds(),
+			GroupSize:      len(live),
+		}})
+	}
+}
+
+// fanOutSpans copies the group trace's committer-phase spans onto one
+// member request's trace, preserving absolute timing, so per-request
+// traces (ring, slow log, trace=1) still show apply/persist/catalog
+// phases under group commit.
+func (s *Server) fanOutSpans(r *commitReq, gtr *obs.Trace) {
+	for _, sp := range gtr.Spans() {
+		r.tr.AddSpan(sp.Name, gtr.Begin.Add(sp.Start), sp.Dur)
+	}
+	r.tr.Annotate("group_trace", gtr.ID)
+}

@@ -35,11 +35,14 @@ type metricsSet struct {
 	planMisses  *obs.Counter
 	rowsServed  *obs.Counter
 
-	// Update-path counters.
+	// Update-path counters. groupCommits counts committed groups (one
+	// epoch each); updates counts the member requests, so
+	// updates/groupCommits is the realized batching factor.
 	updates       *obs.Counter
 	tuplesAdded   *obs.Counter
 	tuplesDeleted *obs.Counter
 	invalidations *obs.Counter
+	groupCommits  *obs.Counter
 
 	// Compaction counters.
 	compactions      *obs.Counter
@@ -61,6 +64,11 @@ type metricsSet struct {
 	applySeconds    *obs.Histogram
 	persistSeconds  *obs.Histogram
 	compactSeconds  *obs.Histogram
+	// Group-commit instruments: how many requests each committed group
+	// merged (a size distribution, not a latency), and how long requests
+	// waited in the commit queue before their group sealed.
+	groupSize *obs.Histogram
+	queueWait *obs.Histogram
 
 	// Delta-chain gauges, refreshed after every update and compaction.
 	maxChain   *obs.Gauge
@@ -92,6 +100,7 @@ func newMetricsSet(r *obs.Registry) *metricsSet {
 		tuplesAdded:   r.Counter("xvserve_tuples_added_total", "Tuples added to view extents by updates."),
 		tuplesDeleted: r.Counter("xvserve_tuples_deleted_total", "Tuples deleted from view extents by updates."),
 		invalidations: r.Counter("xvserve_cache_invalidations_total", "Epoch advances that dropped the plan and subsume caches."),
+		groupCommits:  r.Counter("xvserve_group_commits_total", "Committed update groups (one epoch, one fsync each)."),
 
 		compactions:      r.Counter("xvserve_compactions_total", "Online compaction runs that folded at least one chain."),
 		compactFolded:    r.Counter("xvserve_compact_segments_folded_total", "Delta segments folded into base segments."),
@@ -107,6 +116,9 @@ func newMetricsSet(r *obs.Registry) *metricsSet {
 		applySeconds:    r.Histogram("xvserve_maintain_apply_seconds", "In-memory maintenance latency of update batches (diff + splice).", nil),
 		persistSeconds:  r.Histogram("xvserve_maintain_persist_seconds", "Disk persistence latency of update batches (delta and document writes).", nil),
 		compactSeconds:  r.Histogram("xvserve_compact_seconds", "Online compaction latency under the update lock.", nil),
+		groupSize: r.Histogram("xvserve_commit_group_size", "Requests merged per committed group.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
+		queueWait: r.Histogram("xvserve_commit_queue_wait_seconds", "Time update requests waited in the commit queue before their group sealed.", nil),
 
 		maxChain:   r.Gauge("xvserve_max_delta_chain", "Longest per-view delta chain, in segments."),
 		deltaBytes: r.Gauge("xvserve_delta_bytes", "Total size of all delta segments, in bytes."),

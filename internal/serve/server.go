@@ -31,6 +31,7 @@ import (
 	"math"
 	"net/http"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -84,6 +85,21 @@ type Config struct {
 	// until an offline `xvstore compact`). Read-only servers never
 	// compact.
 	CompactDisabled bool
+	// GroupWait is how long the committer holds a commit group open for
+	// straggler requests after the first one arrives. 0 commits with
+	// natural batching only: whatever queued while the previous group
+	// persisted joins the next group. A small window (hundreds of
+	// microseconds) trades a little latency for larger groups — fewer
+	// fsyncs — under bursty writers.
+	GroupWait time.Duration
+	// GroupMax caps how many requests merge into one commit group
+	// (<= 0: default 64).
+	GroupMax int
+	// MaxVersions bounds the store's MVCC retention window: at most this
+	// many extent versions (live + retained for pinned readers) are
+	// tracked; beyond it the oldest is force-released (still-pinned
+	// snapshots keep reading safely). <= 0: view.DefaultMaxVersions.
+	MaxVersions int
 	// SlowQuery, when > 0, logs every /query or /update slower than this
 	// threshold as one structured log line carrying the request id, the
 	// trace's annotations and its span timings.
@@ -116,25 +132,33 @@ type Server struct {
 	started time.Time
 
 	// mu guards the epoch-scoped state: the summary (updates can change
-	// it) and the plan/subsume caches, which are swapped wholesale when
-	// the epoch advances. An update holds the write lock across the whole
-	// apply-and-swap, so a query's snapshot (caches + frozen extents) is
-	// always internally consistent.
-	mu      sync.RWMutex
-	sum     *summary.Summary
-	subsume *core.SubsumeCache
-	plans   *planCache
-	est     *cost.Estimator
+	// it), the plan/subsume caches, and cacheEpoch — the store epoch the
+	// caches were built for. The committer swaps them wholesale after
+	// installing a new store version; snapshot() pins store version and
+	// caches together, retrying across the brief swap window, so a
+	// query's snapshot is always internally consistent without readers
+	// ever waiting out an apply or fsync.
+	mu         sync.RWMutex
+	sum        *summary.Summary
+	subsume    *core.SubsumeCache
+	plans      *planCache
+	est        *cost.Estimator
+	cacheEpoch int64
 
-	// updMu serializes update batches end-to-end (memory apply + disk
-	// persist), so delta chains append in epoch order. The online
-	// compactor takes the same lock, making compaction atomic with
-	// respect to catalog mutation and persistence. degraded is set when a
-	// batch was applied in memory but could not be persisted; further
-	// updates are refused so the directory's delta chains never skip an
-	// epoch.
-	updMu    sync.Mutex
-	degraded atomic.Bool
+	// The commit queue: /update handlers enqueue parsed requests and a
+	// single committer goroutine (commitLoop, see commit.go) drains it,
+	// merging queued requests into one group-committed epoch. updMu is
+	// committer-internal — it serializes commits against the online
+	// compactor (catalog mutation and segment files must not interleave
+	// with a fold); handlers never take it and never touch the document,
+	// catalog or persist path directly. degraded is set when a batch was
+	// applied in memory but could not be persisted; further updates are
+	// refused so the directory's delta chains never skip an epoch.
+	commitQ    chan *commitReq
+	commitStop chan struct{}
+	commitWG   sync.WaitGroup
+	updMu      sync.Mutex
+	degraded   atomic.Bool
 
 	// Online compaction: updates signal compactCh when the delta chains
 	// cross the policy thresholds; a background goroutine folds them.
@@ -171,6 +195,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.SetMaxVersions(cfg.MaxVersions)
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -188,11 +213,14 @@ func New(cfg Config) (*Server, error) {
 		started:     time.Now(),
 		compactCh:   make(chan struct{}, 1),
 		compactStop: make(chan struct{}),
+		commitQ:     make(chan *commitReq, commitQueueDepth),
+		commitStop:  make(chan struct{}),
 		reg:         reg,
 		met:         newMetricsSet(reg),
 		ring:        obs.NewRing(cfg.TraceRingSize),
 		log:         logger,
 	}
+	s.cacheEpoch = st.Epoch()
 	s.registerGauges()
 	obs.RegisterRuntimeMetrics(reg)
 	// Uncontended here (nothing else has the *Server yet), but taking the
@@ -200,6 +228,11 @@ func New(cfg Config) (*Server, error) {
 	s.updMu.Lock()
 	s.refreshChainGauges()
 	s.updMu.Unlock()
+	if !cfg.ReadOnly {
+		s.commitWG.Add(1)
+		//xvlint:ownedby(committer) goroutine entry point: this go statement IS the committer
+		go s.commitLoop()
+	}
 	if !cfg.ReadOnly && !cfg.CompactDisabled {
 		s.compactWG.Add(1)
 		go s.compactLoop()
@@ -236,16 +269,24 @@ func (s *Server) registerGauges() {
 			defer s.mu.RUnlock()
 			return float64(s.subsume.Len())
 		})
+	s.reg.GaugeFunc("xvserve_commit_queue_depth", "Update requests waiting in the commit queue.",
+		func() float64 { return float64(len(s.commitQ)) })
+	s.reg.GaugeFunc("xvserve_store_versions", "MVCC extent versions the store tracks (live + retained for pinned readers).",
+		func() float64 { return float64(s.st.Versions()) })
 	s.reg.GaugeFunc("xvserve_views", "Materialized views served.",
 		func() float64 { return float64(len(s.views)) })
 	s.reg.GaugeFunc("xvserve_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.started).Seconds() })
 }
 
-// Close stops the background compactor. The HTTP handler remains usable;
-// chains then only compact offline.
+// Close stops the committer and the background compactor. The HTTP
+// handler remains usable for reads; /update requests still queued when
+// the committer stops are answered 503, and chains then only compact
+// offline.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		close(s.commitStop)
+		s.commitWG.Wait()
 		close(s.compactStop)
 		s.compactWG.Wait()
 	})
@@ -354,7 +395,8 @@ func (s *Server) Handler() http.Handler {
 }
 
 // epochState is a consistent snapshot of one epoch: the summary, the
-// caches keyed to it, and the store's extents frozen at it.
+// caches keyed to it, and the store's extents pinned at it. Callers must
+// Release st when done so the store can drop superseded MVCC versions.
 type epochState struct {
 	sum     *summary.Summary
 	subsume *core.SubsumeCache
@@ -365,10 +407,21 @@ type epochState struct {
 }
 
 func (s *Server) snapshot() epochState {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st := s.st.Snapshot()
-	return epochState{sum: s.sum, subsume: s.subsume, plans: s.plans, est: s.est, st: st, epoch: st.Epoch()}
+	for {
+		s.mu.RLock()
+		es := epochState{sum: s.sum, subsume: s.subsume, plans: s.plans, est: s.est, epoch: s.cacheEpoch}
+		st := s.st.Snapshot()
+		s.mu.RUnlock()
+		if st.Epoch() == es.epoch {
+			es.st = st
+			return es
+		}
+		// The committer installed a new store version between the cache
+		// read and the pin; drop the pin and retry against the swapped
+		// caches (the swap is a few assignments away — see commitGroup).
+		st.Release()
+		runtime.Gosched()
+	}
 }
 
 // QueryResponse is the JSON answer to /query.
@@ -480,6 +533,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	tr := obs.FromContext(ctx)
 	snapStart := time.Now()
 	es := s.snapshot()
+	defer es.st.Release()
 	snapDur := time.Since(snapStart)
 	s.met.snapshotSeconds.ObserveDuration(snapDur)
 	tr.AddSpan("snapshot", snapStart, snapDur)
@@ -708,8 +762,11 @@ type UpdateResponse struct {
 	Changed []view.ChangedView `json:"changed"`
 	Skipped int                `json:"skipped"`
 	// MaintainMicros is the end-to-end maintenance latency (apply +
-	// persist).
+	// persist) of the commit group the request rode in.
 	MaintainMicros int64 `json:"maintain_us"`
+	// GroupSize is the number of requests the committing group merged into
+	// this epoch (1 for a solo commit).
+	GroupSize int `json:"group_size"`
 }
 
 const defaultMaxUpdateBytes = 8 << 20
@@ -751,86 +808,43 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Hand the parsed request to the committer (commit.go): it merges
+	// queued requests into one group-committed epoch and acks each with
+	// its own verdict. The handler only enqueues and waits — it never
+	// touches the document, the catalog or the persist path.
 	ctx := r.Context()
 	tr := obs.FromContext(ctx)
 	tr.Annotate("updates", strconv.Itoa(len(updates)))
-	start := time.Now()
-	s.updMu.Lock()
-	defer s.updMu.Unlock()
-	if s.st.Document() == nil {
-		if err := s.loadDocument(); err != nil {
-			s.fail(w, r, http.StatusConflict, "store is not updatable: %v", err)
+	req := &commitReq{updates: updates, tr: tr, enq: time.Now(), done: make(chan commitAck, 1)}
+	select {
+	case s.commitQ <- req:
+	case <-s.commitStop:
+		s.fail(w, r, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	case <-ctx.Done():
+		// Not queued yet, so nothing commits on this request's behalf.
+		s.clientGone(w, r, "client closed request before the update was queued")
+		return
+	}
+	select {
+	case ack := <-req.done:
+		if ack.resp != nil {
+			tr.Annotate("epoch", strconv.FormatInt(ack.resp.Epoch, 10))
+			writeJSON(w, http.StatusOK, ack.resp)
 			return
 		}
+		s.fail(w, r, ack.status, "%s", ack.errMsg)
+	case <-ctx.Done():
+		// The client left while its request was queued or committing. The
+		// committer is NOT cancelled — the group the request joined
+		// commits for everyone else (the ack lands in the buffered done
+		// channel unread); only this response reports the disconnect.
+		s.clientGone(w, r, "client closed request while the update was committing")
+	case <-s.commitStop:
+		// Shutdown raced the commit; the group may or may not have
+		// committed, the client must retry against the reopened store.
+		s.fail(w, r, http.StatusServiceUnavailable, "server is shutting down")
 	}
-	// Hold the epoch lock across apply + cache swap, so no query can
-	// observe post-batch extents with pre-batch caches (or vice versa).
-	s.mu.Lock()
-	res, err := view.ApplyAndPersistCtx(ctx, s.cfg.Dir, s.cat, s.st, updates)
-	if tr != nil {
-		// The pipeline recorded "apply", "persist" and "catalog" spans on
-		// the trace (plus the engine's diff/splice aggregates under apply);
-		// feed the phase histograms from the same measurements.
-		if d := tr.SpanTotal("apply"); d > 0 {
-			s.met.applySeconds.ObserveDuration(d)
-		}
-		if d := tr.SpanTotal("persist") + tr.SpanTotal("catalog"); d > 0 {
-			s.met.persistSeconds.ObserveDuration(d)
-		}
-	}
-	var perr *view.PersistError
-	if err != nil && !errors.As(err, &perr) {
-		// The batch did not apply; memory and directory are unchanged.
-		s.mu.Unlock()
-		s.fail(w, r, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	// The batch applied in memory: advance the epoch-scoped caches —
-	// plans and containment verdicts computed under the old summary must
-	// not survive — whether or not the persist succeeded.
-	s.sum = res.Summary
-	s.subsume = core.NewSubsumeCache(0)
-	s.plans = newPlanCache(s.cfg.PlanCacheSize)
-	// Refresh the cost estimator with the rebuilt summary's statistics and
-	// the catalog's new row counts. (On a persist failure the catalog kept
-	// its old counts; the summary statistics are still current, and the
-	// server is degraded anyway.)
-	s.est = cost.NewEstimator(cost.FromCatalog(s.cat, res.Summary))
-	s.mu.Unlock()
-	s.met.invalidations.Inc()
-	s.met.updates.Inc()
-	for _, c := range res.Changed {
-		s.met.tuplesAdded.Add(int64(c.Adds))
-		s.met.tuplesDeleted.Add(int64(c.Dels))
-	}
-	dur := time.Since(start)
-	s.met.maintainSeconds.ObserveDuration(dur)
-	tr.AddSpan("maintain", start, dur)
-	tr.Annotate("epoch", strconv.FormatInt(res.Epoch, 10))
-	if perr != nil {
-		s.degraded.Store(true)
-		s.log.Error("update batch applied in memory but not persisted; updates disabled",
-			slog.String("request_id", requestID(r)), slog.String("error", perr.Error()))
-		s.fail(w, r, http.StatusInternalServerError,
-			"%v; queries keep serving the applied batch from memory, further updates are disabled", perr)
-		return
-	}
-	// The batch persisted: the delta chains grew. Refresh the gauges
-	// (updMu is held) and wake the compactor when the policy trips.
-	s.refreshChainGauges()
-	if !s.cfg.CompactDisabled && s.overThreshold() {
-		s.signalCompact()
-	}
-	if res.Changed == nil {
-		res.Changed = []view.ChangedView{}
-	}
-	writeJSON(w, http.StatusOK, &UpdateResponse{
-		Epoch:          res.Epoch,
-		Applied:        len(updates),
-		Changed:        res.Changed,
-		Skipped:        res.Skipped,
-		MaintainMicros: dur.Microseconds(),
-	})
 }
 
 // loadDocument attaches the persisted source document to the open store;
@@ -950,6 +964,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		rate = float64(hits) / float64(hits+misses)
 	}
 	es := s.snapshot()
+	defer es.st.Release()
 	writeJSON(w, http.StatusOK, &Stats{
 		UptimeSeconds:         time.Since(s.started).Seconds(),
 		Views:                 len(s.views),

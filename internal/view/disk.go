@@ -84,7 +84,8 @@ func OpenStore(dir string, views []*core.View) (*Store, error) {
 // Each extent is its base segment with the entry's delta chain replayed
 // over it, oldest first.
 func OpenStoreWithCatalog(dir string, cat *store.Catalog, views []*core.View) (*Store, error) {
-	st := &Store{views: views, epoch: cat.Epoch, rels: map[string]*nrel.Relation{}, prepared: map[string]*nrel.Relation{}}
+	st := &Store{views: views, blocks: newBlockCache(),
+		cur: &extentVersion{epoch: cat.Epoch, rels: map[string]*nrel.Relation{}, prepared: map[string]*nrel.Relation{}}}
 	for _, v := range views {
 		e := cat.Entry(v.Name)
 		if e == nil {
@@ -101,10 +102,10 @@ func OpenStoreWithCatalog(dir string, cat *store.Catalog, views []*core.View) (*
 			// The extent keeps the segment's row order, so the persisted
 			// zone maps describe it exactly; replayed deltas reorder rows
 			// and void them (Blocks recomputes zones in that case).
-			if st.zoneSeeds == nil {
-				st.zoneSeeds = map[string]*store.ZoneMap{}
+			if st.cur.zoneSeeds == nil {
+				st.cur.zoneSeeds = map[string]*store.ZoneMap{}
 			}
-			st.zoneSeeds[v.Name] = zones
+			st.cur.zoneSeeds[v.Name] = zones
 		}
 		for _, d := range e.Deltas {
 			adds, dels, err := store.ReadDeltaFile(filepath.Join(dir, d.Segment))
@@ -121,7 +122,7 @@ func OpenStoreWithCatalog(dir string, cat *store.Catalog, views []*core.View) (*
 			return nil, fmt.Errorf("view: extent %q has %d rows after %d delta(s), catalog says %d",
 				v.Name, rel.Len(), len(e.Deltas), e.Rows)
 		}
-		st.rels[v.Name] = rel
+		st.cur.rels[v.Name] = rel
 	}
 	return st, nil
 }

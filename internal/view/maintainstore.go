@@ -83,6 +83,21 @@ func ApplyAndPersist(dir string, cat *store.Catalog, st *Store, updates []xmltre
 //
 //xvlint:requires(updMu)
 func ApplyAndPersistCtx(ctx context.Context, dir string, cat *store.Catalog, st *Store, updates []xmltree.Update) (*UpdateResult, error) {
+	//xvlint:lockheld(updMu) annotated wrapper: every caller of ApplyAndPersistCtx already holds or waives updMu
+	return ApplyAndPersistStaged(ctx, dir, cat, st, updates, nil)
+}
+
+// ApplyAndPersistStaged is ApplyAndPersistCtx with a visibility hook:
+// onApplied (when non-nil) runs after the batch is applied to the
+// in-memory store — the new extent version is installed and the result
+// (epoch, per-view deltas, rebuilt summary) is complete — but before any
+// file write. A serving layer uses it to swap its epoch-scoped caches the
+// moment the new epoch is readable, so queries never wait out the disk
+// persist; if the persist then fails, memory being ahead of disk is
+// exactly the *PersistError / degraded-mode state.
+//
+//xvlint:requires(updMu)
+func ApplyAndPersistStaged(ctx context.Context, dir string, cat *store.Catalog, st *Store, updates []xmltree.Update, onApplied func(*UpdateResult)) (*UpdateResult, error) {
 	endApply := obs.StartSpan(ctx, "apply")
 	batch, err := st.ApplyUpdatesCtx(ctx, updates)
 	endApply()
@@ -91,6 +106,14 @@ func ApplyAndPersistCtx(ctx context.Context, dir string, cat *store.Catalog, st 
 	}
 	epoch := st.Epoch()
 	res := &UpdateResult{Epoch: epoch, Skipped: len(batch.Skipped), Summary: batch.Summary}
+	for _, d := range batch.Deltas {
+		res.Changed = append(res.Changed, ChangedView{
+			Name: d.View.Name, Adds: d.Adds.Len(), Dels: d.Dels.Len(), Rows: d.New.Len(),
+		})
+	}
+	if onApplied != nil {
+		onApplied(res)
+	}
 	endPersist := obs.StartSpan(ctx, "persist")
 	// Stage: write every delta file before touching the catalog object.
 	type staged struct {
@@ -114,9 +137,6 @@ func ApplyAndPersistCtx(ctx context.Context, dir string, cat *store.Catalog, st 
 		}
 		stage = append(stage, staged{entry: e, rows: d.New.Len(),
 			ref: store.DeltaRef{Segment: seg, Adds: d.Adds.Len(), Dels: d.Dels.Len(), Bytes: n, Epoch: epoch}})
-		res.Changed = append(res.Changed, ChangedView{
-			Name: d.View.Name, Adds: d.Adds.Len(), Dels: d.Dels.Len(), Rows: d.New.Len(),
-		})
 	}
 	docSeg := cat.DocSegment
 	if docSeg == "" {

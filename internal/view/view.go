@@ -115,46 +115,146 @@ func renameToSlots(p *pattern.Pattern, rel *nrel.Relation, slotMap func(int) int
 // SlotCol names the column of slot k's attribute.
 func SlotCol(k int, attr string) string { return fmt.Sprintf("s%d.%s", k, attr) }
 
-// Store holds materialized (flat) view extents by name. Prepared views
-// (those carrying reasoning-only virtual attributes) are cached separately
-// because their column naming differs from the stored definition's.
-//
-// A Store is safe for concurrent use: lazy materialization is guarded by a
-// read-write mutex with double-checked lookup, so many goroutines can
-// execute plans against one store. ApplyUpdates mutates the document and
-// every affected extent under the same write lock, so each individual
-// Relation read is atomic with respect to a batch; a plan scanning
-// several views concurrently with updates should execute against a
-// Snapshot, which freezes all extents at one epoch.
-type Store struct {
-	mu    sync.RWMutex
-	doc   *xmltree.Document // nil for disk-backed stores (OpenStore)
-	views []*core.View
+// DefaultMaxVersions bounds how many extent versions a store tracks (the
+// live one plus retained superseded ones) when SetMaxVersions has not
+// been called.
+const DefaultMaxVersions = 8
+
+// extentVersion is one immutable set of view extents, tagged with the
+// maintenance epoch that produced it. Versions are never mutated after
+// installation: every change to the live store clones the maps and
+// installs a fresh version, so a pinned version reads consistently
+// forever.
+type extentVersion struct {
 	epoch int64
-	rels  map[string]*nrel.Relation
-	// msum is the incrementally maintained summary, built lazily on the
-	// first update batch and advanced with each one, so per-batch summary
-	// cost is O(change), not O(document).
-	msum *summary.Maintained
-	// sortedExt records that every base-view extent is key-sorted (the
-	// maintenance engine's splice invariant); established copy-on-write
-	// when updates begin.
-	sortedExt bool
-	// prepared is keyed by the view's name plus canonical pattern text, not
-	// by *core.View: the rewriter clones views on every call, and a
-	// long-running server would otherwise accumulate one cache entry per
-	// clone. Two prepared views with equal name and pattern text have
-	// byte-identical extents.
+	// sorted records that every base-view extent in this version is
+	// key-sorted (the maintenance engine's splice invariant); established
+	// copy-on-write when updates begin.
+	sorted   bool
+	rels     map[string]*nrel.Relation
 	prepared map[string]*nrel.Relation
-	// blocks caches columnar block handles per base view. Each handle
-	// records the exact relation it was built over; a cached handle is
-	// served only while st.rels still holds that pointer, so updates (which
-	// swap extent pointers) can never leak stale vectors.
-	blocks map[string]*store.Blocks
 	// zoneSeeds holds zone maps read from base segments at open time, valid
 	// only while the extent keeps the segment's row order (no replayed
-	// deltas, no re-sort); dropped on the first invalidation.
+	// deltas, no re-sort); dropped from the successor version on the first
+	// invalidation.
 	zoneSeeds map[string]*store.ZoneMap
+	// refs counts snapshots pinning this version; guarded by the owning
+	// Store's mu.
+	refs int
+}
+
+// clone copies the version's maps so a successor can diverge without
+// touching pinned readers.
+func (v *extentVersion) clone() *extentVersion {
+	nv := &extentVersion{epoch: v.epoch, sorted: v.sorted,
+		rels:     make(map[string]*nrel.Relation, len(v.rels)),
+		prepared: make(map[string]*nrel.Relation, len(v.prepared))}
+	for k, r := range v.rels {
+		nv.rels[k] = r
+	}
+	for k, r := range v.prepared {
+		nv.prepared[k] = r
+	}
+	if len(v.zoneSeeds) > 0 {
+		nv.zoneSeeds = make(map[string]*store.ZoneMap, len(v.zoneSeeds))
+		for k, z := range v.zoneSeeds {
+			nv.zoneSeeds[k] = z
+		}
+	}
+	return nv
+}
+
+// lookupIn checks a version's extent maps for the view.
+func lookupIn(ver *extentVersion, v *core.View) (*nrel.Relation, bool) {
+	if v.Stored != nil {
+		r, ok := ver.prepared[preparedKey(v)]
+		return r, ok
+	}
+	r, ok := ver.rels[v.Name]
+	return r, ok
+}
+
+// blockCache caches columnar block handles across extent versions; it is
+// shared by a live store and all its snapshots. Each handle records the
+// exact relation it was built over (Blocks.Rel), so a cached handle is
+// served only to a caller holding that same relation pointer — an entry
+// left behind by a superseded version is just a miss, overwritten by the
+// next build. Nil-safe so zero-value Stores degrade to uncached builds.
+type blockCache struct {
+	mu sync.Mutex
+	m  map[string]*store.Blocks
+}
+
+func newBlockCache() *blockCache { return &blockCache{m: map[string]*store.Blocks{}} }
+
+func (c *blockCache) get(key string, rel *nrel.Relation) *store.Blocks {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b := c.m[key]; b != nil && b.Rel == rel {
+		return b
+	}
+	return nil
+}
+
+func (c *blockCache) put(key string, b *store.Blocks) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.m[key] = b
+	c.mu.Unlock()
+}
+
+// Store holds materialized (flat) view extents by name, multi-versioned:
+// the live extent set is an immutable extentVersion, and every mutation
+// (an update batch, a lazy materialization, a Put) installs a fresh
+// version copy-on-write. Snapshot pins the live version in O(1) and
+// readers execute whole plans against the pin while ApplyUpdates installs
+// successors without waiting for them; a superseded version is retained
+// until its last pin drops (Release), within a bounded window (see
+// SetMaxVersions) so slow readers can never make the store accumulate
+// versions without bound.
+//
+// Prepared views (those carrying reasoning-only virtual attributes) are
+// cached separately because their column naming differs from the stored
+// definition's.
+//
+// A Store is safe for concurrent use by readers and one updater: lazy
+// materialization uses double-checked locking, so many goroutines can
+// execute plans against one store. Callers that apply updates must
+// serialize ApplyUpdates calls among themselves (delta chains append in
+// epoch order) and must not concurrently materialize from the live
+// document — serving layers route all mutation through one committer
+// goroutine and read through Snapshot, which never touches the document.
+type Store struct {
+	mu    sync.RWMutex
+	doc   *xmltree.Document // nil for disk-backed stores (OpenStore) and snapshots
+	views []*core.View
+	// msum is the incrementally maintained summary, built lazily on the
+	// first update batch and advanced with each one, so per-batch summary
+	// cost is O(change), not O(document). Owned by the updater.
+	msum *summary.Maintained
+	// cur is the live extent version; guarded by mu.
+	cur *extentVersion
+	// retained holds superseded versions still pinned by snapshots, oldest
+	// first, bounded by maxVersions; guarded by mu.
+	retained    []*extentVersion
+	maxVersions int // 0 means DefaultMaxVersions
+	// blocks caches columnar block handles, shared with snapshots (it
+	// validates by relation pointer, so versions cannot cross-contaminate).
+	blocks *blockCache
+
+	// Snapshot-only fields. parent is the live store whose version the
+	// snapshot pinned; snap is that immutable version; overlay holds
+	// extents materialized lazily on the snapshot itself (prepared renames
+	// over frozen bases), guarded by the snapshot's own mu.
+	parent   *Store
+	snap     *extentVersion
+	released bool // guarded by parent.mu
+	overlay  map[string]*nrel.Relation
 }
 
 // preparedKey identifies a prepared view's extent across rewriter clones.
@@ -163,15 +263,17 @@ func preparedKey(v *core.View) string { return v.Name + "\x1f" + v.Pattern.Strin
 // NewStore materializes all base views over the document. Derived
 // navigation views are materialized lazily by the executor.
 func NewStore(doc *xmltree.Document, views []*core.View) *Store {
-	st := &Store{doc: doc, views: views, rels: map[string]*nrel.Relation{}, prepared: map[string]*nrel.Relation{}}
+	st := &Store{doc: doc, views: views, blocks: newBlockCache(),
+		cur: &extentVersion{rels: map[string]*nrel.Relation{}, prepared: map[string]*nrel.Relation{}}}
 	for _, v := range views {
-		st.rels[v.Name] = MaterializeFlat(v, doc)
+		st.cur.rels[v.Name] = MaterializeFlat(v, doc)
 	}
 	return st
 }
 
 // Document returns the store's backing document; nil for stores opened
-// from disk that have not attached one with SetDocument.
+// from disk that have not attached one with SetDocument, and always nil
+// for snapshots.
 func (st *Store) Document() *xmltree.Document { return st.doc }
 
 // SetDocument attaches the source document to a disk-opened store, making
@@ -185,57 +287,134 @@ func (st *Store) SetDocument(doc *xmltree.Document) {
 }
 
 // Epoch returns the store's maintenance epoch: the number of update
-// batches applied since the extents were built.
+// batches applied since the extents were built. A snapshot reports the
+// epoch of its pinned version.
 func (st *Store) Epoch() int64 {
+	if st.parent != nil {
+		return st.snap.epoch
+	}
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	return st.epoch
+	return st.cur.epoch
 }
 
-// Snapshot returns a read-only store freezing every current extent at the
-// current epoch: later ApplyUpdates calls on the original replace extent
-// pointers and cannot affect the snapshot, so a multi-view plan executed
-// against it sees one consistent state. The snapshot carries no document
-// (prepared extents derive from the frozen bases) and must not be used
-// with ApplyUpdates or Put.
+// Snapshot pins the live extent version and returns a read-only store
+// over it: later ApplyUpdates calls install successor versions and cannot
+// affect the snapshot, so a multi-view plan executed against it sees one
+// consistent epoch. Pinning is O(1) — no extents are copied. The snapshot
+// carries no document (prepared extents derive from the frozen bases) and
+// must not be used with ApplyUpdates. Callers should Release the snapshot
+// when done so the parent store can drop superseded versions promptly;
+// an unreleased snapshot stays readable regardless.
 func (st *Store) Snapshot() *Store {
+	if st.parent != nil {
+		// Snapshot of a snapshot: re-pin the same version.
+		p := st.parent
+		p.mu.Lock()
+		st.snap.refs++
+		p.mu.Unlock()
+		return &Store{views: st.views, parent: p, snap: st.snap, blocks: st.blocks}
+	}
+	st.mu.Lock()
+	v := st.cur
+	v.refs++
+	st.mu.Unlock()
+	return &Store{views: st.views, parent: st, snap: v, blocks: st.blocks}
+}
+
+// Release drops a snapshot's pin. When the last pin on a superseded
+// version drops, the parent store stops retaining it. Release is
+// idempotent and a no-op on a live store.
+func (st *Store) Release() {
+	if st.parent == nil {
+		return
+	}
+	p := st.parent
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st.released {
+		return
+	}
+	st.released = true
+	v := st.snap
+	if v.refs > 0 {
+		v.refs--
+	}
+	if v.refs == 0 && v != p.cur {
+		for i, r := range p.retained {
+			if r == v {
+				p.retained = append(p.retained[:i], p.retained[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Versions reports how many extent versions the store tracks: the live
+// one plus superseded versions retained for pinned snapshots. Bounded by
+// SetMaxVersions (DefaultMaxVersions when unset).
+func (st *Store) Versions() int {
+	if st.parent != nil {
+		return st.parent.Versions()
+	}
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	snap := &Store{views: st.views, epoch: st.epoch,
-		rels: make(map[string]*nrel.Relation, len(st.rels)), prepared: make(map[string]*nrel.Relation, len(st.prepared))}
-	for k, v := range st.rels {
-		snap.rels[k] = v
+	return 1 + len(st.retained)
+}
+
+// SetMaxVersions bounds the retention window: at most n versions (live
+// included) are tracked, force-releasing the oldest beyond the bound so a
+// stalled reader can never block or bloat the write path. Force-released
+// versions stay safe for the snapshots still pinning them — those read
+// through their own references; the store merely stops tracking the
+// version. n <= 0 keeps the current bound.
+func (st *Store) SetMaxVersions(n int) {
+	if st.parent != nil || n <= 0 {
+		return
 	}
-	for k, v := range st.prepared {
-		snap.prepared[k] = v
+	st.mu.Lock()
+	st.maxVersions = n
+	st.trimLocked()
+	st.mu.Unlock()
+}
+
+// install publishes nv as the live version; callers hold the write lock.
+// The superseded version is retained while snapshots pin it, within the
+// retention bound.
+func (st *Store) install(nv *extentVersion) {
+	old := st.cur
+	st.cur = nv
+	if old != nil && old.refs > 0 {
+		st.retained = append(st.retained, old)
 	}
-	// Block handles and zone seeds stay valid on the snapshot: they are
-	// pinned to the frozen relation pointers copied above.
-	if len(st.blocks) > 0 {
-		snap.blocks = make(map[string]*store.Blocks, len(st.blocks))
-		for k, v := range st.blocks {
-			snap.blocks[k] = v
-		}
+	st.trimLocked()
+}
+
+// trimLocked enforces the retention bound, force-releasing oldest first;
+// callers hold the write lock.
+func (st *Store) trimLocked() {
+	max := st.maxVersions
+	if max <= 0 {
+		max = DefaultMaxVersions
 	}
-	if len(st.zoneSeeds) > 0 {
-		snap.zoneSeeds = make(map[string]*store.ZoneMap, len(st.zoneSeeds))
-		for k, v := range st.zoneSeeds {
-			snap.zoneSeeds[k] = v
-		}
+	for len(st.retained) > 0 && 1+len(st.retained) > max {
+		copy(st.retained, st.retained[1:])
+		st.retained[len(st.retained)-1] = nil
+		st.retained = st.retained[:len(st.retained)-1]
 	}
-	return snap
 }
 
 // ApplyUpdates maintains the store through one typed update batch: the
 // document is mutated (atomically — a failing update rolls the whole batch
 // back), affected extents are re-derived through the maintenance engine's
-// relevance mapping, and prepared-extent caches for changed views are
-// dropped. The returned batch carries the per-view tuple deltas and the
-// rebuilt summary; the store epoch advances by one.
+// relevance mapping, and a successor extent version is installed with
+// prepared-extent caches for changed views dropped. The returned batch
+// carries the per-view tuple deltas and the rebuilt summary; the store
+// epoch advances by one.
 //
-// Concurrent queries are safe (they serialize against the write lock), but
-// callers that also persist the batch must serialize ApplyUpdates calls
-// among themselves so delta chains append in epoch order.
+// Readers never wait: they pin versions via Snapshot and the diff/splice
+// pass runs outside the store lock. Callers that apply updates must
+// serialize among themselves so delta chains append in epoch order.
 func (st *Store) ApplyUpdates(updates []xmltree.Update) (*maintain.Batch, error) {
 	return st.ApplyUpdatesCtx(context.Background(), updates)
 }
@@ -246,9 +425,12 @@ func (st *Store) ApplyUpdates(updates []xmltree.Update) (*maintain.Batch, error)
 // cancellable mid-batch — a partial apply would desync extents from the
 // document).
 func (st *Store) ApplyUpdatesCtx(ctx context.Context, updates []xmltree.Update) (*maintain.Batch, error) {
+	if st.parent != nil {
+		return nil, fmt.Errorf("view: cannot apply updates to a snapshot")
+	}
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.doc == nil {
+		st.mu.Unlock()
 		return nil, fmt.Errorf("view: store has no document attached; rebuild the store or SetDocument first")
 	}
 	if st.msum == nil {
@@ -256,52 +438,63 @@ func (st *Store) ApplyUpdatesCtx(ctx context.Context, updates []xmltree.Update) 
 		// summary build, then every batch maintains it incrementally.
 		st.msum = summary.NewMaintained(st.doc)
 	}
-	if !st.sortedExt {
+	if !st.cur.sorted {
 		// Establish the key-sorted extent invariant the scoped splice
-		// depends on, copy-on-write so concurrent snapshot readers keep
-		// their row order.
+		// depends on, installed as a fresh same-epoch version so pinned
+		// snapshots keep their row order.
+		nv := st.cur.clone()
 		for _, v := range st.views {
-			if r, ok := st.rels[v.Name]; ok {
-				st.rels[v.Name] = maintain.SortByKey(r)
-				st.invalidateBlocks(v.Name)
+			if r, ok := nv.rels[v.Name]; ok {
+				nv.rels[v.Name] = maintain.SortByKey(r)
+				delete(nv.zoneSeeds, v.Name)
 			}
 		}
-		st.sortedExt = true
+		nv.sorted = true
+		st.install(nv)
 	}
-	batch, err := maintain.ComputeDeltas(st.doc, st.views, updates,
+	base := st.cur
+	doc, views, msum := st.doc, st.views, st.msum
+	st.mu.Unlock()
+
+	// The diff/splice pass runs without the store lock: base is immutable,
+	// and the document and summary belong to the serialized updater —
+	// readers work through pinned snapshots and touch neither.
+	batch, err := maintain.ComputeDeltas(doc, views, updates,
 		func(v *core.View) *nrel.Relation {
-			if r, ok := st.rels[v.Name]; ok {
+			if r, ok := base.rels[v.Name]; ok {
 				return r
 			}
 			return nrel.NewRelation(flatCols(v)...)
 		}, maintain.Engine{
 			Mat:           MaterializeFlat,
 			MatScoped:     MaterializeFlatScoped,
-			Summary:       st.msum,
+			Summary:       msum,
 			SortedExtents: true,
 			Ctx:           ctx,
 		})
 	if err != nil {
-		return nil, err
+		return nil, err // ComputeDeltas rolled the document back
 	}
-	st.msum = batch.Maintained
+
+	st.mu.Lock()
+	// Clone the *current* version, not base: a concurrent lazy
+	// materialization may have installed extents meanwhile; the deltas'
+	// base views are always present, so d.New still wins below.
+	nv := st.cur.clone()
 	for _, d := range batch.Deltas {
-		st.rels[d.View.Name] = d.New
-		st.invalidateBlocks(d.View.Name)
+		nv.rels[d.View.Name] = d.New
+		delete(nv.zoneSeeds, d.View.Name)
 		prefix := d.View.Name + "\x1f"
-		for k := range st.prepared {
+		for k := range nv.prepared {
 			if strings.HasPrefix(k, prefix) {
-				delete(st.prepared, k)
-			}
-		}
-		// Block handles over prepared extents share the same key space.
-		for k := range st.blocks {
-			if strings.HasPrefix(k, prefix) {
-				delete(st.blocks, k)
+				delete(nv.prepared, k)
 			}
 		}
 	}
-	st.epoch++
+	nv.epoch = base.epoch + 1
+	st.msum = batch.Maintained
+	st.install(nv)
+	st.mu.Unlock()
 	return batch, nil
 }
 
@@ -331,34 +524,54 @@ func flatCols(v *core.View) []string {
 //
 //xvlint:sharedreturn
 func (st *Store) Relation(v *core.View) *nrel.Relation {
+	if st.parent != nil {
+		return st.snapRelation(v)
+	}
 	st.mu.RLock()
-	r, ok := st.lookup(v)
+	r, ok := lookupIn(st.cur, v)
 	st.mu.RUnlock()
 	if ok {
 		return r
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	if r, ok := st.lookup(v); ok {
+	if r, ok := lookupIn(st.cur, v); ok {
 		return r
 	}
 	r = st.materialize(v)
+	nv := st.cur.clone()
 	if v.Stored != nil {
-		st.prepared[preparedKey(v)] = r
+		nv.prepared[preparedKey(v)] = r
 	} else {
-		st.rels[v.Name] = r
-		st.invalidateBlocks(v.Name)
-		st.sortedExt = false // fresh eval order; re-sorted on the next batch
+		nv.rels[v.Name] = r
+		delete(nv.zoneSeeds, v.Name)
+		nv.sorted = false // fresh eval order; re-sorted on the next batch
 	}
+	st.install(nv)
 	return r
 }
 
-// invalidateBlocks drops the cached block handle and zone seed of one view;
-// callers hold the write lock and are about to (or just did) replace the
-// view's extent pointer, which both depend on.
-func (st *Store) invalidateBlocks(name string) {
-	delete(st.blocks, name)
-	delete(st.zoneSeeds, name)
+// snapRelation serves a snapshot read: the pinned version first, then the
+// snapshot's private overlay of lazily derived extents.
+func (st *Store) snapRelation(v *core.View) *nrel.Relation {
+	if r, ok := lookupIn(st.snap, v); ok {
+		return r
+	}
+	key := v.Name
+	if v.Stored != nil {
+		key = preparedKey(v)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if r, ok := st.overlay[key]; ok {
+		return r
+	}
+	r := materializeFrom(st.snap, v)
+	if st.overlay == nil {
+		st.overlay = map[string]*nrel.Relation{}
+	}
+	st.overlay[key] = r
+	return r
 }
 
 // Blocks returns a columnar block handle over the view's current extent,
@@ -381,18 +594,17 @@ func (st *Store) Blocks(v *core.View) *store.Blocks {
 	if v.Stored != nil {
 		key = preparedKey(v)
 	}
-	st.mu.RLock()
-	rel, ok := st.lookup(v)
-	var cached *store.Blocks
-	if ok {
-		if b := st.blocks[key]; b != nil && b.Rel == rel {
-			cached = b
-		}
-	}
-	seed := st.zoneSeeds[v.Name]
-	st.mu.RUnlock()
-	if cached != nil {
-		return cached
+	var rel *nrel.Relation
+	var ok bool
+	var seed *store.ZoneMap
+	if st.parent != nil {
+		rel, ok = lookupIn(st.snap, v)
+		seed = st.snap.zoneSeeds[v.Name]
+	} else {
+		st.mu.RLock()
+		rel, ok = lookupIn(st.cur, v)
+		seed = st.cur.zoneSeeds[v.Name]
+		st.mu.RUnlock()
 	}
 	if !ok {
 		if v.Stored == nil {
@@ -403,39 +615,30 @@ func (st *Store) Blocks(v *core.View) *store.Blocks {
 		// built below to the cached pointer.
 		rel = st.Relation(v)
 	}
-	built := store.BlocksFromRelation(rel, seed)
-	st.mu.Lock()
-	if cur, stillOK := st.lookup(v); stillOK && cur == rel {
-		if st.blocks == nil {
-			st.blocks = map[string]*store.Blocks{}
-		}
-		st.blocks[key] = built
+	if b := st.blocks.get(key, rel); b != nil {
+		return b
 	}
-	st.mu.Unlock()
+	built := store.BlocksFromRelation(rel, seed)
+	st.blocks.put(key, built)
 	return built
 }
 
-// lookup checks the caches; callers hold at least the read lock.
-func (st *Store) lookup(v *core.View) (*nrel.Relation, bool) {
-	if v.Stored != nil {
-		r, ok := st.prepared[preparedKey(v)]
-		return r, ok
-	}
-	r, ok := st.rels[v.Name]
-	return r, ok
-}
-
-// materialize builds the extent of a cache-missed view; callers hold the
-// write lock. With a document attached the view is evaluated over it. A
-// disk-backed store has no document: a prepared view's extent is then
-// derived from the stored base extent by renaming slot columns (the data
-// is identical — preparation only adds reasoning attributes), and a
-// missing base extent is a caller error.
+// materialize builds the extent of a cache-missed view on the live store;
+// callers hold the write lock. With a document attached the view is
+// evaluated over it. A disk-backed store has no document: a prepared
+// view's extent is then derived from the stored base extent by renaming
+// slot columns (the data is identical — preparation only adds reasoning
+// attributes), and a missing base extent is a caller error.
 func (st *Store) materialize(v *core.View) *nrel.Relation {
 	if st.doc != nil {
 		return MaterializeFlat(v, st.doc)
 	}
-	base, ok := st.rels[v.Name]
+	return materializeFrom(st.cur, v)
+}
+
+// materializeFrom derives a prepared extent from a version's stored base.
+func materializeFrom(ver *extentVersion, v *core.View) *nrel.Relation {
+	base, ok := ver.rels[v.Name]
 	if !ok || v.Stored == nil {
 		panic(fmt.Sprintf("view: extent %q not in store and no document attached", v.Name))
 	}
@@ -466,19 +669,38 @@ func renameStored(base *nrel.Relation, v *core.View) *nrel.Relation {
 
 // Put registers a precomputed extent (used by tests and by the executor
 // for derived views). A Put extent is not necessarily key-sorted, so the
-// sorted-extent invariant is re-established on the next update batch.
+// sorted-extent invariant is re-established on the next update batch. On a
+// snapshot the extent lands in the snapshot's private overlay.
 func (st *Store) Put(name string, r *nrel.Relation) {
 	st.mu.Lock()
-	st.rels[name] = r
-	st.invalidateBlocks(name)
-	st.sortedExt = false
-	st.mu.Unlock()
+	defer st.mu.Unlock()
+	if st.parent != nil {
+		if st.overlay == nil {
+			st.overlay = map[string]*nrel.Relation{}
+		}
+		st.overlay[name] = r
+		return
+	}
+	nv := st.cur.clone()
+	nv.rels[name] = r
+	delete(nv.zoneSeeds, name)
+	nv.sorted = false
+	st.install(nv)
 }
 
 // Has reports whether the store already holds the named extent.
 func (st *Store) Has(name string) bool {
+	if st.parent != nil {
+		if _, ok := st.snap.rels[name]; ok {
+			return true
+		}
+		st.mu.RLock()
+		_, ok := st.overlay[name]
+		st.mu.RUnlock()
+		return ok
+	}
 	st.mu.RLock()
-	_, ok := st.rels[name]
+	_, ok := st.cur.rels[name]
 	st.mu.RUnlock()
 	return ok
 }

@@ -67,6 +67,17 @@ case "$traced" in
 esac
 curl -fsS -X POST -d '[{"op":"insert","parent":"1","subtree":"item(name \"smoke\")"}]' \
     "http://$addr/update" >/dev/null
+# Three concurrent writers exercise the group-commit path (they may merge
+# into one epoch or commit as several groups; either way the committer's
+# instruments must fire). Wait on the curls by pid — a bare `wait` would
+# also wait on the daemon.
+writers=""
+for i in 1 2 3; do
+    curl -fsS -X POST -d '[{"op":"insert","parent":"1","subtree":"item(name \"grp'"$i"'\")"}]' \
+        "http://$addr/update" >/dev/null &
+    writers="$writers $!"
+done
+for w in $writers; do wait "$w"; done
 
 # Key series must be present and non-zero on the scrape.
 metrics=$(curl -fsS "http://$addr/metrics")
@@ -79,6 +90,10 @@ for series in \
     'xvserve_rewrite_seconds_count' \
     'xvserve_exec_seconds_count' \
     'xvserve_maintain_seconds_count' \
+    'xvserve_group_commits_total' \
+    'xvserve_commit_group_size_count' \
+    'xvserve_commit_group_size_sum' \
+    'xvserve_commit_queue_wait_seconds_count' \
     'xvserve_view_reads_total{view="VNAME"}' \
     'xvserve_vec_kernels_total{kernel="select_value"}' \
     'xvserve_vec_blocks_scanned_total' \
@@ -90,9 +105,10 @@ for series in \
     esac
 done
 
-# Threshold 1ns: every pipeline request logged exactly one slog JSON line.
+# Threshold 1ns: every pipeline request logged exactly one slog JSON line
+# (3 queries + 4 updates).
 lines=$(wc -l <"$tmp/slow.log")
-[ "$lines" -eq 4 ] || { echo "obs_smoke: want 4 slow-log lines, got $lines:"; cat "$tmp/slow.log"; exit 1; }
+[ "$lines" -eq 7 ] || { echo "obs_smoke: want 7 slow-log lines, got $lines:"; cat "$tmp/slow.log"; exit 1; }
 grep -q '"request_id"' "$tmp/slow.log" || { echo "obs_smoke: slow log lacks request ids"; exit 1; }
 
 # Debug listener: profiler, metrics and traces live there...
@@ -114,5 +130,7 @@ fi
 summary=$("$tmp/bin/xvstore" stats -addr "$addr")
 printf '%s\n' "$summary" | grep -q 'phase latencies' \
     || { echo "obs_smoke: xvstore stats printed no quantiles"; exit 1; }
+printf '%s\n' "$summary" | grep -q 'commit groups:' \
+    || { echo "obs_smoke: xvstore stats printed no commit-group summary"; exit 1; }
 
 echo "obs_smoke: OK"
